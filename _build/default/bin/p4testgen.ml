@@ -1,0 +1,181 @@
+(* p4testgen — command-line front end of the test oracle.
+
+   Mirrors the upstream tool's interface: a P4 program, a target
+   identifier, and a test framework; produces a test file plus a
+   statement-coverage report (§4). *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let list_targets () =
+  print_endline "Available targets and their test back ends:";
+  List.iter
+    (fun (arch, (device, backends)) ->
+      Printf.printf "  %-12s (device: %-12s back ends: %s)\n" arch device
+        (String.concat ", " backends))
+    Targets.Registry.capabilities
+
+let run_generate file target backend max_tests max_paths seed strategy fixed_size
+    no_constraints no_random unroll out_file validate print_tests verbose =
+  setup_logs verbose;
+  match Targets.Registry.find target with
+  | None ->
+      Printf.eprintf "error: unknown target %s\n" target;
+      list_targets ();
+      1
+  | Some tgt -> (
+      match Backends.Registry.find backend with
+      | None ->
+          Printf.eprintf "error: unknown back end %s (stf, ptf, protobuf)\n" backend;
+          1
+      | Some be -> (
+          let source = In_channel.with_open_text file In_channel.input_all in
+          let opts =
+            {
+              Testgen.Runtime.default_options with
+              seed;
+              fixed_packet_bytes = fixed_size;
+              apply_constraints = not no_constraints;
+              randomize = not no_random;
+              unroll_bound = unroll;
+            }
+          in
+          let strategy =
+            match strategy with
+            | "dfs" -> Testgen.Explore.Dfs
+            | "rnd" -> Testgen.Explore.Rnd
+            | "cov" -> Testgen.Explore.Cov
+            | s ->
+                Printf.eprintf "warning: unknown strategy %s, using dfs\n" s;
+                Testgen.Explore.Dfs
+          in
+          let config =
+            { Testgen.Explore.default_config with max_tests; max_paths; strategy }
+          in
+          match Testgen.Oracle.generate ~opts ~config tgt source with
+          | exception Testgen.Runtime.Exec_error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1
+          | exception P4.Parser.Error (msg, pos) ->
+              Printf.eprintf "%s:%d:%d: parse error: %s\n" file pos.P4.Ast.line
+                pos.P4.Ast.col msg;
+              1
+          | run ->
+              let result = run.Testgen.Oracle.result in
+              let tests = result.Testgen.Explore.tests in
+              let stats = result.Testgen.Explore.stats in
+              Printf.printf "generated %d tests (%d paths, %d infeasible, %d abandoned)\n"
+                (List.length tests) stats.Testgen.Explore.paths
+                stats.Testgen.Explore.infeasible stats.Testgen.Explore.abandoned;
+              let cov = Testgen.Oracle.coverage_report run in
+              Format.printf "%a@." Testgen.Oracle.pp_coverage cov;
+              Printf.printf "timing: %.3fs total (%.3fs solver, %d checks)\n"
+                result.Testgen.Explore.total_time result.Testgen.Explore.solve_time
+                stats.Testgen.Explore.solver_checks;
+              if print_tests then
+                List.iter (fun t -> print_endline (Testgen.Testspec.to_string t)) tests;
+              let out =
+                match out_file with
+                | Some f -> f
+                | None -> Filename.remove_extension file ^ be.Backends.Registry.extension
+              in
+              Out_channel.with_open_text out (fun oc ->
+                  Out_channel.output_string oc (be.Backends.Registry.emit tests));
+              Printf.printf "wrote %s\n" out;
+              if validate then begin
+                let sim = Sim.Harness.prepare ~arch:target source in
+                let summary, results = Sim.Harness.run_suite sim tests in
+                Printf.printf "validation on the %s software model: %d/%d pass\n" target
+                  summary.Sim.Harness.passed summary.Sim.Harness.total;
+                List.iter
+                  (fun (t, v) ->
+                    match v with
+                    | Sim.Harness.Pass -> ()
+                    | Sim.Harness.Wrong_output m ->
+                        Printf.printf "  WRONG: %s\n    %s\n" m
+                          (Testgen.Testspec.to_string t)
+                    | Sim.Harness.Crash m -> Printf.printf "  CRASH: %s\n" m)
+                  results;
+                if summary.Sim.Harness.passed <> summary.Sim.Harness.total then 2 else 0
+              end
+              else 0))
+
+let file =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"PROGRAM.p4" ~doc:"P4 program")
+
+let target =
+  Arg.(
+    value & opt string "v1model"
+    & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Target architecture (v1model, tna, t2na, ebpf_model)")
+
+let backend =
+  Arg.(
+    value & opt string "stf"
+    & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc:"Test back end (stf, ptf, protobuf)")
+
+let max_tests =
+  Arg.(value & opt (some int) None & info [ "max-tests" ] ~doc:"Stop after N tests")
+
+let max_paths =
+  Arg.(value & opt (some int) None & info [ "max-paths" ] ~doc:"Stop after N explored paths")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
+
+let strategy =
+  Arg.(
+    value & opt string "dfs"
+    & info [ "strategy" ] ~doc:"Path selection: dfs (exhaustive), rnd (random order), cov (coverage-greedy)")
+
+let fixed_size =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fixed-packet-size" ] ~docv:"BYTES"
+        ~doc:"Precondition: fix the input packet size (avoids parser rejects, Tbl. 4b)")
+
+let no_constraints =
+  Arg.(value & flag & info [ "no-constraints" ] ~doc:"Ignore @entry_restriction annotations")
+
+let no_random =
+  Arg.(value & flag & info [ "no-random" ] ~doc:"Do not randomize free test inputs")
+
+let unroll =
+  Arg.(value & opt int 3 & info [ "unroll" ] ~doc:"Parser loop unrolling bound")
+
+let out_file = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc:"Output file")
+
+let validate =
+  Arg.(
+    value & flag
+    & info [ "validate" ] ~doc:"Execute the generated tests on the built-in software model")
+
+let print_tests =
+  Arg.(value & flag & info [ "print-tests" ] ~doc:"Print the abstract test specifications")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging")
+
+let generate_t =
+  Term.(
+    const run_generate $ file $ target $ backend $ max_tests $ max_paths $ seed $ strategy
+    $ fixed_size $ no_constraints $ no_random $ unroll $ out_file $ validate $ print_tests
+    $ verbose)
+
+let cmd =
+  let doc = "generate input-output packet tests for a P4 program" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "$(tname) symbolically executes a P4-16 program under a target \
+         architecture's whole-program semantics and emits, for each feasible \
+         program path, a test: an input packet, the control-plane \
+         configuration needed to drive the path, and the expected output \
+         packet(s).";
+      `P "An OCaml reproduction of P4Testgen (Ruffy et al., SIGCOMM 2023).";
+    ]
+  in
+  Cmd.v (Cmd.info "p4testgen" ~version:"1.0.0" ~doc ~man) generate_t
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Bitv List Printf Progzoo Sim Targets Testgen

@@ -1,0 +1,1 @@
+examples/checksum_oracle.ml: Bitv List Printf Progzoo Sim Targets Testgen

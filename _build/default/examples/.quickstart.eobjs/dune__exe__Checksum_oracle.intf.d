@@ -1,0 +1,1 @@
+examples/checksum_oracle.mli:

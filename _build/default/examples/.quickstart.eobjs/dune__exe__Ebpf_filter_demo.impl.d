@@ -1,0 +1,1 @@
+examples/ebpf_filter_demo.ml: Backends Format List Printf Progzoo Sim Targets Testgen

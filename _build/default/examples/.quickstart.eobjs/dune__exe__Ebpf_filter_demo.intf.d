@@ -1,0 +1,1 @@
+examples/ebpf_filter_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backends Format List Printf Progzoo Sim Targets Testgen

@@ -1,0 +1,1 @@
+examples/tofino_pipeline.ml: Bitv List Printf Progzoo Sim Targets Testgen

@@ -1,0 +1,1 @@
+examples/tofino_pipeline.mli:

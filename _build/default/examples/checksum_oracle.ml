@@ -1,0 +1,44 @@
+(* Concolic execution in action (§5.4): checksums cannot be encoded in
+   first-order logic, so the oracle binds them with a concrete
+   implementation after solving the rest of the path.
+
+   Two programs: the paper's Fig. 1b (a checksum carried in the
+   EtherType) and a realistic IPv4 program whose header checksum is
+   recomputed by the deparser.
+
+   Run with: dune exec examples/checksum_oracle.exe *)
+
+module Bits = Bitv.Bits
+
+let show_run name src =
+  Printf.printf "=== %s ===\n" name;
+  let run = Testgen.Oracle.generate Targets.V1model.target src in
+  let tests = run.Testgen.Oracle.result.Testgen.Explore.tests in
+  List.iter (fun t -> print_endline (Testgen.Testspec.to_string t)) tests;
+  tests
+
+let () =
+  let tests = show_run "Fig. 1b: EtherType checksum" Progzoo.Corpus.fig1b in
+  (* demonstrate that the concolic engine produced a *real* checksum:
+     recompute it from the generated packet *)
+  List.iter
+    (fun (t : Testgen.Testspec.t) ->
+      if (not (Testgen.Testspec.is_drop t)) && Bits.width t.input.data = 112 then begin
+        let body = Bits.slice t.input.data ~hi:111 ~lo:16 in
+        let carried = Bits.slice t.input.data ~hi:15 ~lo:0 in
+        let expected = Targets.Checksums.csum16 body in
+        Printf.printf
+          "forwarded packet carries checksum %s; recomputed csum16 = %s (%s)\n"
+          (Bits.to_hex carried) (Bits.to_hex expected)
+          (if Bits.equal carried expected then "consistent — concolic binding held"
+           else "INCONSISTENT");
+      end)
+    tests;
+  print_newline ();
+
+  let tests = show_run "IPv4 TTL decrement + header checksum update" Progzoo.Corpus.ipv4_checksum in
+  (* the deparser recomputed the checksum over the decremented TTL *)
+  let sim = Sim.Harness.prepare ~arch:"v1model" Progzoo.Corpus.ipv4_checksum in
+  let summary, _ = Sim.Harness.run_suite sim tests in
+  Printf.printf "\nsoftware-model validation: %d/%d pass\n" summary.Sim.Harness.passed
+    summary.Sim.Harness.total

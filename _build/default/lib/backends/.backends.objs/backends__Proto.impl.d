@@ -1,0 +1,1 @@
+lib/backends/proto.ml: Bitv Buffer Char Format List String Testgen Testspec

@@ -1,0 +1,1 @@
+lib/backends/ptf.ml: Bitv Buffer Char Format List Printf String Testgen Testspec

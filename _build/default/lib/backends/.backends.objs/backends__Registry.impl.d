@@ -1,0 +1,1 @@
+lib/backends/registry.ml: List Proto Ptf Stf Testgen

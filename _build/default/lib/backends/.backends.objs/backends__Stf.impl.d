@@ -1,0 +1,1 @@
+lib/backends/stf.ml: Bitv Buffer Format List Printf String Testgen Testspec

@@ -1,0 +1,13 @@
+(* Back-end registry: concretizers from abstract test specifications
+   (§4 phase 3) to framework files. *)
+
+type t = { name : string; extension : string; emit : Testgen.Testspec.t list -> string }
+
+let all =
+  [
+    { name = "stf"; extension = ".stf"; emit = Stf.emit };
+    { name = "ptf"; extension = "_ptf.py"; emit = Ptf.emit };
+    { name = "protobuf"; extension = ".txtpb"; emit = Proto.emit };
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) all

@@ -1,0 +1,1 @@
+lib/bitv/bits.ml: Bytes Char Format List Printf Random Seq Stdlib String

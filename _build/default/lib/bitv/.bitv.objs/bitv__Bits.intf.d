@@ -1,0 +1,1 @@
+lib/bitv/bits.mli: Format Random

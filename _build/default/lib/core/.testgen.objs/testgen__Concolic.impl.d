@@ -1,0 +1,1 @@
+lib/core/concolic.ml: Bitv List Runtime Smt

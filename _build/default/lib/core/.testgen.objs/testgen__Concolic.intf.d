@@ -1,0 +1,1 @@
+lib/core/concolic.mli: Bitv Runtime Smt

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Ast Bitv Env Format Hashtbl List P4 Pretty Printf Runtime Smt Typing

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Bitv Concolic IntSet List Logs Random Runtime Smt Step String Testspec Unix

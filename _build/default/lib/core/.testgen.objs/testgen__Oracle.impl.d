@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Explore Format IntSet List P4 Runtime Smt String Target_intf Unix

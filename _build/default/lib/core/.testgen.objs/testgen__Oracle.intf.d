@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Explore Format P4 Runtime Target_intf

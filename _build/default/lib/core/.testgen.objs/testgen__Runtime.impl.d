@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Ast Bitv Format Fun Hashtbl Int List Map P4 Printf Random Set Smt String Testspec Typing

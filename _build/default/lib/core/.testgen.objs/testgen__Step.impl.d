@@ -1,0 +1,1 @@
+lib/core/step.ml: Ast Bitv Env Eval List Option P4 Pretty Printf Runtime Smt Tables Typing

@@ -1,0 +1,1 @@
+lib/core/tables.ml: Ast Bitv Eval List Option P4 Printf Runtime Smt Typing

@@ -1,0 +1,1 @@
+lib/core/target_intf.ml: List P4 Runtime

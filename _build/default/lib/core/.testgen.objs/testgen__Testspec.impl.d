@@ -1,0 +1,1 @@
+lib/core/testspec.ml: Bitv Format List Printf

@@ -1,0 +1,1 @@
+lib/core/testspec.mli: Bitv Format

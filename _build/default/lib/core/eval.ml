@@ -1,0 +1,439 @@
+(* Symbolic evaluation of P4 expressions against a {!Runtime.state}.
+
+   Evaluation threads the state (concolic extern calls allocate
+   placeholder variables) but never forks; constructs that fork
+   (lookahead, table application, forking externs) are hoisted by
+   {!Step} before this module sees them. *)
+
+module Bits = Bitv.Bits
+module Expr = Smt.Expr
+open P4
+open Runtime
+
+(* ------------------------------------------------------------------ *)
+(* L-values *)
+
+type lvalue = {
+  lv_path : string;  (** env key prefix of the referenced storage *)
+  lv_typ : Ast.typ;  (** resolved type at that path *)
+  lv_slice : (int * int) option;  (** bit slice of a leaf *)
+}
+
+let const_index st e =
+  match e with
+  | Ast.EInt { iv; _ } -> iv
+  | _ ->
+      ignore st;
+      fail "header stack index must be constant after the stack-elimination pass (got %s)"
+        (Pretty.expr_to_string e)
+
+let rec lvalue_of ctx fr st (e : Ast.expr) : lvalue =
+  match e with
+  | EVar n -> (
+      match resolve_var st fr n with
+      | Some (path, t) -> { lv_path = path; lv_typ = Typing.resolve ctx.tctx t; lv_slice = None }
+      | None -> fail "unbound variable %s" n)
+  | EMember (b, f) -> (
+      let base = lvalue_of ctx fr st b in
+      match base.lv_typ with
+      | TName tn -> (
+          let fields =
+            match Typing.header_fields ctx.tctx tn with
+            | Some fs -> fs
+            | None -> (
+                match Typing.struct_fields ctx.tctx tn with
+                | Some fs -> fs
+                | None -> (
+                    match Typing.union_fields ctx.tctx tn with
+                    | Some fs -> fs
+                    | None -> fail "member %s of non-composite type %s" f tn))
+          in
+          match List.find_opt (fun fd -> fd.Ast.f_name = f) fields with
+          | Some fd ->
+              {
+                lv_path = base.lv_path ^ "." ^ f;
+                lv_typ = Typing.resolve ctx.tctx fd.f_typ;
+                lv_slice = None;
+              }
+          | None -> fail "unknown field %s of %s" f tn)
+      | TStack (h, n) -> (
+          match f with
+          | "next" | "last" ->
+              let next =
+                match Expr.is_const (read_leaf st (base.lv_path ^ ".$next")) with
+                | Some b -> Bits.to_int b
+                | None -> fail "symbolic stack cursor for %s" base.lv_path
+              in
+              let idx = if f = "next" then next else next - 1 in
+              if idx < 0 || idx >= n then fail "stack %s cursor out of bounds" base.lv_path
+              else
+                {
+                  lv_path = Printf.sprintf "%s[%d]" base.lv_path idx;
+                  lv_typ = TName h;
+                  lv_slice = None;
+                }
+          | "lastIndex" -> fail "lastIndex is handled in Eval.eval"
+          | _ -> fail "unknown stack member %s" f)
+      | t -> fail "member %s of non-composite lvalue %s" f (Pretty.expr_to_string (Ast.EVar (Format.asprintf "%a" Pretty.pp_typ t))))
+  | EIndex (b, i) -> (
+      let base = lvalue_of ctx fr st b in
+      match base.lv_typ with
+      | TStack (h, n) ->
+          let idx = const_index st i in
+          if idx < 0 || idx >= n then fail "stack index %d out of bounds for %s" idx base.lv_path
+          else
+            {
+              lv_path = Printf.sprintf "%s[%d]" base.lv_path idx;
+              lv_typ = TName h;
+              lv_slice = None;
+            }
+      | _ -> fail "index into non-stack %s" base.lv_path)
+  | ESlice (b, hi, lo) ->
+      let base = lvalue_of ctx fr st b in
+      if base.lv_slice <> None then fail "nested slices are not supported";
+      { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (hi, lo) }
+  | e -> fail "not an l-value: %s" (Pretty.expr_to_string e)
+
+(* validity guard of the innermost enclosing header of a path, if any *)
+let rec validity_of ctx fr st (e : Ast.expr) : Expr.t option =
+  match e with
+  | EMember (b, _) | EIndex (b, _) | ESlice (b, _, _) -> (
+      match
+        (try Some (lvalue_of ctx fr st b) with Exec_error _ -> None)
+      with
+      | Some lv when Typing.is_header ctx.tctx lv.lv_typ && (match lv.lv_typ with TName _ -> true | _ -> false)
+        -> (
+          match Env.find_opt (lv.lv_path ^ ".$valid") st.env with
+          | Some v -> Some v
+          | None -> validity_of ctx fr st b)
+      | _ -> validity_of ctx fr st b)
+  | _ -> None
+
+(* Read the raw concatenated bits of a composite (or scalar) value. *)
+let rec read_tree ctx st (t : Ast.typ) path : Expr.t =
+  let t = Typing.resolve ctx.tctx t in
+  match t with
+  | TBit _ | TInt _ | TVarbit _ | TBool | TError -> read_leaf st path
+  | TStack (h, n) ->
+      let parts = List.init n (fun i -> read_tree ctx st (TName h) (Printf.sprintf "%s[%d]" path i)) in
+      List.fold_left Expr.concat (Expr.zero 0) parts
+  | TName tn -> (
+      let fields =
+        match Typing.header_fields ctx.tctx tn with
+        | Some fs -> Some fs
+        | None -> (
+            match Typing.struct_fields ctx.tctx tn with
+            | Some fs -> Some fs
+            | None -> Typing.union_fields ctx.tctx tn)
+      in
+      match fields with
+      | Some fs ->
+          List.fold_left
+            (fun acc f -> Expr.concat acc (read_tree ctx st f.Ast.f_typ (path ^ "." ^ f.Ast.f_name)))
+            (Expr.zero 0) fs
+      | None -> read_leaf st path)
+  | TVoid | TSpec _ -> Expr.zero 0
+
+(* Write raw bits across the leaves of a composite value. *)
+let rec write_tree ctx st (t : Ast.typ) path (bits : Expr.t) : state =
+  let t = Typing.resolve ctx.tctx t in
+  match t with
+  | TBit _ | TInt _ | TVarbit _ | TBool | TError -> write_leaf path bits st
+  | TName tn -> (
+      let fields =
+        match Typing.header_fields ctx.tctx tn with
+        | Some fs -> Some fs
+        | None -> Typing.struct_fields ctx.tctx tn
+      in
+      match fields with
+      | Some fs ->
+          let total = Expr.width bits in
+          let st, _ =
+            List.fold_left
+              (fun (st, off) f ->
+                let w = Typing.width_of ctx.tctx f.Ast.f_typ in
+                let fb = Expr.slice bits ~hi:(total - off - 1) ~lo:(total - off - w) in
+                (write_tree ctx st f.Ast.f_typ (path ^ "." ^ f.Ast.f_name) fb, off + w))
+              (st, 0) fs
+          in
+          st
+      | None -> write_leaf path bits st)
+  | TStack (h, n) ->
+      let hw = Typing.width_of ctx.tctx (Ast.TName h) in
+      let total = Expr.width bits in
+      let st = ref st in
+      for i = 0 to n - 1 do
+        let fb = Expr.slice bits ~hi:(total - (i * hw) - 1) ~lo:(total - ((i + 1) * hw)) in
+        st := write_tree ctx !st (TName h) (Printf.sprintf "%s[%d]" path i) fb
+      done;
+      !st
+  | TVoid | TSpec _ -> st
+
+(* Serialize a header's wire bits, respecting dynamic varbit lengths
+   (the stored varbit leaf is left-aligned at max width). *)
+let header_emit_bits ctx st (hname : string) path : Expr.t =
+  let fields =
+    match Typing.header_fields ctx.tctx hname with
+    | Some fs -> fs
+    | None -> fail "header_emit_bits: unknown header %s" hname
+  in
+  List.fold_left
+    (fun acc (f : Ast.field) ->
+      let fpath = path ^ "." ^ f.f_name in
+      match Typing.resolve ctx.tctx f.f_typ with
+      | Ast.TVarbit maxw ->
+          let len =
+            match Expr.is_const (read_leaf st (fpath ^ ".$vblen")) with
+            | Some b -> Bits.to_int b
+            | None -> fail "symbolic varbit length at emit"
+          in
+          if len = 0 then acc
+          else
+            let v = read_leaf st fpath in
+            Expr.concat acc (Expr.slice v ~hi:(maxw - 1) ~lo:(maxw - len))
+      | t -> Expr.concat acc (read_tree ctx st t fpath))
+    (Expr.zero 0) fields
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation *)
+
+let bool_width_check e v =
+  if Expr.width v <> 1 then
+    fail "expected a boolean (width-1) value for %s" (Pretty.expr_to_string e)
+  else v
+
+(* coerce an unsized-literal operand to the other operand's width *)
+let coerce_pair a b =
+  let wa = Expr.width a and wb = Expr.width b in
+  if wa = wb then (a, b)
+  else if wa = 0 then (Expr.zext a wb, b)
+  else if wb = 0 then (a, Expr.zext b wa)
+  else fail "width mismatch: %d vs %d" wa wb
+
+let rec eval ?(hint = 0) ctx fr st (e : Ast.expr) : state * Expr.t =
+  match e with
+  | EBool true -> (st, Expr.tru)
+  | EBool false -> (st, Expr.fls)
+  | EInt { value = Some b; _ } -> (st, Expr.const b)
+  | EInt { iv; width = None; _ } ->
+      let w = if hint > 0 then hint else 32 in
+      (st, Expr.of_int ~width:w iv)
+  | EInt { iv; width = Some w; _ } -> (st, Expr.of_int ~width:w iv)
+  | EString _ -> fail "string in expression position"
+  | EVar n -> (
+      match resolve_var st fr n with
+      | Some (path, t) -> eval_read ctx fr st e ~slice:None path (Typing.resolve ctx.tctx t)
+      | None ->
+          (* enum type name used bare, or error — resolved via EMember *)
+          fail "unbound variable %s" n)
+  | EMember (EVar "error", ename) ->
+      (st, Expr.of_int ~width:Typing.error_width (Typing.error_code ctx.tctx ename))
+  | EMember (EVar base, m) when Hashtbl.mem ctx.tctx.Typing.enums base ->
+      (st, Expr.of_int ~width:Typing.enum_width (Typing.enum_code ctx.tctx base m))
+  | EMember (EVar base, m) when Hashtbl.mem ctx.tctx.Typing.ser_enums base -> (
+      let t, ms = Hashtbl.find ctx.tctx.Typing.ser_enums base in
+      match List.assoc_opt m ms with
+      | Some (EInt { iv; _ }) ->
+          (st, Expr.of_int ~width:(Typing.width_of ctx.tctx t) iv)
+      | _ -> fail "unsupported serializable enum member %s.%s" base m)
+  | EMember (b, "lastIndex") -> (
+      let base = lvalue_of ctx fr st b in
+      match base.lv_typ with
+      | TStack _ ->
+          let next = read_leaf st (base.lv_path ^ ".$next") in
+          (st, Expr.sub next (Expr.of_int ~width:32 1))
+      | _ -> fail "lastIndex of non-stack")
+  | EMember _ | EIndex _ | ESlice _ ->
+      let lv = lvalue_of ctx fr st e in
+      eval_read ctx fr st e ~slice:lv.lv_slice lv.lv_path lv.lv_typ
+  | EUnop (LNot, a) ->
+      let st, v = eval ctx fr st a in
+      (st, Expr.bnot (bool_width_check a v))
+  | EUnop (BitNot, a) ->
+      let st, v = eval ~hint ctx fr st a in
+      (st, Expr.lognot v)
+  | EUnop (Neg, a) ->
+      let st, v = eval ~hint ctx fr st a in
+      (st, Expr.neg v)
+  | EBinop (op, a, b) -> eval_binop ~hint ctx fr st op a b
+  | ETernary (c, t, f) ->
+      let st, vc = eval ctx fr st c in
+      let st, vt = eval ~hint ctx fr st t in
+      let st, vf = eval ~hint:(Expr.width vt) ctx fr st f in
+      let vt, vf = coerce_pair vt vf in
+      (st, Expr.ite (bool_width_check c vc) vt vf)
+  | ECast (t, a) -> (
+      let w = Typing.width_of ctx.tctx t in
+      let st, v = eval ~hint:w ctx fr st a in
+      match Typing.resolve ctx.tctx t with
+      | TInt _ -> (st, Expr.sext v w)
+      | TBool -> (st, Expr.neq v (Expr.zero (Expr.width v)))
+      | _ -> (st, Expr.zext v w))
+  | ECall (EMember (b, "isValid"), []) ->
+      let lv = lvalue_of ctx fr st b in
+      (st, read_leaf st (lv.lv_path ^ ".$valid"))
+  | ECall (EMember (_, "lookahead"), _) ->
+      fail "lookahead must be hoisted before evaluation"
+  | ECall (EMember (EVar t, "apply"), []) ->
+      ignore t;
+      fail "table application in expression position must be hoisted"
+  | ECall (EVar fn, args) -> eval_extern ctx fr st fn args
+  | ECall (EMember (EVar obj, m), args) ->
+      (* extern object method in expression position *)
+      eval_extern ctx fr st (obj ^ "." ^ m) args
+  | ECall (f, _) -> fail "unsupported call %s" (Pretty.expr_to_string f)
+  | EList es ->
+      (* concatenation of the members (used for checksum/hash inputs) *)
+      List.fold_left
+        (fun (st, acc) e ->
+          let st, v = eval ctx fr st e in
+          (st, Expr.concat acc v))
+        (st, Expr.zero 0) es
+  | ETypeArg _ -> fail "type argument in value position"
+  | EDontCare -> fail "'_' in value position"
+  | EDefault -> fail "'default' in value position"
+  | EMask _ -> fail "mask pattern in value position"
+  | ERange _ -> fail "range pattern in value position"
+
+and eval_read ctx fr st e ~slice path t =
+  let raw = read_tree ctx st t path in
+  (* reading a field of an invalid header yields undefined content *)
+  let guarded =
+    match validity_of ctx fr st e with
+    | Some v when Expr.is_true v -> raw
+    | Some v when Expr.is_false v -> Expr.fresh_taint (Expr.width raw)
+    | Some v -> Expr.ite v raw (Expr.fresh_taint (Expr.width raw))
+    | None -> raw
+  in
+  let value =
+    match slice with
+    | Some (hi, lo) -> Expr.slice guarded ~hi ~lo
+    | None -> guarded
+  in
+  (st, value)
+
+and eval_binop ~hint ctx fr st op a b =
+  let open Ast in
+  match op with
+  | LAnd ->
+      let st, va = eval ctx fr st a in
+      let st, vb = eval ctx fr st b in
+      (st, Expr.band (bool_width_check a va) (bool_width_check b vb))
+  | LOr ->
+      let st, va = eval ctx fr st a in
+      let st, vb = eval ctx fr st b in
+      (st, Expr.bor (bool_width_check a va) (bool_width_check b vb))
+  | Concat ->
+      let st, va = eval ctx fr st a in
+      let st, vb = eval ctx fr st b in
+      (st, Expr.concat va vb)
+  | Shl | Shr ->
+      let st, va = eval ~hint ctx fr st a in
+      let st, vb = eval ~hint:(Expr.width va) ctx fr st b in
+      let vb = Expr.zext vb (Expr.width va) in
+      let signed = is_signed_expr ctx fr st a in
+      let f = match op with
+        | Shl -> Expr.shl
+        | _ -> if signed then Expr.ashr else Expr.lshr
+      in
+      (st, f va vb)
+  | _ ->
+      (* width-symmetric operators: evaluate the sized side first *)
+      let st, va, vb =
+        match (a, b) with
+        | EInt { width = None; _ }, _ ->
+            let st, vb = eval ~hint ctx fr st b in
+            let st, va = eval ~hint:(Expr.width vb) ctx fr st a in
+            (st, va, vb)
+        | _ ->
+            let st, va = eval ~hint ctx fr st a in
+            let st, vb = eval ~hint:(Expr.width va) ctx fr st b in
+            (st, va, vb)
+      in
+      let va, vb = coerce_pair va vb in
+      let signed = is_signed_expr ctx fr st a || is_signed_expr ctx fr st b in
+      let v =
+        match op with
+        | Add -> Expr.add va vb
+        | Sub -> Expr.sub va vb
+        | Mul -> Expr.mul va vb
+        | Div -> Expr.udiv va vb
+        | Mod -> Expr.urem va vb
+        | AddSat ->
+            (* unsigned saturating add: overflow -> all ones *)
+            let w = Expr.width va in
+            let ext = Expr.add (Expr.zext va (w + 1)) (Expr.zext vb (w + 1)) in
+            let ovf = Expr.slice ext ~hi:w ~lo:w in
+            Expr.ite (Expr.eq ovf (Expr.ones 1)) (Expr.ones w) (Expr.add va vb)
+        | SubSat ->
+            let underflow = Expr.ult va vb in
+            Expr.ite underflow (Expr.zero (Expr.width va)) (Expr.sub va vb)
+        | BAnd -> Expr.logand va vb
+        | BOr -> Expr.logor va vb
+        | BXor -> Expr.logxor va vb
+        | Eq -> Expr.eq va vb
+        | Neq -> Expr.neq va vb
+        | Lt -> if signed then Expr.slt va vb else Expr.ult va vb
+        | Le -> if signed then Expr.sle va vb else Expr.ule va vb
+        | Gt -> if signed then Expr.sgt va vb else Expr.ugt va vb
+        | Ge -> if signed then Expr.sge va vb else Expr.uge va vb
+        | Shl | Shr | LAnd | LOr | Concat -> assert false
+      in
+      (st, v)
+
+and is_signed_expr ctx fr st (e : Ast.expr) =
+  match e with
+  | EInt { signed; _ } -> signed
+  | ECast (t, _) -> Typing.is_signed ctx.tctx t
+  | EVar _ | EMember _ | EIndex _ -> (
+      match try Some (lvalue_of ctx fr st e) with Exec_error _ -> None with
+      | Some lv -> Typing.is_signed ctx.tctx lv.lv_typ
+      | None -> false)
+  | _ -> false
+
+and eval_extern ctx fr st fn args =
+  match ctx.extern_hook ctx fn args fr st with
+  | RVal (st, v) -> (st, v)
+  | RUnit _ -> fail "extern %s returned no value in expression position" fn
+  | RBranch _ -> fail "extern %s forks; not allowed in expression position" fn
+
+(* ------------------------------------------------------------------ *)
+(* L-value writes *)
+
+let write_lvalue ctx fr st (lhs : Ast.expr) (v : Expr.t) : state =
+  let lv = lvalue_of ctx fr st lhs in
+  match lv.lv_slice with
+  | Some (hi, lo) ->
+      (* slices apply to scalar leaves: read-modify-write the leaf *)
+      let base = lvalue_of ctx fr st (match lhs with Ast.ESlice (b, _, _) -> b | _ -> lhs) in
+      let full = read_leaf st base.lv_path in
+      let w = Expr.width full in
+      let parts =
+        [
+          (if hi + 1 <= w - 1 then Some (Expr.slice full ~hi:(w - 1) ~lo:(hi + 1)) else None);
+          Some v;
+          (if lo > 0 then Some (Expr.slice full ~hi:(lo - 1) ~lo:0) else None);
+        ]
+      in
+      let stitched =
+        List.fold_left
+          (fun acc p -> match p with Some e -> Expr.concat acc e | None -> acc)
+          (Expr.zero 0)
+          parts
+      in
+      write_leaf base.lv_path stitched st
+  | None ->
+      let w = Typing.width_of ctx.tctx lv.lv_typ in
+      let v = if Expr.width v = 0 && w > 0 then Expr.zero w else v in
+      if Expr.width v <> w then
+        fail "assignment width mismatch at %s: %d vs %d" lv.lv_path (Expr.width v) w;
+      let st = write_tree ctx st lv.lv_typ lv.lv_path v in
+      (* assigning a whole header makes it valid; assigning between
+         headers also copies validity, handled by Step for that case *)
+      st
+
+(* copy a composite value including validity bits *)
+let copy_lvalue ctx fr st ~src ~dst =
+  let slv = lvalue_of ctx fr st src and dlv = lvalue_of ctx fr st dst in
+  let st = copy_tree ctx slv.lv_typ ~src:slv.lv_path ~dst:dlv.lv_path st in
+  st

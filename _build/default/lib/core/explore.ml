@@ -1,0 +1,259 @@
+(* Path exploration and test emission.
+
+   Default strategy is depth-first search to exhaustion with eager
+   pruning of unsatisfiable branches, using the solver incrementally
+   (scopes pushed and popped along the DFS spine), exactly as the
+   paper configures Z3 (§6).  Alternative strategies enabled by the
+   continuation design (§5.1.2): random branch ordering and a greedy
+   coverage mode that only emits coverage-increasing tests. *)
+
+module Bits = Bitv.Bits
+module Expr = Smt.Expr
+module Solver = Smt.Solver
+open Runtime
+
+type strategy = Dfs | Rnd | Cov
+
+type config = {
+  max_tests : int option;
+  max_paths : int option;
+  strategy : strategy;
+  stop_at_full_coverage : bool;
+}
+
+let default_config =
+  { max_tests = None; max_paths = None; strategy = Dfs; stop_at_full_coverage = false }
+
+type stats = {
+  mutable paths : int;  (** completed feasible paths *)
+  mutable tests : int;
+  mutable infeasible : int;  (** branches pruned by the solver *)
+  mutable abandoned : int;  (** paths cut by unrolling/recirc bounds *)
+  mutable discarded_taint : int;  (** tests dropped for tainted ports *)
+  mutable discarded_concolic : int;
+  mutable t_step : float;  (** interpretation time *)
+  mutable t_emit : float;  (** test-construction time (includes its solver calls) *)
+  mutable t_emit_solve : float;  (** solver time spent inside test construction *)
+  mutable solver_checks : int;
+}
+
+type result = {
+  tests : Testspec.t list;
+  covered : IntSet.t;
+  total_stmts : int;
+  stats : stats;
+  solve_time : float;
+  total_time : float;
+}
+
+let coverage_pct r =
+  if r.total_stmts = 0 then 100.0
+  else 100.0 *. float_of_int (IntSet.cardinal r.covered) /. float_of_int r.total_stmts
+
+exception Stop
+
+(* ------------------------------------------------------------------ *)
+(* Test construction *)
+
+let concretize_key model (name, sk) =
+  let km =
+    match sk with
+    | SkExact e -> Testspec.MExact (model e)
+    | SkTernary (v, m) -> Testspec.MTernary (model v, model m)
+    | SkLpm (v, l) -> Testspec.MLpm (model v, l)
+    | SkRange (a, b) -> Testspec.MRange (model a, model b)
+    | SkOptional (Some v) -> Testspec.MOptional (Some (model v))
+    | SkOptional None -> Testspec.MOptional None
+  in
+  (name, km)
+
+let concretize_entry model (se : sym_entry) : Testspec.entry =
+  {
+    e_table = se.se_table;
+    e_keys = List.map (concretize_key model) se.se_keys;
+    e_action = se.se_action;
+    e_args = List.map (fun (n, e) -> (n, model e)) se.se_args;
+    e_priority = se.se_priority;
+  }
+
+(* soft randomization of free test inputs — in-port, synthesized
+   action arguments, and packet payload (the paper picks the output
+   port "at random", §3).  Implemented as SAT phase suggestions, which
+   cost no clauses: all-zero packets would hide data-dependent bugs
+   (e.g. shifts of zero). *)
+let randomize_free_inputs ctx solver st =
+  if ctx.opts.randomize then begin
+    let pref e =
+      match e.Expr.node with
+      | Expr.Var _ -> Solver.suggest solver e (Bits.random ctx.rng (Expr.width e))
+      | _ -> ()
+    in
+    pref st.in_port;
+    List.iter (fun se -> List.iter (fun (_, e) -> pref e) se.se_args) st.entries;
+    List.iter pref st.chunks
+  end
+
+let build_test ctx solver (st : state) : Testspec.t option =
+  randomize_free_inputs ctx solver st;
+  match Concolic.resolve solver st with
+  | Concolic.Infeasible -> None
+  | Concolic.Resolved model ->
+      let taint_of e =
+        let m = Expr.taint_mask e in
+        if st.ctrl_taint then Bits.ones (Bits.width m) else m
+      in
+      let input =
+        Testspec.packet ~port:(model st.in_port) (model (input_expr st))
+      in
+      let outputs =
+        if st.dropped then []
+        else
+          List.rev_map
+            (fun o ->
+              {
+                Testspec.port = model o.o_port;
+                data = model o.o_data;
+                dontcare = taint_of o.o_data;
+              })
+            st.outputs
+      in
+      let entries = List.rev_map (concretize_entry model) st.entries in
+      Some
+        (Testspec.make ~input ~outputs ~entries ~registers:(List.rev st.reg_inits)
+           ~covered:(IntSet.elements st.covered)
+           ~comment:(String.concat " > " (List.rev st.trace)))
+
+(* a test is flaky if the packet's fate or destination is tainted *)
+let port_tainted st =
+  st.ctrl_taint || List.exists (fun o -> Expr.tainted o.o_port) st.outputs
+
+(* ------------------------------------------------------------------ *)
+(* DFS driver *)
+
+let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
+  let t_start = Unix.gettimeofday () in
+  let solver = ref (Solver.create ()) in
+  (* the DFS spine's active assertions, innermost first, mirroring the
+     solver's scope stack; lets us rebuild a fresh solver when the old
+     one has accumulated too many dead variables from popped scopes *)
+  let spine : Expr.t list ref = ref [] in
+  let maybe_rebuild () =
+    if Solver.size !solver > 300_000 && List.length !spine <= 4 then begin
+      let s = Solver.create () in
+      List.iter
+        (fun c ->
+          Solver.push s;
+          Solver.assert_ s c)
+        (List.rev !spine);
+      solver := s
+    end
+  in
+  let stats =
+    {
+      paths = 0;
+      tests = 0;
+      infeasible = 0;
+      abandoned = 0;
+      discarded_taint = 0;
+      discarded_concolic = 0;
+      t_step = 0.0;
+      t_emit = 0.0;
+      t_emit_solve = 0.0;
+      solver_checks = 0;
+    }
+  in
+  let tests = ref [] in
+  let covered = ref IntSet.empty in
+  let check_budget () =
+    (match config.max_tests with Some n when stats.tests >= n -> raise Stop | _ -> ());
+    (match config.max_paths with Some n when stats.paths >= n -> raise Stop | _ -> ());
+    if
+      config.stop_at_full_coverage && ctx.nstmts > 0
+      && IntSet.cardinal !covered >= ctx.nstmts
+    then raise Stop
+  in
+  let finish st =
+    stats.paths <- stats.paths + 1;
+    let t0 = Unix.gettimeofday () in
+    let solve0 = Solver.solve_time !solver in
+    (if port_tainted st then stats.discarded_taint <- stats.discarded_taint + 1
+     else
+       match build_test ctx !solver st with
+       | None -> stats.discarded_concolic <- stats.discarded_concolic + 1
+       | Some t ->
+           let is_new = not (IntSet.subset st.covered !covered) in
+           covered := IntSet.union st.covered !covered;
+           if config.strategy <> Cov || is_new then begin
+             stats.tests <- stats.tests + 1;
+             tests := t :: !tests
+           end);
+    stats.t_emit <- stats.t_emit +. (Unix.gettimeofday () -. t0);
+    stats.t_emit_solve <- stats.t_emit_solve +. (Solver.solve_time !solver -. solve0);
+    check_budget ()
+  in
+  let order branches =
+    match config.strategy with
+    | Rnd ->
+        List.map snd
+          (List.sort compare (List.map (fun b -> (Random.State.bits ctx.rng, b)) branches))
+    | Dfs | Cov -> branches
+  in
+  let rec explore st =
+    let t0 = Unix.gettimeofday () in
+    let stepped =
+      try Step.step ctx st
+      with Exec_error msg ->
+        (* an unsupported construct on this path: abandon the path but
+           keep exploring the rest of the program *)
+        Logs.warn (fun m -> m "path abandoned: %s" msg);
+        Some []
+    in
+    stats.t_step <- stats.t_step +. (Unix.gettimeofday () -. t0);
+    match stepped with
+    | None -> finish st
+    | Some [] -> stats.abandoned <- stats.abandoned + 1
+    | Some [ { br_cond = None; br_state; _ } ] -> explore br_state
+    | Some branches ->
+        List.iter
+          (fun b ->
+            match b.br_cond with
+            | None -> explore b.br_state
+            | Some c when Expr.is_true c -> explore b.br_state
+            | Some c when Expr.is_false c -> stats.infeasible <- stats.infeasible + 1
+            | Some c ->
+                Solver.push !solver;
+                (* model reuse: if the last model already satisfies the
+                   branch condition it witnesses the child's
+                   feasibility; no solver call needed *)
+                let holds = Solver.holds !solver c in
+                Solver.assert_ !solver c;
+                spine := c :: !spine;
+                let feasible =
+                  holds
+                  || begin
+                       stats.solver_checks <- stats.solver_checks + 1;
+                       Solver.check !solver = Solver.Sat
+                     end
+                in
+                (try
+                   if feasible then explore (add_cond c b.br_state)
+                   else stats.infeasible <- stats.infeasible + 1
+                 with Stop ->
+                   Solver.pop !solver;
+                   raise Stop);
+                Solver.pop !solver;
+                spine := List.tl !spine;
+                maybe_rebuild ())
+          (order branches)
+  in
+  let solve_time_before = ref 0.0 in
+  ignore solve_time_before;
+  (try explore st0 with Stop -> ());
+  {
+    tests = List.rev !tests;
+    covered = !covered;
+    total_stmts = ctx.nstmts;
+    stats;
+    solve_time = Solver.solve_time !solver;
+    total_time = Unix.gettimeofday () -. t_start;
+  }

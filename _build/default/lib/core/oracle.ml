@@ -1,0 +1,80 @@
+(* Top-level test-oracle API: everything from P4 source to tests.
+
+   Mirrors the three-phase workflow of §4:
+   1. parse + prelude + mid-end passes ([prepare]),
+   2. symbolic execution over whole-program semantics ([Explore.run]
+      with the target's pipeline template),
+   3. abstract test specifications ([Testspec.t]) that back ends
+      concretize. *)
+
+open Runtime
+
+type prepared = {
+  ctx : Runtime.ctx;
+  prog : P4.Ast.program;
+  target : (module Target_intf.S);
+  prep_time : float;
+}
+
+let prepare ?(opts = Runtime.default_options) (target : (module Target_intf.S)) (source : string)
+    : prepared =
+  let module T = (val target) in
+  let t0 = Unix.gettimeofday () in
+  (* each run gets a fresh term context; terms and solvers never cross
+     run boundaries *)
+  Smt.Expr.reset ();
+  let prelude = P4.Parser.parse_program T.prelude in
+  let user = P4.Parser.parse_program source in
+  let prog = prelude @ user in
+  let prog = P4.Passes.fold prog in
+  let tctx = P4.Typing.build prog in
+  let prog = P4.Passes.elim_stack_indices tctx prog in
+  let prog, nstmts = P4.Passes.number_statements prog in
+  let ctx = Runtime.make_ctx ~opts prog ~nstmts tctx in
+  ctx.extern_hook <- T.extern;
+  ctx.reject_hook <- T.on_reject;
+  { ctx; prog; target; prep_time = Unix.gettimeofday () -. t0 }
+
+let initial_state (p : prepared) : Runtime.state =
+  let module T = (val p.target) in
+  let st = Runtime.initial_state p.ctx ~port_width:T.port_width in
+  T.init p.ctx st
+
+type run = { result : Explore.result; prepared : prepared }
+
+let generate ?(opts = Runtime.default_options) ?(config = Explore.default_config)
+    (target : (module Target_intf.S)) (source : string) : run =
+  let p = prepare ~opts target source in
+  let st = initial_state p in
+  let result = Explore.run ~config p.ctx st in
+  { result; prepared = p }
+
+(* ------------------------------------------------------------------ *)
+(* Coverage report (§7, "What exactly do P4Testgen's tests cover?") *)
+
+type coverage_report = {
+  covered_count : int;
+  total_count : int;
+  percentage : float;
+  uncovered : int list;  (** statement ids never exercised *)
+}
+
+let coverage_report (r : run) : coverage_report =
+  let covered = r.result.Explore.covered in
+  let total = r.result.Explore.total_stmts in
+  let uncovered =
+    List.filter (fun i -> not (IntSet.mem i covered)) (List.init total (fun i -> i + 1))
+  in
+  {
+    covered_count = IntSet.cardinal covered;
+    total_count = total;
+    percentage = Explore.coverage_pct r.result;
+    uncovered;
+  }
+
+let pp_coverage ppf (c : coverage_report) =
+  Format.fprintf ppf "statement coverage: %d/%d (%.1f%%)" c.covered_count c.total_count
+    c.percentage;
+  if c.uncovered <> [] then
+    Format.fprintf ppf "; uncovered ids: %s"
+      (String.concat "," (List.map string_of_int c.uncovered))

@@ -1,0 +1,52 @@
+(** The top-level test-oracle API — everything from P4 source to tests,
+    mirroring the paper's three-phase workflow (§4):
+
+    + {!prepare} parses the target's architecture prelude plus the user
+      program and runs the mid-end passes (constant folding, dead-code
+      elimination, stack-index elimination, statement numbering);
+    + the target's pipeline template is instantiated
+      ({!initial_state});
+    + {!Explore.run} symbolically executes the whole-program semantics
+      and emits abstract test specifications.
+
+    {!generate} performs all three. *)
+
+type prepared = {
+  ctx : Runtime.ctx;
+  prog : P4.Ast.program;
+  target : (module Target_intf.S);
+  prep_time : float;  (** seconds spent in phase 1 (Fig. 7's "IR prep") *)
+}
+
+val prepare :
+  ?opts:Runtime.options -> (module Target_intf.S) -> string -> prepared
+(** [prepare target source] runs phase 1.  Raises
+    {!P4.Parser.Error} on syntax errors and {!Runtime.Exec_error} when
+    the program does not fit the architecture.  Resets the global term
+    context: terms and solvers from earlier runs must not be reused. *)
+
+val initial_state : prepared -> Runtime.state
+(** Pipeline-template instantiation (phase 2): the returned state has
+    the target's block sequence and glue continuations queued. *)
+
+type run = { result : Explore.result; prepared : prepared }
+
+val generate :
+  ?opts:Runtime.options ->
+  ?config:Explore.config ->
+  (module Target_intf.S) ->
+  string ->
+  run
+(** End-to-end test generation for a P4 source string. *)
+
+(** {1 Coverage reporting (§7)} *)
+
+type coverage_report = {
+  covered_count : int;
+  total_count : int;
+  percentage : float;
+  uncovered : int list;  (** statement ids never exercised by any test *)
+}
+
+val coverage_report : run -> coverage_report
+val pp_coverage : Format.formatter -> coverage_report -> unit

@@ -1,0 +1,51 @@
+(* The target-extension interface.
+
+   A target extension supplies everything the core executor does not
+   bake in (§5.1): the architecture prelude (type and block
+   declarations corresponding to e.g. v1model.p4), the pipeline
+   template (initial continuation stack with interstitial glue), the
+   extern implementations, and the parser-reject semantics.  All four
+   shipped extensions ({!Targets.V1model}, {!Targets.Tna},
+   {!Targets.T2na}, {!Targets.Ebpf}) implement this signature without
+   touching the core. *)
+
+module type S = sig
+  val name : string
+
+  val prelude : string
+  (** P4 source prepended to the user program (architecture types,
+      extern declarations, standard metadata structures). *)
+
+  val port_width : int
+
+  val min_packet_bytes : int option
+  (** Frames shorter than this are padded with payload before the
+      pipeline runs (e.g. 64 bytes on Tofino, Tbl. 6). *)
+
+  val init : Runtime.ctx -> Runtime.state -> Runtime.state
+  (** Declare the pipeline state and push the full pipeline template
+      (blocks plus glue continuations) onto the work stack.  Raises
+      {!Runtime.Exec_error} when the program's [main] instantiation
+      does not fit the architecture. *)
+
+  val extern : Runtime.extern_hook
+  (** Dispatch for all extern functions and extern-object methods. *)
+
+  val on_reject : Runtime.reject_hook
+  (** Target-specific parser-error semantics (Tbl. 6). *)
+end
+
+(* Helpers shared by target implementations *)
+
+let find_instantiation (prog : P4.Ast.program) =
+  List.find_map
+    (function
+      | P4.Ast.DInstantiation (typ, args, name, _) -> Some (typ, args, name)
+      | _ -> None)
+    prog
+
+let constructor_name (e : P4.Ast.expr) =
+  match e with
+  | P4.Ast.ECall (EVar n, _) -> n
+  | P4.Ast.EVar n -> n
+  | e -> Runtime.fail "bad package argument %s" (P4.Pretty.expr_to_string e)

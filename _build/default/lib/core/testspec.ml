@@ -1,0 +1,94 @@
+(* Abstract test specification (§4, phase 3).
+
+   A test is everything needed to exercise one program path on a real
+   target: the input packet and port, the control-plane configuration
+   (table entries, register initialization), and the expected outputs.
+   Test back ends ({!Backends}) concretize this representation into
+   STF, PTF, or protobuf text. *)
+
+module Bits = Bitv.Bits
+
+type key_match =
+  | MExact of Bits.t
+  | MTernary of Bits.t * Bits.t  (** value, mask (1 = care) *)
+  | MLpm of Bits.t * int  (** value, prefix length *)
+  | MRange of Bits.t * Bits.t  (** inclusive bounds *)
+  | MOptional of Bits.t option
+
+type entry = {
+  e_table : string;
+  e_keys : (string * key_match) list;  (** key field name -> match *)
+  e_action : string;
+  e_args : (string * Bits.t) list;  (** action parameter name -> value *)
+  e_priority : int option;
+}
+
+type register_init = { r_name : string; r_index : int; r_value : Bits.t }
+
+type packet = {
+  port : Bits.t;
+  data : Bits.t;
+  dontcare : Bits.t;  (** per-bit mask: 1 = don't care (tainted output) *)
+}
+
+type t = {
+  input : packet;
+  outputs : packet list;  (** expected packets; [] means dropped *)
+  entries : entry list;
+  registers : register_init list;
+  covered : int list;  (** ids of statements this test covers *)
+  comment : string;  (** human-readable path description *)
+}
+
+let make ~input ~outputs ~entries ~registers ~covered ~comment =
+  { input; outputs; entries; registers; covered; comment }
+
+let packet ?(dontcare = Bits.zero 0) ~port data =
+  let dontcare =
+    if Bits.width dontcare = Bits.width data then dontcare
+    else Bits.zero (Bits.width data)
+  in
+  { port; data; dontcare }
+
+let is_drop t = t.outputs = []
+
+let pp_key_match ppf = function
+  | MExact v -> Format.fprintf ppf "%s" (Bits.to_hex v)
+  | MTernary (v, m) -> Format.fprintf ppf "%s &&& %s" (Bits.to_hex v) (Bits.to_hex m)
+  | MLpm (v, l) -> Format.fprintf ppf "%s/%d" (Bits.to_hex v) l
+  | MRange (a, b) -> Format.fprintf ppf "%s..%s" (Bits.to_hex a) (Bits.to_hex b)
+  | MOptional (Some v) -> Format.fprintf ppf "%s" (Bits.to_hex v)
+  | MOptional None -> Format.fprintf ppf "*"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s: match(%a) action(%s(%a))%s" e.e_table
+    (Format.pp_print_list
+       ~pp_sep:(fun p () -> Format.fprintf p ", ")
+       (fun p (k, m) -> Format.fprintf p "%s=%a" k pp_key_match m))
+    e.e_keys e.e_action
+    (Format.pp_print_list
+       ~pp_sep:(fun p () -> Format.fprintf p ", ")
+       (fun p (k, v) -> Format.fprintf p "%s=%s" k (Bits.to_hex v)))
+    e.e_args
+    (match e.e_priority with
+    | Some p -> Printf.sprintf " prio=%d" p
+    | None -> "")
+
+let pp_packet ppf p =
+  Format.fprintf ppf "port %s len %db data %s" (Bits.to_hex p.port)
+    (Bits.width p.data) (Bits.to_hex p.data);
+  if not (Bits.is_zero p.dontcare) then
+    Format.fprintf ppf " mask %s" (Bits.to_hex (Bits.lognot p.dontcare))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>test {@,input:  %a@," pp_packet t.input;
+  (match t.outputs with
+  | [] -> Format.fprintf ppf "output: DROP@,"
+  | ps -> List.iter (fun p -> Format.fprintf ppf "output: %a@," pp_packet p) ps);
+  List.iter (fun e -> Format.fprintf ppf "entry:  %a@," pp_entry e) t.entries;
+  List.iter
+    (fun r -> Format.fprintf ppf "reg:    %s[%d] = %s@," r.r_name r.r_index (Bits.to_hex r.r_value))
+    t.registers;
+  Format.fprintf ppf "path:   %s@]@,}" t.comment
+
+let to_string t = Format.asprintf "%a" pp t

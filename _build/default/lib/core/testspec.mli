@@ -1,0 +1,64 @@
+(** Abstract test specifications (§4, phase 3).
+
+    A test is everything needed to exercise one program path on a real
+    target: the input packet and port, the control-plane configuration
+    (table entries, register initialization), and the expected
+    output(s).  Back ends ({!Backends.Stf}, {!Backends.Ptf},
+    {!Backends.Proto}) concretize this representation into framework
+    files; {!Sim.Harness} executes it on a software model. *)
+
+module Bits = Bitv.Bits
+
+(** One key field's match in a table entry. *)
+type key_match =
+  | MExact of Bits.t
+  | MTernary of Bits.t * Bits.t  (** value, mask (1 = care) *)
+  | MLpm of Bits.t * int  (** value, prefix length *)
+  | MRange of Bits.t * Bits.t  (** inclusive bounds *)
+  | MOptional of Bits.t option  (** [None] is the wildcard *)
+
+(** A control-plane table entry (or parser value-set member, with
+    [e_action = "__vs_member__"]). *)
+type entry = {
+  e_table : string;
+  e_keys : (string * key_match) list;  (** key field name -> match *)
+  e_action : string;
+  e_args : (string * Bits.t) list;  (** action parameter name -> value *)
+  e_priority : int option;
+}
+
+type register_init = { r_name : string; r_index : int; r_value : Bits.t }
+
+(** A packet with its port; [dontcare] marks bits the target leaves
+    undefined (tainted output, §5.3), which executors must ignore. *)
+type packet = { port : Bits.t; data : Bits.t; dontcare : Bits.t }
+
+type t = {
+  input : packet;
+  outputs : packet list;  (** expected packets; [] means dropped *)
+  entries : entry list;
+  registers : register_init list;
+  covered : int list;  (** ids of statements this test covers *)
+  comment : string;  (** human-readable path description *)
+}
+
+val make :
+  input:packet ->
+  outputs:packet list ->
+  entries:entry list ->
+  registers:register_init list ->
+  covered:int list ->
+  comment:string ->
+  t
+
+val packet : ?dontcare:Bits.t -> port:Bits.t -> Bits.t -> packet
+(** [packet ~port data] builds a packet; a missing or size-mismatched
+    [dontcare] defaults to all-zero (every bit checked). *)
+
+val is_drop : t -> bool
+
+val pp_key_match : Format.formatter -> key_match -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp_packet : Format.formatter -> packet -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/p4/ast.ml: Bitv List Option Printf

@@ -1,0 +1,1 @@
+lib/p4/lexer.ml: Ast Buffer Printf String

@@ -1,0 +1,1 @@
+lib/p4/parser.ml: Ast Bitv Lexer List Option Printf

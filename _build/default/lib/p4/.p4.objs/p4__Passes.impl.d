@@ -1,0 +1,1 @@
+lib/p4/passes.ml: Ast Bitv List Option Typing

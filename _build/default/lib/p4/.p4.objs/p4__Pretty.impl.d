@@ -1,0 +1,1 @@
+lib/p4/pretty.ml: Ast Format List

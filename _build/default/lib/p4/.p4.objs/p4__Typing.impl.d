@@ -1,0 +1,1 @@
+lib/p4/typing.ml: Ast Format Hashtbl List Option

@@ -1,0 +1,233 @@
+(* Abstract syntax for the P4-16 subset this toolchain supports.
+
+   The subset corresponds to what P4Testgen sees after P4C's front end:
+   headers, structs, header stacks, parsers with select transitions,
+   controls with actions and match-action tables, extern method calls,
+   and a top-level package instantiation.  Programs are produced either
+   by the parser ({!Parser}) or programmatically ({!Progzoo}). *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+type typ =
+  | TBit of int  (** [bit<n>] *)
+  | TInt of int  (** [int<n>] (signed) *)
+  | TVarbit of int  (** [varbit<n>]: max width *)
+  | TBool
+  | TError
+  | TVoid
+  | TName of string  (** reference to a header/struct/typedef/enum name *)
+  | TStack of string * int  (** header stack [h\[n\]] *)
+  | TSpec of string * typ list  (** specialized generic, e.g. [register<bit<32>>] *)
+
+type dir = DirNone | DirIn | DirOut | DirInOut
+
+type param = { par_dir : dir; par_typ : typ; par_name : string }
+
+type anno = { an_name : string; an_args : anno_arg list }
+
+and anno_arg = AnnoString of string | AnnoExpr of expr | AnnoKv of string * expr
+
+and unop = Neg | BitNot | LNot
+
+and binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | AddSat
+  | SubSat
+  | Shl
+  | Shr
+  | BAnd
+  | BOr
+  | BXor
+  | LAnd
+  | LOr
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat
+
+and expr =
+  | EBool of bool
+  | EInt of { value : Bitv.Bits.t option; iv : int; width : int option; signed : bool }
+      (** Integer literal.  [width = None] for arbitrary-precision
+          literals whose width is inferred by {!Typing.infer_widths};
+          [value] carries the exact bits once a width is known, [iv]
+          the (possibly lossy) OCaml int view used for folding. *)
+  | EString of string
+  | EVar of string
+  | EMember of expr * string
+  | EIndex of expr * expr
+  | ESlice of expr * int * int  (** [e\[hi:lo\]] *)
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | ETernary of expr * expr * expr
+  | ECast of typ * expr
+  | ECall of expr * expr list
+      (** method/function call in expression position, e.g.
+          [hdr.eth.isValid()], [pkt.lookahead<bit<16>>()] (the type
+          argument is encoded as an [ETypeArg]) *)
+  | ETypeArg of typ
+  | EList of expr list  (** [{ e1, ..., en }] *)
+  | EDontCare  (** [_] in select patterns and default entries *)
+  | EDefault  (** the [default] keyword in select patterns *)
+  | EMask of expr * expr  (** [e &&& mask] *)
+  | ERange of expr * expr  (** [lo .. hi] *)
+
+type stmt =
+  | SAssign of pos * expr * expr
+  | SCall of pos * expr * expr list
+  | SIf of pos * expr * block * block
+  | SSwitch of pos * expr * switch_case list
+      (** [switch (t.apply().action_run) { ... }] *)
+  | SVarDecl of pos * typ * string * expr option
+  | SConstDecl of pos * typ * string * expr
+  | SReturn of pos * expr option
+  | SExit of pos
+  | SBlock of block
+  | SEmpty
+
+and block = stmt list
+
+and switch_case = {
+  sw_labels : string list;  (** action names; ["default"] for default *)
+  sw_body : block option;  (** [None] for fall-through labels *)
+}
+
+type select_case = { sel_keys : expr list; sel_next : string }
+
+type transition =
+  | TrDirect of string  (** "accept", "reject" or a state name *)
+  | TrSelect of expr list * select_case list
+
+type parser_state = {
+  st_name : string;
+  st_stmts : stmt list;
+  st_trans : transition;
+}
+
+type table_key = { tk_expr : expr; tk_kind : string; tk_annos : anno list }
+
+type table_entry = {
+  te_keys : expr list;
+  te_action : string;
+  te_args : expr list;
+  te_priority : int option;  (** from the [@priority] annotation *)
+}
+
+type table = {
+  tbl_name : string;
+  tbl_keys : table_key list;
+  tbl_actions : (string * anno list) list;
+  tbl_default : (string * expr list) option;
+  tbl_entries : table_entry list;
+  tbl_size : int option;
+  tbl_annos : anno list;
+  tbl_props : (string * expr) list;  (** other target-specific properties *)
+}
+
+type action_decl = {
+  act_name : string;
+  act_params : param list;
+  act_body : block;
+  act_annos : anno list;
+}
+
+type field = { f_name : string; f_typ : typ; f_annos : anno list }
+
+type parser_decl = {
+  p_name : string;
+  p_params : param list;
+  p_locals : local_decl list;
+  p_states : parser_state list;
+}
+
+and control_decl = {
+  c_name : string;
+  c_params : param list;
+  c_locals : local_decl list;
+  c_body : block;
+}
+
+and local_decl =
+  | LVar of typ * string * expr option
+  | LConst of typ * string * expr
+  | LAction of action_decl
+  | LTable of table
+  | LInstantiation of typ * expr list * string  (** e.g. register<bit<32>>(1024) r; *)
+
+type decl =
+  | DHeader of string * field list * anno list
+  | DStruct of string * field list * anno list
+  | DHeaderUnion of string * field list * anno list
+  | DTypedef of typ * string
+  | DEnum of string * string list
+  | DSerEnum of typ * string * (string * expr) list  (** enum bit<n> X { ... } *)
+  | DError of string list
+  | DMatchKind of string list
+  | DConst of typ * string * expr
+  | DParser of parser_decl * anno list
+  | DControl of control_decl * anno list
+  | DAction of action_decl
+  | DExtern of string * string list  (** name, raw method names (permissive) *)
+  | DPackage of string * param list
+  | DInstantiation of string * expr list * string * anno list
+      (** package/extern instantiation: type, args, instance name *)
+  | DParserType of string * param list  (** parser type declaration *)
+  | DControlType of string * param list
+
+type program = decl list
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let stmt_pos = function
+  | SAssign (p, _, _)
+  | SCall (p, _, _)
+  | SIf (p, _, _, _)
+  | SSwitch (p, _, _)
+  | SVarDecl (p, _, _, _)
+  | SConstDecl (p, _, _, _)
+  | SReturn (p, _)
+  | SExit p -> p
+  | SBlock _ | SEmpty -> no_pos
+
+let rec lvalue_base = function
+  | EVar n -> n
+  | EMember (e, _) | EIndex (e, _) | ESlice (e, _, _) -> lvalue_base e
+  | _ -> invalid_arg "Ast.lvalue_base: not an l-value"
+
+(** Renders an l-value as a dotted path, e.g. ["hdr.eth.type"]. *)
+let rec lvalue_path = function
+  | EVar n -> n
+  | EMember (e, f) -> lvalue_path e ^ "." ^ f
+  | EIndex (e, EInt { iv; _ }) -> Printf.sprintf "%s[%d]" (lvalue_path e) iv
+  | EIndex (e, _) -> lvalue_path e ^ "[?]"
+  | ESlice (e, hi, lo) -> Printf.sprintf "%s[%d:%d]" (lvalue_path e) hi lo
+  | _ -> invalid_arg "Ast.lvalue_path: not an l-value"
+
+let int_lit ?width iv =
+  let value = Option.map (fun w -> Bitv.Bits.of_int ~width:w iv) width in
+  EInt { value; iv; width; signed = false }
+
+let find_anno name annos = List.find_opt (fun a -> a.an_name = name) annos
+
+let has_anno name annos = Option.is_some (find_anno name annos)
+
+let anno_string a =
+  match a.an_args with
+  | [ AnnoString s ] -> Some s
+  | [ AnnoExpr (EString s) ] -> Some s
+  | _ -> None
+
+let anno_int a =
+  match a.an_args with
+  | [ AnnoExpr (EInt { iv; _ }) ] -> Some iv
+  | _ -> None

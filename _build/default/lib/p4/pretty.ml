@@ -1,0 +1,252 @@
+(* P4 source pretty-printer.  [program] output re-parses to the same
+   AST (round-trip tested), which is how Progzoo's generated programs
+   are fed through the real front end. *)
+
+open Ast
+open Format
+
+let rec pp_typ ppf = function
+  | TBit 1 -> fprintf ppf "bit"
+  | TBit w -> fprintf ppf "bit<%d>" w
+  | TInt w -> fprintf ppf "int<%d>" w
+  | TVarbit w -> fprintf ppf "varbit<%d>" w
+  | TBool -> fprintf ppf "bool"
+  | TError -> fprintf ppf "error"
+  | TVoid -> fprintf ppf "void"
+  | TName n -> fprintf ppf "%s" n
+  | TStack (h, n) -> fprintf ppf "%s[%d]" h n
+  | TSpec (n, args) ->
+      fprintf ppf "%s<%a>" n (pp_print_list ~pp_sep:(fun p () -> fprintf p ", ") pp_typ) args
+
+let pp_unop ppf = function
+  | Neg -> fprintf ppf "-"
+  | BitNot -> fprintf ppf "~"
+  | LNot -> fprintf ppf "!"
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | AddSat -> "|+|"
+  | SubSat -> "|-|"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | BAnd -> "&"
+  | BOr -> "|"
+  | BXor -> "^"
+  | LAnd -> "&&"
+  | LOr -> "||"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Concat -> "++"
+
+let rec pp_expr ppf = function
+  | EBool true -> fprintf ppf "true"
+  | EBool false -> fprintf ppf "false"
+  | EInt { iv; width = Some w; signed; _ } ->
+      fprintf ppf "%d%c%d" w (if signed then 's' else 'w') iv
+  | EInt { iv; _ } -> fprintf ppf "%d" iv
+  | EString s -> fprintf ppf "%S" s
+  | EVar n -> fprintf ppf "%s" n
+  | EMember (e, f) -> fprintf ppf "%a.%s" pp_expr e f
+  | EIndex (e, i) -> fprintf ppf "%a[%a]" pp_expr e pp_expr i
+  | ESlice (e, hi, lo) -> fprintf ppf "%a[%d:%d]" pp_expr e hi lo
+  | EUnop (op, e) -> fprintf ppf "(%a%a)" pp_unop op pp_expr e
+  | EBinop (op, a, b) -> fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | ETernary (c, t, f) -> fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr f
+  | ECast (t, e) -> fprintf ppf "(%a)%a" pp_typ t pp_expr e
+  | ECall (f, ETypeArg t :: args) ->
+      fprintf ppf "%a<%a>(%a)" pp_expr f pp_typ t pp_args args
+  | ECall (f, args) -> fprintf ppf "%a(%a)" pp_expr f pp_args args
+  | ETypeArg t -> pp_typ ppf t
+  | EList es -> fprintf ppf "{%a}" pp_args es
+  | EDontCare -> fprintf ppf "_"
+  | EDefault -> fprintf ppf "default"
+  | EMask (e, m) -> fprintf ppf "%a &&& %a" pp_expr e pp_expr m
+  | ERange (a, b) -> fprintf ppf "%a .. %a" pp_expr a pp_expr b
+
+and pp_args ppf args =
+  pp_print_list ~pp_sep:(fun p () -> fprintf p ", ") pp_expr ppf args
+
+let pp_anno ppf a =
+  let pp_arg ppf = function
+    | AnnoString s -> fprintf ppf "%S" s
+    | AnnoExpr e -> pp_expr ppf e
+    | AnnoKv (k, e) -> fprintf ppf "%s = %a" k pp_expr e
+  in
+  if a.an_args = [] then fprintf ppf "@%s" a.an_name
+  else
+    fprintf ppf "@%s(%a)" a.an_name
+      (pp_print_list ~pp_sep:(fun p () -> fprintf p ", ") pp_arg)
+      a.an_args
+
+let pp_annos ppf annos =
+  List.iter (fun a -> fprintf ppf "%a " pp_anno a) annos
+
+let rec pp_stmt ppf = function
+  | SAssign (_, l, r) -> fprintf ppf "@[<h>%a = %a;@]" pp_expr l pp_expr r
+  | SCall (_, f, args) -> fprintf ppf "@[<h>%a(%a);@]" pp_expr f pp_args args
+  | SIf (_, c, t, []) -> fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t
+  | SIf (_, c, t, e) ->
+      fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c pp_block t
+        pp_block e
+  | SSwitch (_, e, cases) ->
+      let pp_case ppf c =
+        List.iter (fun l -> fprintf ppf "%s:@ " l) c.sw_labels;
+        match c.sw_body with
+        | Some b -> fprintf ppf "@[<v 2>{@,%a@]@,}" pp_block b
+        | None -> ()
+      in
+      fprintf ppf "@[<v 2>switch (%a) {@,%a@]@,}" pp_expr e
+        (pp_print_list ~pp_sep:pp_print_cut pp_case)
+        cases
+  | SVarDecl (_, t, n, None) -> fprintf ppf "%a %s;" pp_typ t n
+  | SVarDecl (_, t, n, Some e) -> fprintf ppf "%a %s = %a;" pp_typ t n pp_expr e
+  | SConstDecl (_, t, n, e) -> fprintf ppf "const %a %s = %a;" pp_typ t n pp_expr e
+  | SReturn (_, None) -> fprintf ppf "return;"
+  | SReturn (_, Some e) -> fprintf ppf "return %a;" pp_expr e
+  | SExit _ -> fprintf ppf "exit;"
+  | SBlock b -> fprintf ppf "@[<v 2>{@,%a@]@,}" pp_block b
+  | SEmpty -> fprintf ppf ";"
+
+and pp_block ppf stmts =
+  pp_print_list ~pp_sep:pp_print_cut pp_stmt ppf stmts
+
+let pp_param ppf p =
+  let dir =
+    match p.par_dir with
+    | DirNone -> ""
+    | DirIn -> "in "
+    | DirOut -> "out "
+    | DirInOut -> "inout "
+  in
+  fprintf ppf "%s%a %s" dir pp_typ p.par_typ p.par_name
+
+let pp_params ppf ps =
+  pp_print_list ~pp_sep:(fun p () -> fprintf p ", ") pp_param ppf ps
+
+let pp_field ppf f =
+  fprintf ppf "%a%a %s;" pp_annos f.f_annos pp_typ f.f_typ f.f_name
+
+let pp_fields ppf fs = pp_print_list ~pp_sep:pp_print_cut pp_field ppf fs
+
+let pp_action ppf (a : action_decl) =
+  fprintf ppf "@[<v 2>%aaction %s(%a) {@,%a@]@,}" pp_annos a.act_annos a.act_name pp_params
+    a.act_params pp_block a.act_body
+
+let pp_table ppf (t : table) =
+  fprintf ppf "@[<v 2>%atable %s {@," pp_annos t.tbl_annos t.tbl_name;
+  if t.tbl_keys <> [] then begin
+    fprintf ppf "@[<v 2>key = {@,";
+    List.iter
+      (fun k ->
+        fprintf ppf "%a : %s %a;@," pp_expr k.tk_expr k.tk_kind pp_annos k.tk_annos)
+      t.tbl_keys;
+    fprintf ppf "@]}@,"
+  end;
+  fprintf ppf "@[<v 2>actions = {@,";
+  List.iter (fun (a, annos) -> fprintf ppf "%a%s;@," pp_annos annos a) t.tbl_actions;
+  fprintf ppf "@]}@,";
+  (match t.tbl_default with
+  | Some (a, args) -> fprintf ppf "default_action = %s(%a);@," a pp_args args
+  | None -> ());
+  if t.tbl_entries <> [] then begin
+    fprintf ppf "@[<v 2>const entries = {@,";
+    List.iter
+      (fun e ->
+        (match e.te_priority with
+        | Some pr -> fprintf ppf "@priority(%d) " pr
+        | None -> ());
+        fprintf ppf "(%a) : %s(%a);@," pp_args e.te_keys e.te_action pp_args e.te_args)
+      t.tbl_entries;
+    fprintf ppf "@]}@,"
+  end;
+  (match t.tbl_size with Some n -> fprintf ppf "size = %d;@," n | None -> ());
+  List.iter (fun (k, e) -> fprintf ppf "%s = %a;@," k pp_expr e) t.tbl_props;
+  fprintf ppf "@]}"
+
+let pp_local ppf = function
+  | LVar (t, n, None) -> fprintf ppf "%a %s;" pp_typ t n
+  | LVar (t, n, Some e) -> fprintf ppf "%a %s = %a;" pp_typ t n pp_expr e
+  | LConst (t, n, e) -> fprintf ppf "const %a %s = %a;" pp_typ t n pp_expr e
+  | LAction a -> pp_action ppf a
+  | LTable t -> pp_table ppf t
+  | LInstantiation (t, args, n) -> fprintf ppf "%a(%a) %s;" pp_typ t pp_args args n
+
+let pp_transition ppf = function
+  | TrDirect n -> fprintf ppf "transition %s;" n
+  | TrSelect (keys, cases) ->
+      let pp_case ppf c =
+        match c.sel_keys with
+        | [ k ] -> fprintf ppf "%a : %s;" pp_expr k c.sel_next
+        | ks -> fprintf ppf "(%a) : %s;" pp_args ks c.sel_next
+      in
+      fprintf ppf "@[<v 2>transition select(%a) {@,%a@]@,}" pp_args keys
+        (pp_print_list ~pp_sep:pp_print_cut pp_case)
+        cases
+
+let pp_state ppf (s : parser_state) =
+  fprintf ppf "@[<v 2>state %s {@,%a%s%a@]@,}" s.st_name pp_block s.st_stmts
+    (if s.st_stmts = [] then "" else "\n")
+    pp_transition s.st_trans
+
+let pp_decl ppf = function
+  | DHeader (n, fs, annos) ->
+      fprintf ppf "@[<v 2>%aheader %s {@,%a@]@,}" pp_annos annos n pp_fields fs
+  | DStruct (n, fs, annos) ->
+      fprintf ppf "@[<v 2>%astruct %s {@,%a@]@,}" pp_annos annos n pp_fields fs
+  | DHeaderUnion (n, fs, annos) ->
+      fprintf ppf "@[<v 2>%aheader_union %s {@,%a@]@,}" pp_annos annos n pp_fields fs
+  | DTypedef (t, n) -> fprintf ppf "typedef %a %s;" pp_typ t n
+  | DEnum (n, ms) ->
+      fprintf ppf "@[<v 2>enum %s {@,%a@]@,}" n
+        (pp_print_list ~pp_sep:(fun p () -> fprintf p ",@,") pp_print_string)
+        ms
+  | DSerEnum (t, n, ms) ->
+      fprintf ppf "@[<v 2>enum %a %s {@,%a@]@,}" pp_typ t n
+        (pp_print_list ~pp_sep:(fun p () -> fprintf p ",@,") (fun ppf (m, e) ->
+             fprintf ppf "%s = %a" m pp_expr e))
+        ms
+  | DError ms ->
+      fprintf ppf "@[<v 2>error {@,%a@]@,}"
+        (pp_print_list ~pp_sep:(fun p () -> fprintf p ",@,") pp_print_string)
+        ms
+  | DMatchKind ms ->
+      fprintf ppf "@[<v 2>match_kind {@,%a@]@,}"
+        (pp_print_list ~pp_sep:(fun p () -> fprintf p ",@,") pp_print_string)
+        ms
+  | DConst (t, n, e) -> fprintf ppf "const %a %s = %a;" pp_typ t n pp_expr e
+  | DParser (pd, annos) ->
+      fprintf ppf "@[<v 2>%aparser %s(%a) {@,%a@,%a@]@,}" pp_annos annos pd.p_name pp_params
+        pd.p_params
+        (pp_print_list ~pp_sep:pp_print_cut pp_local)
+        pd.p_locals
+        (pp_print_list ~pp_sep:pp_print_cut pp_state)
+        pd.p_states
+  | DControl (cd, annos) ->
+      fprintf ppf "@[<v 2>%acontrol %s(%a) {@,%a@,@[<v 2>apply {@,%a@]@,}@]@,}" pp_annos annos
+        cd.c_name pp_params cd.c_params
+        (pp_print_list ~pp_sep:pp_print_cut pp_local)
+        cd.c_locals pp_block cd.c_body
+  | DAction a -> pp_action ppf a
+  | DExtern (n, _) -> fprintf ppf "extern %s;" n
+  | DPackage (n, ps) -> fprintf ppf "package %s(%a);" n pp_params ps
+  | DInstantiation (t, args, n, annos) ->
+      fprintf ppf "%a%s(%a) %s;" pp_annos annos t pp_args args n
+  | DParserType (n, ps) -> fprintf ppf "parser %s(%a);" n pp_params ps
+  | DControlType (n, ps) -> fprintf ppf "control %s(%a);" n pp_params ps
+
+let pp_program ppf prog =
+  fprintf ppf "@[<v 0>%a@]@."
+    (pp_print_list ~pp_sep:(fun p () -> fprintf p "@,@,") pp_decl)
+    prog
+
+let program_to_string prog = Format.asprintf "%a" pp_program prog
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let stmt_to_string s = Format.asprintf "@[<v 0>%a@]" pp_stmt s

@@ -1,0 +1,190 @@
+(* Type context: layout queries over the declared headers, structs,
+   typedefs, and enums of a program.  The symbolic executor and the
+   concrete simulator both use it to materialize storage for the
+   per-packet data structures. *)
+
+type ctx = {
+  headers : (string, Ast.field list) Hashtbl.t;
+  structs : (string, Ast.field list) Hashtbl.t;
+  unions : (string, Ast.field list) Hashtbl.t;
+  typedefs : (string, Ast.typ) Hashtbl.t;
+  enums : (string, string list) Hashtbl.t;
+  ser_enums : (string, Ast.typ * (string * Ast.expr) list) Hashtbl.t;
+  consts : (string, Ast.expr) Hashtbl.t;
+  mutable errors : string list;  (** declared error constants, in order *)
+  actions : (string, Ast.action_decl) Hashtbl.t;  (** top-level actions *)
+  header_annos : (string, Ast.anno list) Hashtbl.t;
+}
+
+exception Type_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let default_errors =
+  [
+    "NoError";
+    "PacketTooShort";
+    "NoMatch";
+    "StackOutOfBounds";
+    "HeaderTooShort";
+    "ParserTimeout";
+    "ParserInvalidArgument";
+  ]
+
+let create () =
+  {
+    headers = Hashtbl.create 32;
+    structs = Hashtbl.create 32;
+    unions = Hashtbl.create 4;
+    typedefs = Hashtbl.create 32;
+    enums = Hashtbl.create 8;
+    ser_enums = Hashtbl.create 8;
+    consts = Hashtbl.create 32;
+    errors = default_errors;
+    actions = Hashtbl.create 16;
+    header_annos = Hashtbl.create 32;
+  }
+
+let add_decl ctx (d : Ast.decl) =
+  match d with
+  | DHeader (n, fs, annos) ->
+      Hashtbl.replace ctx.headers n fs;
+      Hashtbl.replace ctx.header_annos n annos
+  | DStruct (n, fs, _) -> Hashtbl.replace ctx.structs n fs
+  | DHeaderUnion (n, fs, _) -> Hashtbl.replace ctx.unions n fs
+  | DTypedef (t, n) -> Hashtbl.replace ctx.typedefs n t
+  | DEnum (n, ms) -> Hashtbl.replace ctx.enums n ms
+  | DSerEnum (t, n, ms) -> Hashtbl.replace ctx.ser_enums n (t, ms)
+  | DConst (_, n, e) -> Hashtbl.replace ctx.consts n e
+  | DError ms -> ctx.errors <- ctx.errors @ List.filter (fun m -> not (List.mem m ctx.errors)) ms
+  | DAction a -> Hashtbl.replace ctx.actions a.act_name a
+  | DMatchKind _ | DParser _ | DControl _ | DExtern _ | DPackage _
+  | DInstantiation _ | DParserType _ | DControlType _ -> ()
+
+let build (prog : Ast.program) =
+  let ctx = create () in
+  List.iter (add_decl ctx) prog;
+  ctx
+
+let rec resolve ctx (t : Ast.typ) =
+  match t with
+  | TName n -> (
+      match Hashtbl.find_opt ctx.typedefs n with
+      | Some t' -> resolve ctx t'
+      | None -> (
+          match Hashtbl.find_opt ctx.ser_enums n with
+          | Some (t', _) -> resolve ctx t'
+          | None -> t))
+  | t -> t
+
+(* The abstract [error] type is represented as an 8-bit code indexing
+   into the declared error list. *)
+let error_width = 8
+
+let error_code ctx name =
+  let rec idx i = function
+    | [] -> err "unknown error constant %s" name
+    | e :: _ when e = name -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  idx 0 ctx.errors
+
+let enum_code ctx ename mname =
+  match Hashtbl.find_opt ctx.enums ename with
+  | None -> err "unknown enum %s" ename
+  | Some ms ->
+      let rec idx i = function
+        | [] -> err "unknown enum member %s.%s" ename mname
+        | m :: _ when m = mname -> i
+        | _ :: rest -> idx (i + 1) rest
+      in
+      idx 0 ms
+
+(* enums are represented in 8 bits (programs in our corpus have < 256
+   members) *)
+let enum_width = 8
+
+let rec width_of ctx (t : Ast.typ) =
+  match resolve ctx t with
+  | TBit w | TInt w -> w
+  | TVarbit w -> w
+  | TBool -> 1
+  | TError -> error_width
+  | TVoid -> 0
+  | TStack (h, n) -> n * width_of ctx (TName h)
+  | TSpec (n, _) -> err "width of unspecialized type %s" n
+  | TName n -> (
+      match Hashtbl.find_opt ctx.headers n with
+      | Some fs -> List.fold_left (fun acc f -> acc + width_of ctx f.Ast.f_typ) 0 fs
+      | None -> (
+          match Hashtbl.find_opt ctx.structs n with
+          | Some fs -> List.fold_left (fun acc f -> acc + width_of ctx f.Ast.f_typ) 0 fs
+          | None -> (
+              match Hashtbl.find_opt ctx.unions n with
+              | Some fs ->
+                  (* width of a union is the max member width *)
+                  List.fold_left (fun acc f -> max acc (width_of ctx f.Ast.f_typ)) 0 fs
+              | None -> (
+                  match Hashtbl.find_opt ctx.enums n with
+                  | Some _ -> enum_width
+                  | None -> err "unknown type %s" n))))
+
+let header_fields ctx n = Hashtbl.find_opt ctx.headers n
+let struct_fields ctx n = Hashtbl.find_opt ctx.structs n
+let union_fields ctx n = Hashtbl.find_opt ctx.unions n
+
+let is_header ctx t =
+  match resolve ctx t with
+  | TName n -> Hashtbl.mem ctx.headers n
+  | TStack _ -> true
+  | _ -> false
+
+let is_struct ctx t =
+  match resolve ctx t with TName n -> Hashtbl.mem ctx.structs n | _ -> false
+
+let is_signed ctx t = match resolve ctx t with Ast.TInt _ -> true | _ -> false
+
+(* Type of an l-value given a scope of variable types. *)
+let rec typ_of_lvalue ctx scope (e : Ast.expr) : Ast.typ option =
+  match e with
+  | EVar n -> Option.map (resolve ctx) (List.assoc_opt n scope)
+  | EMember (b, f) -> (
+      match typ_of_lvalue ctx scope b with
+      | Some (TName s) -> (
+          let fields =
+            match Hashtbl.find_opt ctx.headers s with
+            | Some fs -> Some fs
+            | None -> (
+                match Hashtbl.find_opt ctx.structs s with
+                | Some fs -> Some fs
+                | None -> Hashtbl.find_opt ctx.unions s)
+          in
+          match fields with
+          | Some fs ->
+              List.find_opt (fun fd -> fd.Ast.f_name = f) fs
+              |> Option.map (fun fd -> resolve ctx fd.Ast.f_typ)
+          | None -> None)
+      | Some (TStack (h, _)) when f = "next" || f = "last" -> Some (TName h)
+      | _ -> None)
+  | EIndex (b, _) -> (
+      match typ_of_lvalue ctx scope b with
+      | Some (TStack (h, _)) -> Some (TName h)
+      | _ -> None)
+  | ESlice (_, hi, lo) -> Some (TBit (hi - lo + 1))
+  | ECast (t, _) -> Some (resolve ctx t)
+  | _ -> None
+
+(* Field offset within a header, measured from the MSB end (wire
+   order): the first field occupies the topmost bits. *)
+let field_range ctx fields fname =
+  let total = List.fold_left (fun acc f -> acc + width_of ctx f.Ast.f_typ) 0 fields in
+  let rec go off = function
+    | [] -> err "unknown field %s" fname
+    | f :: rest ->
+        let w = width_of ctx f.Ast.f_typ in
+        if f.Ast.f_name = fname then
+          (* bit positions, LSB = 0 *)
+          (total - off - 1, total - off - w)
+        else go (off + w) rest
+  in
+  go 0 fields

@@ -1,0 +1,1 @@
+lib/progzoo/corpus.ml:

@@ -1,0 +1,1 @@
+lib/progzoo/generators.ml: Buffer Printf

@@ -1,0 +1,1 @@
+lib/progzoo/randprog.ml: Buffer List Printf Random String

@@ -1,0 +1,1005 @@
+(* Fixed P4 program corpus: the paper's running examples (Fig. 1) and
+   a set of feature-focused programs used by the test suite and the
+   validation experiments (§7). *)
+
+(** Fig. 1a: forward on the EtherType through an exact-match table. *)
+let fig1a =
+  {|
+header ethernet_t {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> etype;
+}
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<9> output_port; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control MyVerify(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyIngress(inout headers_t h, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+  action noop() { }
+  action set_out(bit<9> port) {
+    meta.output_port = port;
+    sm.egress_spec = port;
+  }
+  table forward_table {
+    key = { h.eth.etype : exact @name("etype"); }
+    actions = { noop; set_out; }
+    default_action = noop();
+  }
+  apply {
+    h.eth.etype = 0xBEEF;
+    forward_table.apply();
+  }
+}
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) { apply { } }
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); }
+}
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(), MyCompute(), MyDeparser()) main;
+|}
+
+(** Fig. 1b: validate an Ethernet "checksum" carried in the EtherType. *)
+let fig1b =
+  {|
+header ethernet_t {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> etype;
+}
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> checksum_err; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control MyVerify(inout headers_t hdr, inout meta_t meta) {
+  apply {
+    meta.checksum_err = verify_checksum(hdr.eth.isValid(),
+                                        {hdr.eth.dst, hdr.eth.src},
+                                        hdr.eth.etype, HashAlgorithm.csum16);
+  }
+}
+control MyIngress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+  apply {
+    if (meta.checksum_err == 1) {
+      mark_to_drop(sm);
+    }
+  }
+}
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) { apply { } }
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); }
+}
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(), MyCompute(), MyDeparser()) main;
+|}
+
+(** A multi-protocol parser with select, masks, and an LPM router. *)
+let lpm_router =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header vlan_t { bit<3> pcp; bit<1> cfi; bit<12> vid; bit<16> etype; }
+header ipv4_t {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> total_len;
+  bit<16> identification; bit<3> flags; bit<13> frag_offset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdr_checksum;
+  bit<32> src_addr; bit<32> dst_addr;
+}
+struct headers_t { ethernet_t eth; vlan_t vlan; ipv4_t ipv4; }
+struct meta_t { bit<1> routed; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x8100 &&& 0xEFFF : parse_vlan;
+      0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_vlan {
+    pkt.extract(hdr.vlan);
+    transition select(hdr.vlan.etype) {
+      0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_ipv4 {
+    pkt.extract(hdr.ipv4);
+    transition accept;
+  }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  action route(bit<9> port, bit<48> dmac) {
+    sm.egress_spec = port;
+    hdr.eth.dst = dmac;
+    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    meta.routed = 1;
+  }
+  action toss() { mark_to_drop(sm); }
+  table rib {
+    key = { hdr.ipv4.dst_addr : lpm @name("dst"); }
+    actions = { route; toss; }
+    default_action = toss();
+  }
+  apply {
+    if (hdr.ipv4.isValid()) {
+      if (hdr.ipv4.ttl == 0) {
+        mark_to_drop(sm);
+      } else {
+        rib.apply();
+      }
+    } else {
+      mark_to_drop(sm);
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) {
+  apply {
+    pkt.emit(hdr.eth);
+    pkt.emit(hdr.vlan);
+    pkt.emit(hdr.ipv4);
+  }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** Ternary ACL with constant entries and priorities. *)
+let ternary_acl =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<2> verdict; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  action allow() { meta.verdict = 1; sm.egress_spec = 1; }
+  action deny() { meta.verdict = 2; mark_to_drop(sm); }
+  table acl {
+    key = { hdr.eth.etype : ternary @name("etype"); }
+    actions = { allow; deny; }
+    const entries = {
+      (0x0800 &&& 0xFFFF) : allow();
+      @priority(1) (0x0806 &&& 0xFFFF) : deny();
+      (0x0800 &&& 0x0F00) : deny();
+    }
+    default_action = allow();
+  }
+  apply { acl.apply(); }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** switch on action_run (exercises the P4C-7 fault class). *)
+let switch_action_run =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<8> class; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  action classify_a() { meta.class = 1; }
+  action classify_b() { meta.class = 2; }
+  table classifier {
+    key = { hdr.eth.etype : exact @name("etype"); }
+    actions = { classify_a; classify_b; }
+    default_action = classify_a();
+  }
+  apply {
+    switch (classifier.apply().action_run) {
+      classify_a: { sm.egress_spec = 1; hdr.eth.src = 0x0000000000AA; }
+      classify_b: { sm.egress_spec = 2; hdr.eth.src = 0x0000000000BB; }
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** MPLS label stack with push/pop and bounded parser loop. *)
+let mpls_stack =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header mpls_t { bit<20> label; bit<3> tc; bit<1> bos; bit<8> ttl; }
+struct headers_t { ethernet_t eth; mpls_t[3] mpls; }
+struct meta_t { bit<8> depth; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x8847 : parse_mpls;
+      default : accept;
+    }
+  }
+  state parse_mpls {
+    pkt.extract(hdr.mpls.next);
+    transition select(hdr.mpls.last.bos) {
+      0 : parse_mpls;
+      1 : accept;
+    }
+  }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  action pop_label() { hdr.mpls.pop_front(1); sm.egress_spec = 2; }
+  action fwd() { sm.egress_spec = 3; }
+  table mpls_fib {
+    key = { hdr.mpls[0].label : exact @name("label"); }
+    actions = { pop_label; fwd; }
+    default_action = fwd();
+  }
+  apply {
+    if (hdr.mpls[0].isValid()) {
+      mpls_fib.apply();
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) {
+  apply {
+    pkt.emit(hdr.eth);
+    pkt.emit(hdr.mpls);
+  }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** Register state machine: reads and writes a register by constant
+    index. *)
+let register_program =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<32> seen; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  register<bit<32>>(16) flows;
+  apply {
+    flows.read(meta.seen, 3);
+    flows.write(3, meta.seen + 1);
+    if (meta.seen == 0) {
+      sm.egress_spec = 7;
+    } else {
+      sm.egress_spec = 8;
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** IPv4 checksum update (concolic + update_checksum). *)
+let ipv4_checksum =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header ipv4_t {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> total_len;
+  bit<16> identification; bit<3> flags; bit<13> frag_offset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdr_checksum;
+  bit<32> src_addr; bit<32> dst_addr;
+}
+struct headers_t { ethernet_t eth; ipv4_t ipv4; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.ipv4.isValid()) {
+      hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+      sm.egress_spec = 2;
+    } else {
+      mark_to_drop(sm);
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) {
+  apply {
+    update_checksum(hdr.ipv4.isValid(),
+                    {hdr.ipv4.version, hdr.ipv4.ihl, hdr.ipv4.diffserv,
+                     hdr.ipv4.total_len, hdr.ipv4.identification,
+                     hdr.ipv4.flags, hdr.ipv4.frag_offset, hdr.ipv4.ttl,
+                     hdr.ipv4.protocol, hdr.ipv4.src_addr, hdr.ipv4.dst_addr},
+                    hdr.ipv4.hdr_checksum, HashAlgorithm.csum16);
+  }
+}
+control D(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); pkt.emit(hdr.ipv4); }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** eBPF filter (§6.1.3). *)
+let ebpf_filter =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header ipv4_t {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> total_len;
+  bit<16> identification; bit<3> flags; bit<13> frag_offset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdr_checksum;
+  bit<32> src_addr; bit<32> dst_addr;
+}
+struct headers_t { ethernet_t eth; ipv4_t ipv4; }
+
+parser prs(packet_in pkt, out headers_t hdr) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+control pipe(inout headers_t hdr, out bool pass) {
+  apply {
+    if (hdr.ipv4.isValid() && hdr.ipv4.protocol == 6) {
+      pass = true;
+    } else {
+      pass = false;
+    }
+  }
+}
+ebpfFilter(prs(), pipe()) main;
+|}
+
+(** TNA two-pipe L2 switch (§6.1.2). *)
+let tna_basic =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<8> scratch; }
+
+parser IgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+  state start { pkt.extract(ig_intr_md); transition parse_eth; }
+  state parse_eth { pkt.extract(hdr.eth); transition accept; }
+}
+control Ig(inout headers_t hdr, inout meta_t md,
+           in ingress_intrinsic_metadata_t ig_intr_md,
+           in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+           inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+           inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+  action fwd(bit<9> port) { ig_tm_md.ucast_egress_port = port; }
+  action drop() { ig_dprsr_md.drop_ctl = 1; }
+  table l2 {
+    key = { hdr.eth.dst : exact @name("dst"); }
+    actions = { fwd; drop; }
+    default_action = drop();
+  }
+  apply { l2.apply(); }
+}
+control IgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+  apply { pkt.emit(hdr.eth); }
+}
+parser EgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out egress_intrinsic_metadata_t eg_intr_md) {
+  state start {
+    pkt.extract(eg_intr_md);
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control Eg(inout headers_t hdr, inout meta_t md,
+           in egress_intrinsic_metadata_t eg_intr_md,
+           in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+           inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+           inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+  apply { hdr.eth.src = 0xC0FFEE000001; }
+}
+control EgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+  apply { pkt.emit(hdr.eth); }
+}
+Switch(Pipeline(IgParser(), Ig(), IgDeparser(), EgParser(), Eg(), EgDeparser())) main;
+|}
+
+(** v1model recirculation (Fig. 4/5 control flow). *)
+let recirculate_program =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<8> rounds; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.eth.etype == 0x1234 && sm.instance_type == 0) {
+      hdr.eth.etype = 0x5678;
+      sm.egress_spec = 5;
+    } else {
+      sm.egress_spec = 6;
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.eth.etype == 0x5678) {
+      recirculate_preserving_field_list(0);
+      hdr.eth.etype = 0x9999;
+    }
+  }
+}
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** Table key without a [@name] annotation: its control-plane name is
+    the l-value path ("hdr.eth.etype"), the trigger for the P4C-1
+    fault class. *)
+let expr_key =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  action fwd(bit<9> p) { sm.egress_spec = p; }
+  action toss() { mark_to_drop(sm); }
+  table t {
+    key = { hdr.eth.etype : exact; }
+    actions = { fwd; toss; }
+    default_action = toss();
+  }
+  apply { t.apply(); }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** Parser using [advance] (the P4C-2 fault class trigger). *)
+let advance_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header tag_t { bit<32> tag; }
+struct headers_t { ethernet_t eth; tag_t tag; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0xAAAA : skip_then_tag;
+      default : accept;
+    }
+  }
+  state skip_then_tag {
+    pkt.advance(32);
+    pkt.extract(hdr.tag);
+    transition accept;
+  }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.tag.isValid()) {
+      sm.egress_spec = 4;
+    } else {
+      sm.egress_spec = 5;
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); pkt.emit(hdr.tag); }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** Shift-heavy rewriting (wrong-shift-direction fault class). *)
+let shift_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    hdr.eth.src = hdr.eth.src << 4;
+    hdr.eth.etype = hdr.eth.etype >> 2;
+    sm.egress_spec = 3;
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** Header union with emit (P4C-6 fault class trigger). *)
+let union_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header small_t { bit<8> v; }
+header big_t { bit<16> v; }
+header_union tlv_t { small_t small; big_t big; }
+struct headers_t { ethernet_t eth; tlv_t tlv; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x0001 : parse_small;
+      0x0002 : parse_big;
+      default : accept;
+    }
+  }
+  state parse_small { pkt.extract(hdr.tlv.small); transition accept; }
+  state parse_big { pkt.extract(hdr.tlv.big); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply { sm.egress_spec = 6; }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); pkt.emit(hdr.tlv); }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** assert/assume primitives (the BMv2 assert extern, Tbl. 6). *)
+let assert_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    assume(hdr.eth.isValid());
+    sm.egress_spec = 9;
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** A user metadata field shadowing a standard-metadata member (the
+    P4C-8 duplicate-member fault class trigger). *)
+let dup_member =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<3> priority; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    meta.priority = 1;
+    sm.egress_spec = 2;
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+
+
+(** A feature-dense TNA program used by the Tofino-side mutation
+    campaign (Tbl. 2): intrinsic-metadata extraction, an MPLS-style
+    stack with a bounded parser loop, [advance], a header union, a
+    priority-ordered ternary ACL with out-of-mask entry values, a
+    Checksum extern, slice writes, wide action data, an observable
+    default action, assert/assume, and a multi-emit deparser. *)
+let tna_kitchen =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header mpls_t { bit<20> label; bit<3> tc; bit<1> bos; bit<8> ttl; }
+header tag_t { bit<32> t; }
+header pay_t { bit<16> body; bit<16> csum; }
+header small_t { bit<8> v; }
+header big_t { bit<16> v; }
+header_union tlv_t { small_t small; big_t big; }
+struct headers_t { ethernet_t eth; mpls_t[2] mpls; tag_t tag; pay_t pay; tlv_t tlv; }
+struct meta_t { bit<5> qid; bit<8> class; }
+
+parser IgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+  state start {
+    pkt.extract(ig_intr_md);
+    transition parse_eth;
+  }
+  state parse_eth {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x8847 : parse_mpls;
+      0xAAAA : parse_tag;
+      default : accept;
+    }
+  }
+  state parse_mpls {
+    pkt.extract(hdr.mpls.next);
+    transition select(hdr.mpls.last.bos) {
+      0 : parse_mpls;
+      1 : parse_pay;
+    }
+  }
+  state parse_tag {
+    pkt.advance(16);
+    pkt.extract(hdr.tag);
+    transition accept;
+  }
+  state parse_pay {
+    pkt.extract(hdr.pay);
+    transition accept;
+  }
+}
+control Ig(inout headers_t hdr, inout meta_t md,
+           in ingress_intrinsic_metadata_t ig_intr_md,
+           in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+           inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+           inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+  Checksum() ck;
+  action mark(bit<8> v) { hdr.eth.src[7:0] = v; }
+  action toss() { ig_dprsr_md.drop_ctl = 1; }
+  table acl {
+    key = { hdr.eth.etype : ternary @name("etype"); }
+    actions = { mark; toss; }
+    const entries = {
+      @priority(2) (0x0812 &&& 0xFF00) : toss();
+      @priority(1) (0x0806 &&& 0xFFFF) : mark(1);
+      (0x0812 &&& 0xFF00) : mark(2);
+    }
+    default_action = mark(0xEE);
+  }
+  action route(bit<32> dst, bit<9> port) {
+    hdr.eth.dst[47:16] = dst;
+    ig_tm_md.ucast_egress_port = port;
+  }
+  action unrouted() { }
+  table l2 {
+    key = { hdr.eth.dst : exact; }
+    actions = { route; unrouted; }
+    default_action = unrouted();
+  }
+  apply {
+    assume(hdr.eth.isValid());
+    acl.apply();
+    l2.apply();
+    if (hdr.pay.isValid()) {
+      hdr.pay.csum = ck.update({hdr.pay.body});
+    }
+  }
+}
+control IgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+  apply {
+    pkt.emit(hdr.eth);
+    pkt.emit(hdr.mpls);
+    pkt.emit(hdr.tag);
+    pkt.emit(hdr.pay);
+    pkt.emit(hdr.tlv);
+  }
+}
+parser EgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out egress_intrinsic_metadata_t eg_intr_md) {
+  state start {
+    pkt.extract(eg_intr_md);
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control Eg(inout headers_t hdr, inout meta_t md,
+           in egress_intrinsic_metadata_t eg_intr_md,
+           in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+           inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+           inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+  apply { }
+}
+control EgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+  apply { pkt.emit(hdr.eth); }
+}
+Switch(Pipeline(IgParser(), Ig(), IgDeparser(), EgParser(), Eg(), EgDeparser())) main;
+|}
+
+(** IPv4 with options: two-argument (varbit) extract whose length is a
+    dynamic expression over the parsed IHL — the construct behind the
+    paper's P4C-2 bug. *)
+let ipv4_options =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header ipv4_opt_t {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> total_len;
+  bit<16> identification; bit<3> flags; bit<13> frag_offset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdr_checksum;
+  bit<32> src_addr; bit<32> dst_addr;
+  varbit<320> options;
+}
+struct headers_t { ethernet_t eth; ipv4_opt_t ipv4; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_ipv4 {
+    pkt.extract(hdr.ipv4, (bit<32>)(((bit<16>)hdr.eth.src[3:0]) * 32));
+    transition accept;
+  }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.ipv4.isValid()) {
+      sm.egress_spec = 4;
+    } else {
+      sm.egress_spec = 5;
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); pkt.emit(hdr.ipv4); }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+
+(** Parser value set: the select case is driven by control-plane
+    membership (paper Â§6, "paths dependent on parser value sets"). *)
+let value_set_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header tunnel_t { bit<32> id; }
+struct headers_t { ethernet_t eth; tunnel_t tun; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  value_set<bit<16>>(4) tunnel_types;
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      tunnel_types : parse_tunnel;
+      0x0800 : accept;
+      default : accept;
+    }
+  }
+  state parse_tunnel { pkt.extract(hdr.tun); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.tun.isValid()) {
+      sm.egress_spec = 2;
+    } else {
+      sm.egress_spec = 3;
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); pkt.emit(hdr.tun); }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+
+(** Lookahead in select keys and assignments, including the subtle
+    path where a 16-bit peek succeeds but the 32-bit extract that
+    follows runs out of packet. *)
+let lookahead_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header vtag_t { bit<16> kind; bit<16> v; }
+struct headers_t { ethernet_t eth; vtag_t vtag; }
+struct meta_t { bit<16> peeked; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(pkt.lookahead<bit<16>>()) {
+      0xC0DE : parse_vtag;
+      default : accept;
+    }
+  }
+  state parse_vtag {
+    meta.peeked = pkt.lookahead<bit<16>>();
+    pkt.extract(hdr.vtag);
+    transition accept;
+  }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.vtag.isValid() && meta.peeked == 0xC0DE) {
+      sm.egress_spec = 2;
+    } else {
+      sm.egress_spec = 3;
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); pkt.emit(hdr.vtag); }
+}
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+
+(** v1model clone: a copy of the deparsed packet is mirrored to the
+    clone session's port (Â§6.1.1 â "clone requires P4Testgen's
+    entire toolbox"). *)
+let clone_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    sm.egress_spec = 1;
+    if (hdr.eth.etype == 0x9999) {
+      clone(CloneType.I2E, 32w5);
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** v1model multicast: a non-zero mcast_grp replicates the packet to
+    the (control-plane configured) group's ports. *)
+let multicast_prog =
+  {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.eth.dst == 0xFFFFFFFFFFFF) {
+      sm.mcast_grp = 7;
+    } else {
+      sm.egress_spec = 1;
+    }
+  }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(** All v1model corpus programs that the concrete simulator can also
+    execute (used by the validation experiment). *)
+let v1model_validatable =
+  [
+    ("fig1a", fig1a);
+    ("fig1b", fig1b);
+    ("lpm_router", lpm_router);
+    ("ternary_acl", ternary_acl);
+    ("switch_action_run", switch_action_run);
+    ("mpls_stack", mpls_stack);
+    ("register_program", register_program);
+    ("ipv4_checksum", ipv4_checksum);
+    ("expr_key", expr_key);
+    ("advance_prog", advance_prog);
+    ("shift_prog", shift_prog);
+    ("union_prog", union_prog);
+    ("assert_prog", assert_prog);
+    ("dup_member", dup_member);
+    ("ipv4_options", ipv4_options);
+    ("value_set_prog", value_set_prog);
+    ("lookahead_prog", lookahead_prog);
+    ("recirculate", recirculate_program);
+    ("clone_prog", clone_prog);
+    ("multicast_prog", multicast_prog);
+  ]
+
+let all =
+  v1model_validatable
+  @ [ ("ebpf_filter", ebpf_filter); ("tna_basic", tna_basic) ]

@@ -1,0 +1,1 @@
+lib/sim/harness.ml: Ast Bitv Hashtbl Interp List Mutation P4 Printf Targets Testgen Typing

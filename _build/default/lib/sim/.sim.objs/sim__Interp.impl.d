@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Ast Bitv Format Hashtbl List Map Mutation Option P4 Pretty Printf Random String Targets Testgen Typing

@@ -1,0 +1,1 @@
+lib/sim/mutation.ml: List

@@ -1,0 +1,1151 @@
+(* Concrete software-model interpreter: our stand-in for BMv2, the
+   Tofino model, and the eBPF kernel target.
+
+   This is an *independent* evaluator over the same AST: direct
+   recursive evaluation on concrete {!Bitv.Bits} values, loadable
+   control-plane configuration, and the same per-target quirks
+   (Tbl. 6).  The oracle's generated tests are validated by running
+   them here and comparing observed with expected output
+   ({!Harness}).  Faults from {!Mutation} can be injected to model
+   toolchain bugs. *)
+
+module Bits = Bitv.Bits
+module SMap = Map.Make (String)
+open P4
+
+(* Sim_crash: a toolchain "exception" bug fired.
+   Reject: parser reject with an error constant. *)
+exception Sim_crash of string
+exception Reject of string
+exception Exit_block
+exception Return_action
+
+let crash fmt = Format.kasprintf (fun s -> raise (Sim_crash s)) fmt
+let simfail fmt = Format.kasprintf (fun s -> failwith ("sim: " ^ s)) fmt
+
+type cfg = {
+  prog : Ast.program;
+  tctx : Typing.ctx;
+  arch : string;  (** "v1model" | "tna" | "t2na" | "ebpf_model" *)
+  fault : Mutation.fault;
+  parsers : (string, Ast.parser_decl) Hashtbl.t;
+  controls : (string, Ast.control_decl) Hashtbl.t;
+  rng : Random.State.t;  (** source for undefined values *)
+}
+
+type st = {
+  mutable env : Bits.t SMap.t;
+  mutable vartypes : Ast.typ SMap.t;
+  mutable pkt : Bits.t;  (** remaining input, front = MSB *)
+  mutable emitted : Bits.t;
+  mutable outs : (int * Bits.t) list;
+  mutable dropped : bool;
+  mutable entries : Testgen.Testspec.entry list;
+  registers : (string, Bits.t array) Hashtbl.t;
+  mutable visits : int SMap.t;
+  mutable fresh : int;
+  (* v1model traffic-manager requests set by externs *)
+  mutable recirc : bool;
+  mutable resubmit : bool;
+  mutable clone_sess : Bits.t option;
+  mutable truncate_bytes : int option;
+}
+
+type frame = {
+  scopes : string list;
+  ctrl : Ast.control_decl option;
+  parser : Ast.parser_decl option;
+}
+
+let make_cfg ?(fault = Mutation.No_fault) ?(seed = 42) ~arch (prog : Ast.program)
+    (tctx : Typing.ctx) : cfg =
+  let parsers = Hashtbl.create 8 and controls = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.DParser (pd, _) -> Hashtbl.replace parsers pd.p_name pd
+      | Ast.DControl (cd, _) -> Hashtbl.replace controls cd.c_name cd
+      | _ -> ())
+    prog;
+  (* Crash_dup_member fires at load time when two structs share a
+     member name *)
+  (if fault = Mutation.Crash_dup_member then begin
+     let seen = Hashtbl.create 64 in
+     List.iter
+       (function
+         | Ast.DStruct (_, fs, _) ->
+             List.iter
+               (fun f ->
+                 if Hashtbl.mem seen f.Ast.f_name then
+                   crash "duplicate structure member %s" f.Ast.f_name
+                 else Hashtbl.add seen f.Ast.f_name ())
+               fs
+         | _ -> ())
+       prog
+   end);
+  { prog; tctx; arch; fault; parsers; controls; rng = Random.State.make [| seed |] }
+
+let fresh_st cfg : st =
+  ignore cfg;
+  {
+    env = SMap.empty;
+    vartypes = SMap.empty;
+    pkt = Bits.zero 0;
+    emitted = Bits.zero 0;
+    outs = [];
+    dropped = false;
+    entries = [];
+    registers = Hashtbl.create 8;
+    visits = SMap.empty;
+    fresh = 0;
+    recirc = false;
+    resubmit = false;
+    clone_sess = None;
+    truncate_bytes = None;
+  }
+
+(* an undefined value: zero on BMv2, random elsewhere (Tbl. 6) *)
+let undefined cfg _st w =
+  if cfg.arch = "v1model" then
+    match cfg.fault with
+    | Mutation.Invalid_read_garbage -> Bits.ones w
+    | _ -> Bits.zero w
+  else if cfg.fault = Mutation.Invalid_read_garbage then Bits.ones w
+  else Bits.random cfg.rng w
+
+let uninit cfg _st w = if cfg.arch = "v1model" then Bits.zero w else Bits.random cfg.rng w
+
+(* ------------------------------------------------------------------ *)
+(* Storage *)
+
+let read_leaf st path =
+  match SMap.find_opt path st.env with
+  | Some v -> v
+  | None -> simfail "read of undeclared %s" path
+
+let write_leaf st path v = st.env <- SMap.add path v st.env
+
+let rec declare cfg st ?(valid = false) ~init (t : Ast.typ) path =
+  let t = Typing.resolve cfg.tctx t in
+  st.vartypes <- SMap.add path t st.vartypes;
+  match t with
+  | TBit w | TInt w -> write_leaf st path (init w)
+  | TVarbit w ->
+      write_leaf st path (init w);
+      write_leaf st (path ^ ".$vblen") (Bits.zero 32)
+  | TBool -> write_leaf st path (init 1)
+  | TError -> write_leaf st path (init Typing.error_width)
+  | TVoid | TSpec _ -> ()
+  | TStack (h, n) ->
+      write_leaf st (path ^ ".$next") (Bits.zero 32);
+      for i = 0 to n - 1 do
+        let p = Printf.sprintf "%s[%d]" path i in
+        write_leaf st (p ^ ".$valid") (if valid then Bits.ones 1 else Bits.zero 1);
+        declare_fields cfg st ~init h p
+      done
+  | TName n -> (
+      match Typing.header_fields cfg.tctx n with
+      | Some _ ->
+          write_leaf st (path ^ ".$valid") (if valid then Bits.ones 1 else Bits.zero 1);
+          declare_fields cfg st ~init n path
+      | None -> (
+          match Typing.struct_fields cfg.tctx n with
+          | Some fs ->
+              List.iter (fun f -> declare cfg st ~init f.Ast.f_typ (path ^ "." ^ f.Ast.f_name)) fs
+          | None -> (
+              match Typing.union_fields cfg.tctx n with
+              | Some fs ->
+                  List.iter
+                    (fun f ->
+                      declare cfg st ~valid:false ~init f.Ast.f_typ (path ^ "." ^ f.Ast.f_name))
+                    fs
+              | None -> (
+                  match Hashtbl.find_opt cfg.tctx.Typing.enums n with
+                  | Some _ -> write_leaf st path (init Typing.enum_width)
+                  | None -> simfail "unknown type %s" n))))
+
+and declare_fields cfg st ~init hname path =
+  match Typing.header_fields cfg.tctx hname with
+  | Some fs ->
+      List.iter (fun f -> declare cfg st ~init f.Ast.f_typ (path ^ "." ^ f.Ast.f_name)) fs
+  | None -> simfail "unknown header %s" hname
+
+let rec read_tree cfg st (t : Ast.typ) path : Bits.t =
+  let t = Typing.resolve cfg.tctx t in
+  match t with
+  | TBit _ | TInt _ | TVarbit _ | TBool | TError -> read_leaf st path
+  | TStack (h, n) ->
+      List.fold_left Bits.concat (Bits.zero 0)
+        (List.init n (fun i -> read_tree cfg st (TName h) (Printf.sprintf "%s[%d]" path i)))
+  | TName tn -> (
+      let fields =
+        match Typing.header_fields cfg.tctx tn with
+        | Some fs -> Some fs
+        | None -> (
+            match Typing.struct_fields cfg.tctx tn with
+            | Some fs -> Some fs
+            | None -> Typing.union_fields cfg.tctx tn)
+      in
+      match fields with
+      | Some fs ->
+          List.fold_left
+            (fun acc f -> Bits.concat acc (read_tree cfg st f.Ast.f_typ (path ^ "." ^ f.Ast.f_name)))
+            (Bits.zero 0) fs
+      | None -> read_leaf st path)
+  | TVoid | TSpec _ -> Bits.zero 0
+
+let rec write_tree cfg st (t : Ast.typ) path (bits : Bits.t) =
+  let t = Typing.resolve cfg.tctx t in
+  match t with
+  | TBit _ | TInt _ | TVarbit _ | TBool | TError -> write_leaf st path bits
+  | TName tn -> (
+      let fields =
+        match Typing.header_fields cfg.tctx tn with
+        | Some fs -> Some fs
+        | None -> Typing.struct_fields cfg.tctx tn
+      in
+      match fields with
+      | Some fs ->
+          let total = Bits.width bits in
+          let off = ref 0 in
+          List.iter
+            (fun f ->
+              let w = Typing.width_of cfg.tctx f.Ast.f_typ in
+              let fb = Bits.slice bits ~hi:(total - !off - 1) ~lo:(total - !off - w) in
+              write_tree cfg st f.Ast.f_typ (path ^ "." ^ f.Ast.f_name) fb;
+              off := !off + w)
+            fs
+      | None -> write_leaf st path bits)
+  | TStack (h, n) ->
+      let hw = Typing.width_of cfg.tctx (Ast.TName h) in
+      let total = Bits.width bits in
+      for i = 0 to n - 1 do
+        write_tree cfg st (TName h)
+          (Printf.sprintf "%s[%d]" path i)
+          (Bits.slice bits ~hi:(total - (i * hw) - 1) ~lo:(total - ((i + 1) * hw)))
+      done
+  | TVoid | TSpec _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution and l-values *)
+
+let resolve_var st (fr : frame) name =
+  List.find_map
+    (fun scope ->
+      let key = scope ^ "." ^ name in
+      Option.map (fun t -> (key, t)) (SMap.find_opt key st.vartypes))
+    fr.scopes
+
+type lv = { lv_path : string; lv_typ : Ast.typ; lv_slice : (int * int) option }
+
+let rec lvalue cfg (fr : frame) st (e : Ast.expr) : lv =
+  match e with
+  | EVar n -> (
+      match resolve_var st fr n with
+      | Some (path, t) -> { lv_path = path; lv_typ = Typing.resolve cfg.tctx t; lv_slice = None }
+      | None -> simfail "unbound variable %s" n)
+  | EMember (b, f) -> (
+      let base = lvalue cfg fr st b in
+      match base.lv_typ with
+      | TName tn -> (
+          let fields =
+            match Typing.header_fields cfg.tctx tn with
+            | Some fs -> fs
+            | None -> (
+                match Typing.struct_fields cfg.tctx tn with
+                | Some fs -> fs
+                | None -> (
+                    match Typing.union_fields cfg.tctx tn with
+                    | Some fs -> fs
+                    | None -> simfail "member of non-composite %s" tn))
+          in
+          match List.find_opt (fun fd -> fd.Ast.f_name = f) fields with
+          | Some fd ->
+              {
+                lv_path = base.lv_path ^ "." ^ f;
+                lv_typ = Typing.resolve cfg.tctx fd.f_typ;
+                lv_slice = None;
+              }
+          | None -> simfail "unknown field %s" f)
+      | TStack (h, n) ->
+          let next = Bits.to_int (read_leaf st (base.lv_path ^ ".$next")) in
+          let idx = if f = "next" then next else next - 1 in
+          if idx < 0 || idx >= n then begin
+            if cfg.fault = Mutation.Crash_stack_oob then crash "header stack out of bounds";
+            raise (Reject "StackOutOfBounds")
+          end;
+          {
+            lv_path = Printf.sprintf "%s[%d]" base.lv_path idx;
+            lv_typ = TName h;
+            lv_slice = None;
+          }
+      | _ -> simfail "member %s of scalar" f)
+  | EIndex (b, i) -> (
+      let base = lvalue cfg fr st b in
+      match (base.lv_typ, i) with
+      | TStack (h, n), Ast.EInt { iv; _ } ->
+          if iv < 0 || iv >= n then begin
+            if cfg.fault = Mutation.Crash_stack_oob then crash "header stack out of bounds";
+            raise (Reject "StackOutOfBounds")
+          end;
+          {
+            lv_path = Printf.sprintf "%s[%d]" base.lv_path iv;
+            lv_typ = TName h;
+            lv_slice = None;
+          }
+      | _ -> simfail "bad index")
+  | ESlice (b, hi, lo) ->
+      let base = lvalue cfg fr st b in
+      { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (hi, lo) }
+  | e -> simfail "not an l-value: %s" (Pretty.expr_to_string e)
+
+let rec enclosing_validity cfg fr st (e : Ast.expr) : bool option =
+  match e with
+  | EMember (b, _) | EIndex (b, _) | ESlice (b, _, _) -> (
+      match try Some (lvalue cfg fr st b) with Failure _ -> None with
+      | Some blv when Typing.is_header cfg.tctx blv.lv_typ -> (
+          match SMap.find_opt (blv.lv_path ^ ".$valid") st.env with
+          | Some v -> Some (Bits.is_ones v)
+          | None -> enclosing_validity cfg fr st b)
+      | _ -> enclosing_validity cfg fr st b)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let bits_of_bool b = if b then Bits.ones 1 else Bits.zero 1
+
+let rec eval ?(hint = 0) cfg (fr : frame) st (e : Ast.expr) : Bits.t =
+  match e with
+  | EBool b -> bits_of_bool b
+  | EInt { value = Some b; _ } -> b
+  | EInt { iv; width = Some w; _ } -> Bits.of_int ~width:w iv
+  | EInt { iv; width = None; _ } -> Bits.of_int ~width:(if hint > 0 then hint else 32) iv
+  | EString _ -> simfail "string in expression"
+  | EMember (EVar "error", ename) ->
+      Bits.of_int ~width:Typing.error_width (Typing.error_code cfg.tctx ename)
+  | EMember (EVar base, m) when Hashtbl.mem cfg.tctx.Typing.enums base ->
+      Bits.of_int ~width:Typing.enum_width (Typing.enum_code cfg.tctx base m)
+  | EMember (EVar base, m) when Hashtbl.mem cfg.tctx.Typing.ser_enums base -> (
+      let t, ms = Hashtbl.find cfg.tctx.Typing.ser_enums base in
+      match List.assoc_opt m ms with
+      | Some (EInt { iv; _ }) -> Bits.of_int ~width:(Typing.width_of cfg.tctx t) iv
+      | _ -> simfail "bad ser-enum member")
+  | EVar _ | EMember _ | EIndex _ | ESlice _ -> (
+      let lv = lvalue cfg fr st e in
+      let raw = read_tree cfg st lv.lv_typ lv.lv_path in
+      let v =
+        match enclosing_validity cfg fr st e with
+        | Some false -> undefined cfg st (Bits.width raw)
+        | _ -> raw
+      in
+      match lv.lv_slice with Some (hi, lo) -> Bits.slice v ~hi ~lo | None -> v)
+  | EUnop (LNot, a) -> bits_of_bool (Bits.is_zero (eval cfg fr st a))
+  | EUnop (BitNot, a) -> Bits.lognot (eval ~hint cfg fr st a)
+  | EUnop (Neg, a) -> Bits.neg (eval ~hint cfg fr st a)
+  | EBinop (op, a, b) -> eval_binop ~hint cfg fr st op a b
+  | ETernary (c, t, f) ->
+      if Bits.is_zero (eval cfg fr st c) then eval ~hint cfg fr st f
+      else eval ~hint cfg fr st t
+  | ECast (t, a) -> (
+      let w = Typing.width_of cfg.tctx t in
+      let v = eval ~hint:w cfg fr st a in
+      match Typing.resolve cfg.tctx t with
+      | TInt _ -> Bits.sext v w
+      | TBool -> bits_of_bool (not (Bits.is_zero v))
+      | _ -> Bits.zext v w)
+  | ECall (EMember (b, "isValid"), []) ->
+      let lv = lvalue cfg fr st b in
+      read_leaf st (lv.lv_path ^ ".$valid")
+  | ECall (f, args) -> eval_call cfg fr st f args
+  | EList es ->
+      List.fold_left (fun acc e -> Bits.concat acc (eval cfg fr st e)) (Bits.zero 0) es
+  | ETypeArg _ | EDontCare | EDefault | EMask _ | ERange _ ->
+      simfail "pattern in value position"
+
+and eval_binop ~hint cfg fr st op a b =
+  let open Ast in
+  match op with
+  | LAnd -> bits_of_bool ((not (Bits.is_zero (eval cfg fr st a))) && not (Bits.is_zero (eval cfg fr st b)))
+  | LOr -> bits_of_bool ((not (Bits.is_zero (eval cfg fr st a))) || not (Bits.is_zero (eval cfg fr st b)))
+  | Concat -> Bits.concat (eval cfg fr st a) (eval cfg fr st b)
+  | Shl | Shr -> (
+      let va = eval ~hint cfg fr st a in
+      let k = Bits.to_int (eval ~hint:32 cfg fr st b) in
+      let op = if cfg.fault = Mutation.Wrong_shift_direction then
+          (match op with Shl -> Shr | _ -> Shl)
+        else op
+      in
+      match op with
+      | Shl -> Bits.shift_left va k
+      | _ -> Bits.shift_right va k)
+  | _ ->
+      let va, vb =
+        match (a, b) with
+        | EInt { width = None; _ }, _ ->
+            let vb = eval ~hint cfg fr st b in
+            (eval ~hint:(Bits.width vb) cfg fr st a, vb)
+        | _ ->
+            let va = eval ~hint cfg fr st a in
+            (va, eval ~hint:(Bits.width va) cfg fr st b)
+      in
+      let va, vb =
+        let wa = Bits.width va and wb = Bits.width vb in
+        if wa = wb then (va, vb)
+        else if wa = 0 then (Bits.zext va wb, vb)
+        else if wb = 0 then (va, Bits.zext vb wa)
+        else (va, Bits.zext vb wa)
+      in
+      (match op with
+      | Add -> Bits.add va vb
+      | Sub -> Bits.sub va vb
+      | Mul -> Bits.mul va vb
+      | Div -> Bits.udiv va vb
+      | Mod -> Bits.urem va vb
+      | AddSat ->
+          let s = Bits.add va vb in
+          if Bits.ult s va then Bits.ones (Bits.width va) else s
+      | SubSat -> if Bits.ult va vb then Bits.zero (Bits.width va) else Bits.sub va vb
+      | BAnd -> Bits.logand va vb
+      | BOr -> Bits.logor va vb
+      | BXor -> Bits.logxor va vb
+      | Eq -> bits_of_bool (Bits.equal va vb)
+      | Neq -> bits_of_bool (not (Bits.equal va vb))
+      | Lt -> bits_of_bool (Bits.ult va vb)
+      | Le -> bits_of_bool (Bits.ule va vb)
+      | Gt -> bits_of_bool (Bits.ult vb va)
+      | Ge -> bits_of_bool (Bits.ule vb va)
+      | Shl | Shr | LAnd | LOr | Concat -> assert false)
+
+and eval_call cfg fr st (f : Ast.expr) args : Bits.t =
+  match (f, args) with
+  | EMember (_, "lookahead"), [ Ast.ETypeArg t ] ->
+      let w = Typing.width_of cfg.tctx t in
+      if Bits.width st.pkt < w then raise (Reject "PacketTooShort");
+      Bits.slice st.pkt ~hi:(Bits.width st.pkt - 1) ~lo:(Bits.width st.pkt - w)
+  | EVar "verify_checksum", [ cond; data; given; _algo ] ->
+      let c = eval cfg fr st cond in
+      if Bits.is_zero c then Bits.zero 1
+      else begin
+        let vdata = eval cfg fr st data in
+        let vgiven = eval cfg fr st given in
+        let computed = checksum cfg vdata (Bits.width vgiven) in
+        bits_of_bool (not (Bits.equal computed vgiven))
+      end
+  | EMember (EVar _, "update"), [ data ] | EMember (EVar _, "get_checksum"), [ data ] ->
+      (* Tofino Checksum extern *)
+      checksum cfg (eval cfg fr st data) 16
+  | EMember (EVar _, "get"), [ data ] ->
+      (* Tofino Hash extern *)
+      Bits.zext (Targets.Checksums.crc32 (eval cfg fr st data)) 32
+  | EVar "verify_checksum", _ -> simfail "bad verify_checksum arity"
+  | EVar fn, _ -> simfail "unsupported call %s" fn
+  | EMember (_, m), _ -> simfail "unsupported method %s" m
+  | _ -> simfail "bad call"
+
+and checksum cfg data width =
+  match cfg.fault with
+  | Mutation.Wrong_checksum_fold ->
+      (* fold the carry once instead of to fixpoint *)
+      let bytes = ref 0 in
+      ignore bytes;
+      let v = Targets.Checksums.csum16 data in
+      (* perturb deterministically: drop the top bit fold *)
+      Bits.zext (Bits.logxor v (Bits.of_int ~width:16 0x8000)) width
+  | _ -> Bits.zext (Targets.Checksums.csum16 data) width
+
+(* ------------------------------------------------------------------ *)
+(* Control plane: table lookup *)
+
+let key_name (k : Ast.table_key) =
+  match Ast.find_anno "name" k.tk_annos with
+  | Some a -> ( match Ast.anno_string a with Some s -> s | None -> Ast.lvalue_path k.tk_expr)
+  | None -> ( try Ast.lvalue_path k.tk_expr with Invalid_argument _ -> "key")
+
+let match_one cfg (kind : string) (keyv : Bits.t) (m : Testgen.Testspec.key_match) : bool =
+  let module T = Testgen.Testspec in
+  match (kind, m) with
+  | "exact", T.MExact v -> Bits.equal keyv (Bits.zext v (Bits.width keyv))
+  | "ternary", T.MTernary (v, msk) ->
+      let msk = Bits.zext msk (Bits.width keyv) and v = Bits.zext v (Bits.width keyv) in
+      if cfg.fault = Mutation.Wrong_ternary_mask then Bits.equal keyv v
+      else Bits.equal (Bits.logand keyv msk) (Bits.logand v msk)
+  | "lpm", T.MLpm (v, len) ->
+      let w = Bits.width keyv in
+      if len = 0 then true
+      else
+        Bits.equal
+          (Bits.slice keyv ~hi:(w - 1) ~lo:(w - len))
+          (Bits.slice (Bits.zext v w) ~hi:(w - 1) ~lo:(w - len))
+  | "range", T.MRange (a, b) ->
+      let a = Bits.zext a (Bits.width keyv) and b = Bits.zext b (Bits.width keyv) in
+      Bits.ule a keyv && Bits.ule keyv b
+  | "optional", T.MOptional (Some v) -> Bits.equal keyv (Bits.zext v (Bits.width keyv))
+  | "optional", T.MOptional None -> true
+  | _, T.MExact v -> Bits.equal keyv (Bits.zext v (Bits.width keyv))
+  | _ -> simfail "match kind mismatch"
+
+(* pattern matching for constant entries and select cases *)
+let rec match_pattern cfg fr st (keyv : Bits.t) (pat : Ast.expr) : bool =
+  let w = Bits.width keyv in
+  match pat with
+  | EDontCare | EDefault -> true
+  | EMask (v, m) ->
+      let vv = Bits.zext (eval ~hint:w cfg fr st v) w in
+      let vm = Bits.zext (eval ~hint:w cfg fr st m) w in
+      if cfg.fault = Mutation.Wrong_ternary_mask then Bits.equal keyv vv
+      else Bits.equal (Bits.logand keyv vm) (Bits.logand vv vm)
+  | ERange (a, b) ->
+      let va = Bits.zext (eval ~hint:w cfg fr st a) w in
+      let vb = Bits.zext (eval ~hint:w cfg fr st b) w in
+      Bits.ule va keyv && Bits.ule keyv vb
+  | EList [ p ] -> match_pattern cfg fr st keyv p
+  | _ -> Bits.equal keyv (Bits.zext (eval ~hint:w cfg fr st pat) w)
+
+let ordered_entries cfg (tbl : Ast.table) =
+  if cfg.fault = Mutation.Ignore_entry_priority then List.rev tbl.Ast.tbl_entries
+  else begin
+    let indexed = List.mapi (fun i e -> (i, e)) tbl.Ast.tbl_entries in
+    List.stable_sort
+      (fun (i, a) (j, b) ->
+        match (a.Ast.te_priority, b.Ast.te_priority) with
+        | Some x, Some y -> if x <> y then compare x y else compare i j
+        | Some _, None -> -1
+        | None, Some _ -> 1
+        | None, None -> compare i j)
+      indexed
+    |> List.map snd
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let find_action cfg (fr : frame) name : Ast.action_decl option =
+  if name = "NoAction" then
+    Some { act_name = "NoAction"; act_params = []; act_body = []; act_annos = [] }
+  else begin
+    let local =
+      match fr.ctrl with
+      | Some cd ->
+          List.find_map
+            (function Ast.LAction a when a.Ast.act_name = name -> Some a | _ -> None)
+            cd.Ast.c_locals
+      | None -> None
+    in
+    match local with
+    | Some a -> Some a
+    | None -> Hashtbl.find_opt cfg.tctx.Typing.actions name
+  end
+
+let find_table (fr : frame) name : Ast.table option =
+  match fr.ctrl with
+  | Some cd ->
+      List.find_map
+        (function Ast.LTable t when t.Ast.tbl_name = name -> Some t | _ -> None)
+        cd.Ast.c_locals
+  | None -> None
+
+let fresh_prefix st name =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "#%d_%s" st.fresh name
+
+let rec exec_block cfg fr st (b : Ast.block) = List.iter (exec_stmt cfg fr st) b
+
+and exec_stmt cfg (fr : frame) st (s : Ast.stmt) : unit =
+  match s with
+  | SEmpty -> ()
+  | SBlock b -> exec_block cfg fr st b
+  | SAssign (_, lhs, rhs) -> (
+      let lv = lvalue cfg fr st lhs in
+      if Typing.is_header cfg.tctx lv.lv_typ || Typing.is_struct cfg.tctx lv.lv_typ then begin
+        (* composite copy including validity *)
+        let rlv = lvalue cfg fr st rhs in
+        copy_composite cfg st rlv.lv_path lv.lv_path lv.lv_typ
+      end
+      else begin
+        let w =
+          match lv.lv_slice with
+          | Some (hi, lo) -> hi - lo + 1
+          | None -> Typing.width_of cfg.tctx lv.lv_typ
+        in
+        let v = Bits.zext (eval ~hint:w cfg fr st rhs) w in
+        match lv.lv_slice with
+        | None -> write_tree cfg st lv.lv_typ lv.lv_path v
+        | Some (hi, lo) ->
+            let full = read_leaf st lv.lv_path in
+            let fw = Bits.width full in
+            let top = if hi + 1 <= fw - 1 then Bits.slice full ~hi:(fw - 1) ~lo:(hi + 1) else Bits.zero 0 in
+            let bot = if lo > 0 then Bits.slice full ~hi:(lo - 1) ~lo:0 else Bits.zero 0 in
+            write_leaf st lv.lv_path (Bits.concat (Bits.concat top v) bot)
+      end)
+  | SCall (_, f, args) -> exec_call_stmt cfg fr st f args
+  | SIf (_, cond, t, e) -> (
+      match table_cond fr cond with
+      | Some (tbl, sense) ->
+          let hit, _ = apply_table cfg fr st tbl in
+          let branch = match sense with `Hit -> hit | `Miss -> not hit in
+          exec_block cfg fr st (if branch then t else e)
+      | None ->
+          if not (Bits.is_zero (eval cfg fr st cond)) then exec_block cfg fr st t
+          else exec_block cfg fr st e)
+  | SSwitch (_, e, cases) -> (
+      match e with
+      | EMember (ECall (EMember (EVar t, "apply"), []), "action_run") -> (
+          match find_table fr t with
+          | Some tbl ->
+              let _, action = apply_table cfg fr st tbl in
+              let body =
+                match List.find_opt (fun c -> List.mem action c.Ast.sw_labels) cases with
+                | Some c -> c.Ast.sw_body
+                | None -> (
+                    match
+                      List.find_opt (fun c -> List.mem "default" c.Ast.sw_labels) cases
+                    with
+                    | Some c -> c.Ast.sw_body
+                    | None -> None)
+              in
+              (match body with
+              | Some b when cfg.fault = Mutation.Swallow_apply ->
+                  (* the faulty compiler drops the selected case body *)
+                  ignore b
+              | Some b -> exec_block cfg fr st b
+              | None -> ())
+          | None -> simfail "switch on unknown table %s" t)
+      | _ -> simfail "unsupported switch")
+  | SVarDecl (_, t, n, init) -> (
+      let scope = List.hd fr.scopes in
+      declare cfg st ~init:(uninit cfg st) t (scope ^ "." ^ n);
+      match init with
+      | Some e ->
+          let w = Typing.width_of cfg.tctx t in
+          write_tree cfg st t (scope ^ "." ^ n) (Bits.zext (eval ~hint:w cfg fr st e) w)
+      | None -> ())
+  | SConstDecl (_, t, n, e) ->
+      let scope = List.hd fr.scopes in
+      declare cfg st ~init:Bits.zero t (scope ^ "." ^ n);
+      let w = Typing.width_of cfg.tctx t in
+      write_tree cfg st t (scope ^ "." ^ n) (Bits.zext (eval ~hint:w cfg fr st e) w)
+  | SReturn _ -> raise Return_action
+  | SExit _ -> raise Exit_block
+
+and copy_composite cfg st src dst (t : Ast.typ) =
+  (* copies values and validity bits *)
+  let rec go t src dst =
+    let t = Typing.resolve cfg.tctx t in
+    match t with
+    | Ast.TName tn -> (
+        match Typing.header_fields cfg.tctx tn with
+        | Some fs ->
+            write_leaf st (dst ^ ".$valid") (read_leaf st (src ^ ".$valid"));
+            List.iter
+              (fun f -> go f.Ast.f_typ (src ^ "." ^ f.Ast.f_name) (dst ^ "." ^ f.Ast.f_name))
+              fs
+        | None -> (
+            match
+              (match Typing.struct_fields cfg.tctx tn with
+              | Some fs -> Some fs
+              | None -> Typing.union_fields cfg.tctx tn)
+            with
+            | Some fs ->
+                List.iter
+                  (fun f -> go f.Ast.f_typ (src ^ "." ^ f.Ast.f_name) (dst ^ "." ^ f.Ast.f_name))
+                  fs
+            | None -> write_leaf st dst (read_leaf st src)))
+    | Ast.TStack (h, n) ->
+        write_leaf st (dst ^ ".$next") (read_leaf st (src ^ ".$next"));
+        for i = 0 to n - 1 do
+          go (Ast.TName h) (Printf.sprintf "%s[%d]" src i) (Printf.sprintf "%s[%d]" dst i)
+        done
+    | Ast.TVarbit _ ->
+        write_leaf st dst (read_leaf st src);
+        write_leaf st (dst ^ ".$vblen") (read_leaf st (src ^ ".$vblen"))
+    | _ -> write_leaf st dst (read_leaf st src)
+  in
+  go t src dst
+
+and table_cond fr (e : Ast.expr) =
+  match e with
+  | EMember (ECall (EMember (EVar t, "apply"), []), "hit") ->
+      Option.map (fun tb -> (tb, `Hit)) (find_table fr t)
+  | EMember (ECall (EMember (EVar t, "apply"), []), "miss") ->
+      Option.map (fun tb -> (tb, `Miss)) (find_table fr t)
+  | EUnop (LNot, inner) ->
+      Option.map
+        (fun (tb, s) -> (tb, match s with `Hit -> `Miss | `Miss -> `Hit))
+        (table_cond fr inner)
+  | _ -> None
+
+and invoke_action cfg fr st (decl : Ast.action_decl) (args : Bits.t list) =
+  let prefix = fresh_prefix st decl.Ast.act_name in
+  List.iter2
+    (fun (p : Ast.param) v ->
+      let w = Typing.width_of cfg.tctx p.par_typ in
+      declare cfg st ~init:Bits.zero p.par_typ (prefix ^ "." ^ p.par_name);
+      write_tree cfg st p.par_typ (prefix ^ "." ^ p.par_name) (Bits.zext v w))
+    decl.act_params args;
+  let fr' = { fr with scopes = prefix :: fr.scopes } in
+  try exec_block cfg fr' st decl.act_body with Return_action -> ()
+
+(* returns (hit, action name that ran) *)
+and apply_table cfg (fr : frame) st (tbl : Ast.table) : bool * string =
+  let keys =
+    List.map
+      (fun (k : Ast.table_key) -> (key_name k, k.Ast.tk_kind, eval cfg fr st k.Ast.tk_expr))
+      tbl.Ast.tbl_keys
+  in
+  (* toolchain faults triggered by control-plane interaction *)
+  if cfg.fault = Mutation.Crash_expr_key then
+    List.iter
+      (fun (n, _, _) -> if String.contains n '.' || String.contains n '[' then
+          crash "STF back end: key with expression in its name: %s" n)
+      keys;
+  let run_action name (argv : Bits.t list) =
+    match find_action cfg fr name with
+    | Some decl ->
+        (if cfg.fault = Mutation.Crash_missing_name && name <> "NoAction"
+            && not (Ast.has_anno "name" decl.Ast.act_annos) then
+           crash "test back end: action %s has no name annotation" name);
+        let argv =
+          if cfg.fault = Mutation.Truncate_action_arg then
+            List.map (fun v -> Bits.zext (Bits.zext v (min 8 (Bits.width v))) (Bits.width v)) argv
+          else argv
+        in
+        invoke_action cfg fr st decl argv
+    | None -> simfail "unknown action %s" name
+  in
+  let run_default () =
+    match tbl.Ast.tbl_default with
+    | Some (name, args) ->
+        if cfg.fault = Mutation.Skip_default_action then (false, name)
+        else begin
+          let argv = List.map (eval cfg fr st) args in
+          run_action name argv;
+          (false, name)
+        end
+    | None -> (false, "NoAction")
+  in
+  if tbl.Ast.tbl_entries <> [] then begin
+    (* constant entries, first match in priority order *)
+    let rec try_entries = function
+      | [] -> run_default ()
+      | (e : Ast.table_entry) :: rest ->
+          let matches =
+            List.for_all2
+              (fun (_, _, keyv) pat -> match_pattern cfg fr st keyv pat)
+              keys e.te_keys
+          in
+          if matches then begin
+            let argv = List.map (eval cfg fr st) e.te_args in
+            run_action e.te_action argv;
+            (true, e.te_action)
+          end
+          else try_entries rest
+    in
+    try_entries (ordered_entries cfg tbl)
+  end
+  else begin
+    (* runtime entries from the loaded control-plane configuration *)
+    let candidates =
+      List.filter (fun (e : Testgen.Testspec.entry) -> e.e_table = tbl.Ast.tbl_name) st.entries
+    in
+    let matches (e : Testgen.Testspec.entry) =
+      List.length e.e_keys = List.length keys
+      && List.for_all2
+           (fun (_, kind, keyv) (_, m) -> match_one cfg kind keyv m)
+           keys e.e_keys
+    in
+    match List.find_opt matches candidates with
+    | Some e ->
+        run_action e.e_action (List.map snd e.e_args);
+        (true, e.e_action)
+    | None -> run_default ()
+  end
+
+and exec_call_stmt cfg (fr : frame) st (f : Ast.expr) (args : Ast.expr list) : unit =
+  match (f, args) with
+  | EMember (pkt, "extract"), [ harg ] when is_packet_ref st fr pkt -> do_extract cfg fr st harg
+  | EMember (pkt, "extract"), [ harg; lenarg ] when is_packet_ref st fr pkt ->
+      if cfg.fault = Mutation.Crash_varbit_extract then
+        crash "compiler mistranslated varbit extract";
+      do_extract_varbit cfg fr st harg lenarg
+  | EMember (pkt, "advance"), [ arg ] when is_packet_ref st fr pkt ->
+      if cfg.fault = Mutation.Crash_varbit_extract then
+        crash "compiler mistranslated advance with expression argument";
+      let w = Bits.to_int (eval ~hint:32 cfg fr st arg) in
+      if Bits.width st.pkt < w then raise (Reject "PacketTooShort");
+      st.pkt <- (if w = Bits.width st.pkt then Bits.zero 0
+                 else Bits.slice st.pkt ~hi:(Bits.width st.pkt - w - 1) ~lo:0)
+  | EMember (pkt, "emit"), [ harg ] when is_packet_ref st fr pkt ->
+      let lv = lvalue cfg fr st harg in
+      do_emit cfg fr st lv.lv_path lv.lv_typ
+  | EMember (h, "setValid"), [] ->
+      let lv = lvalue cfg fr st h in
+      write_leaf st (lv.lv_path ^ ".$valid") (Bits.ones 1)
+  | EMember (h, "setInvalid"), [] ->
+      let lv = lvalue cfg fr st h in
+      write_leaf st (lv.lv_path ^ ".$valid") (Bits.zero 1)
+  | EMember (h, "push_front"), [ Ast.EInt { iv; _ } ] -> stack_shift cfg fr st h iv
+  | EMember (h, "pop_front"), [ Ast.EInt { iv; _ } ] -> stack_shift cfg fr st h (-iv)
+  | EVar "verify", [ cond; err ] ->
+      if Bits.is_zero (eval cfg fr st cond) then begin
+        let e = match err with Ast.EMember (_, n) -> n | _ -> "ParserInvalidArgument" in
+        raise (Reject e)
+      end
+  | EMember (EVar t, "apply"), [] when find_table fr t <> None ->
+      ignore (apply_table cfg fr st (Option.get (find_table fr t)))
+  | EVar name, _ when find_action cfg fr name <> None ->
+      let decl = Option.get (find_action cfg fr name) in
+      let argv =
+        List.map2
+          (fun (p : Ast.param) a ->
+            eval ~hint:(Typing.width_of cfg.tctx p.par_typ) cfg fr st a)
+          decl.act_params args
+      in
+      invoke_action cfg fr st decl argv
+  | _ -> exec_extern cfg fr st f args
+
+and is_packet_ref st fr (e : Ast.expr) =
+  match e with Ast.EVar n -> resolve_var st fr n = None | _ -> false
+
+and do_extract cfg fr st (harg : Ast.expr) =
+  let lv = lvalue cfg fr st harg in
+  let w = Typing.width_of cfg.tctx lv.lv_typ in
+  if Bits.width st.pkt < w then raise (Reject "PacketTooShort");
+  let bits = Bits.slice st.pkt ~hi:(Bits.width st.pkt - 1) ~lo:(Bits.width st.pkt - w) in
+  st.pkt <-
+    (if w = Bits.width st.pkt then Bits.zero 0
+     else Bits.slice st.pkt ~hi:(Bits.width st.pkt - w - 1) ~lo:0);
+  write_tree cfg st lv.lv_typ lv.lv_path bits;
+  if Typing.is_header cfg.tctx lv.lv_typ then
+    write_leaf st (lv.lv_path ^ ".$valid") (Bits.ones 1);
+  match harg with
+  | Ast.EMember (b, "next") ->
+      let base = lvalue cfg fr st b in
+      let next = read_leaf st (base.lv_path ^ ".$next") in
+      write_leaf st (base.lv_path ^ ".$next") (Bits.add next (Bits.of_int ~width:32 1))
+  | _ -> ()
+
+and header_emit_bits cfg st hname path : Bits.t =
+  let fields = Option.get (Typing.header_fields cfg.tctx hname) in
+  List.fold_left
+    (fun acc (f : Ast.field) ->
+      let fpath = path ^ "." ^ f.f_name in
+      match Typing.resolve cfg.tctx f.f_typ with
+      | Ast.TVarbit maxw ->
+          let len = Bits.to_int (read_leaf st (fpath ^ ".$vblen")) in
+          if len = 0 then acc
+          else Bits.concat acc (Bits.slice (read_leaf st fpath) ~hi:(maxw - 1) ~lo:(maxw - len))
+      | t -> Bits.concat acc (read_tree cfg st t fpath))
+    (Bits.zero 0) fields
+
+and do_extract_varbit cfg fr st (harg : Ast.expr) (lenarg : Ast.expr) =
+  let lv = lvalue cfg fr st harg in
+  let hname =
+    match lv.lv_typ with
+    | Ast.TName n when Typing.header_fields cfg.tctx n <> None -> n
+    | _ -> simfail "varbit extract into non-header"
+  in
+  let fields = Option.get (Typing.header_fields cfg.tctx hname) in
+  let len = Bits.to_int (eval ~hint:32 cfg fr st lenarg) in
+  let maxw =
+    match
+      List.find_map
+        (fun f ->
+          match Typing.resolve cfg.tctx f.Ast.f_typ with
+          | Ast.TVarbit w -> Some w
+          | _ -> None)
+        fields
+    with
+    | Some w -> w
+    | None -> simfail "no varbit field"
+  in
+  if len > maxw then raise (Reject "HeaderTooShort");
+  let total = Typing.width_of cfg.tctx (Ast.TName hname) - maxw + len in
+  if Bits.width st.pkt < total then raise (Reject "PacketTooShort");
+  let bits = Bits.slice st.pkt ~hi:(Bits.width st.pkt - 1) ~lo:(Bits.width st.pkt - total) in
+  st.pkt <-
+    (if total = Bits.width st.pkt then Bits.zero 0
+     else Bits.slice st.pkt ~hi:(Bits.width st.pkt - total - 1) ~lo:0);
+  let off = ref 0 in
+  List.iter
+    (fun (f : Ast.field) ->
+      let fpath = lv.lv_path ^ "." ^ f.f_name in
+      match Typing.resolve cfg.tctx f.Ast.f_typ with
+      | Ast.TVarbit mw ->
+          let fb =
+            if len = 0 then Bits.zero mw
+            else
+              Bits.concat
+                (Bits.slice bits ~hi:(total - !off - 1) ~lo:(total - !off - len))
+                (Bits.zero (mw - len))
+          in
+          write_leaf st fpath fb;
+          write_leaf st (fpath ^ ".$vblen") (Bits.of_int ~width:32 len);
+          off := !off + len
+      | t ->
+          let w = Typing.width_of cfg.tctx t in
+          write_tree cfg st t fpath (Bits.slice bits ~hi:(total - !off - 1) ~lo:(total - !off - w));
+          off := !off + w)
+    fields;
+  write_leaf st (lv.lv_path ^ ".$valid") (Bits.ones 1)
+
+and do_emit cfg fr st path (t : Ast.typ) =
+  match Typing.resolve cfg.tctx t with
+  | Ast.TName n when Typing.header_fields cfg.tctx n <> None ->
+      if Bits.is_ones (read_leaf st (path ^ ".$valid")) then begin
+        st.fresh <- st.fresh + 1;
+        (* Drop_second_emit: the deparser swallows the second emitted
+           header of a packet *)
+        let skip =
+          cfg.fault = Mutation.Drop_second_emit
+          && Bits.width st.emitted > 0
+        in
+        if not skip then
+          st.emitted <- Bits.concat st.emitted (header_emit_bits cfg st n path)
+      end
+  | Ast.TName n -> (
+      let fields =
+        match Typing.struct_fields cfg.tctx n with
+        | Some fs -> Some fs
+        | None ->
+            if cfg.fault = Mutation.Crash_union_emit && Typing.union_fields cfg.tctx n <> None
+            then crash "emit of un-flattened header union"
+            else Typing.union_fields cfg.tctx n
+      in
+      match fields with
+      | Some fs ->
+          List.iter (fun f -> do_emit cfg fr st (path ^ "." ^ f.Ast.f_name) f.Ast.f_typ) fs
+      | None -> simfail "emit of unknown type %s" n)
+  | Ast.TStack (h, n) ->
+      for i = 0 to n - 1 do
+        do_emit cfg fr st (Printf.sprintf "%s[%d]" path i) (Ast.TName h)
+      done
+  | _ -> simfail "emit of non-header"
+
+and stack_shift cfg fr st (h : Ast.expr) (k : int) =
+  let lv = lvalue cfg fr st h in
+  match lv.lv_typ with
+  | Ast.TStack (hn, n) ->
+      let k = if cfg.fault = Mutation.Wrong_stack_op then -k else k in
+      let values =
+        List.init n (fun i -> read_tree cfg st (Ast.TName hn) (Printf.sprintf "%s[%d]" lv.lv_path i))
+      in
+      let valids =
+        List.init n (fun i -> read_leaf st (Printf.sprintf "%s[%d].$valid" lv.lv_path i))
+      in
+      for i = 0 to n - 1 do
+        let src = i - k in
+        let p = Printf.sprintf "%s[%d]" lv.lv_path i in
+        if src >= 0 && src < n then begin
+          write_tree cfg st (Ast.TName hn) p (List.nth values src);
+          write_leaf st (p ^ ".$valid") (List.nth valids src)
+        end
+        else write_leaf st (p ^ ".$valid") (Bits.zero 1)
+      done;
+      let nextp = lv.lv_path ^ ".$next" in
+      let cur = Bits.to_int (read_leaf st nextp) in
+      write_leaf st nextp (Bits.of_int ~width:32 (max 0 (min n (cur + k))))
+  | _ -> simfail "push/pop on non-stack"
+
+and exec_extern cfg (fr : frame) st (f : Ast.expr) (args : Ast.expr list) : unit =
+  let name =
+    match f with
+    | Ast.EVar n -> n
+    | Ast.EMember (Ast.EVar obj, m) -> obj ^ "." ^ m
+    | _ -> simfail "bad call target"
+  in
+  match (name, args) with
+  | "mark_to_drop", [ smarg ] ->
+      let lv = lvalue cfg fr st smarg in
+      write_leaf st (lv.lv_path ^ ".egress_spec") (Bits.of_int ~width:9 511)
+  | ("log_msg" | "digest" | "invalidate"), _ -> ()
+  | ("recirculate" | "recirculate_preserving_field_list"), _ -> st.recirc <- true
+  | ("resubmit" | "resubmit_preserving_field_list"), _ -> st.resubmit <- true
+  | ("clone" | "clone3" | "clone_preserving_field_list"), (_ :: session :: _) ->
+      st.clone_sess <- Some (eval ~hint:32 cfg fr st session)
+  | "truncate", [ len ] ->
+      st.truncate_bytes <- Some (Bits.to_int (eval ~hint:32 cfg fr st len))
+  | ("assert" | "assume"), [ cond ] ->
+      if cfg.fault = Mutation.Crash_assert then crash "assert primitive terminated the model";
+      if Bits.is_zero (eval cfg fr st cond) then crash "assertion failed in model"
+  | "verify_checksum", [ cond; data; given; _ ] ->
+      (* statement form: set standard checksum error metadata *)
+      if not (Bits.is_zero (eval cfg fr st cond)) then begin
+        let vdata = eval cfg fr st data in
+        let vgiven = eval cfg fr st given in
+        let computed = checksum cfg vdata (Bits.width vgiven) in
+        if SMap.mem "$pipe.sm.checksum_error" st.env then
+          write_leaf st "$pipe.sm.checksum_error"
+            (bits_of_bool (not (Bits.equal computed vgiven)))
+      end
+  | ("update_checksum" | "update_checksum_with_payload"), [ cond; data; dst; _ ] ->
+      if not (Bits.is_zero (eval cfg fr st cond)) then begin
+        let vdata = eval cfg fr st data in
+        let dlv = lvalue cfg fr st dst in
+        let w = Typing.width_of cfg.tctx dlv.lv_typ in
+        write_tree cfg st dlv.lv_typ dlv.lv_path (checksum cfg vdata w)
+      end
+  | "hash", [ dst; _algo; base; data; maxv ] ->
+      let vdata = eval cfg fr st data in
+      let dlv = lvalue cfg fr st dst in
+      let w = Typing.width_of cfg.tctx dlv.lv_typ in
+      let h = Bits.zext (Targets.Checksums.crc32 vdata) w in
+      let vbase = Bits.zext (eval ~hint:w cfg fr st base) w in
+      let vmax = Bits.zext (eval ~hint:w cfg fr st maxv) w in
+      let r = if Bits.is_zero vmax then h else Bits.add vbase (Bits.urem h vmax) in
+      write_tree cfg st dlv.lv_typ dlv.lv_path r
+  | "random", [ dst; _; _ ] ->
+      let dlv = lvalue cfg fr st dst in
+      let w = Typing.width_of cfg.tctx dlv.lv_typ in
+      write_tree cfg st dlv.lv_typ dlv.lv_path (Bits.random cfg.rng w)
+  | _, _ -> (
+      match String.index_opt name '.' with
+      | Some i -> (
+          let obj = String.sub name 0 i in
+          let meth = String.sub name (i + 1) (String.length name - i - 1) in
+          let reg_key =
+            List.find_map
+              (fun scope ->
+                let k = scope ^ "." ^ obj in
+                if Hashtbl.mem st.registers k then Some k else None)
+              fr.scopes
+          in
+          match (meth, args, reg_key) with
+          | "read", [ dst; idx ], Some key ->
+              let arr = Hashtbl.find st.registers key in
+              let i = Bits.to_int (eval ~hint:32 cfg fr st idx) in
+              let dlv = lvalue cfg fr st dst in
+              let w = Typing.width_of cfg.tctx dlv.lv_typ in
+              let v = if i < Array.length arr then arr.(i) else Bits.zero w in
+              write_tree cfg st dlv.lv_typ dlv.lv_path (Bits.zext v w)
+          | "read", [ idx ], Some key ->
+              (* tofino-style value-returning reads are handled in eval;
+                 statement position ignores the value *)
+              ignore (key, idx)
+          | "write", [ idx; v ], Some key ->
+              let arr = Hashtbl.find st.registers key in
+              let i = Bits.to_int (eval ~hint:32 cfg fr st idx) in
+              let vv = eval cfg fr st v in
+              if i < Array.length arr then arr.(i) <- Bits.zext vv (Bits.width arr.(0))
+          | ("count" | "execute_meter" | "emit" | "add" | "subtract"), _, _ -> ()
+          | _ -> simfail "unsupported extern %s" name)
+      | None -> simfail "unsupported extern %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Parsers *)
+
+let max_visits = 16
+
+let rec run_parser_state cfg (fr : frame) st (pd : Ast.parser_decl) name : unit =
+  let visits = Option.value (SMap.find_opt name st.visits) ~default:0 in
+  if visits >= max_visits then raise (Reject "ParserTimeout");
+  st.visits <- SMap.add name (visits + 1) st.visits;
+  match List.find_opt (fun s -> s.Ast.st_name = name) pd.Ast.p_states with
+  | None -> simfail "unknown parser state %s" name
+  | Some decl -> (
+      exec_block cfg fr st decl.st_stmts;
+      match decl.st_trans with
+      | TrDirect "accept" -> ()
+      | TrDirect "reject" -> raise (Reject "NoError")
+      | TrDirect next -> run_parser_state cfg fr st pd next
+      | TrSelect (keys, cases) -> (
+          let keyvals = List.map (eval cfg fr st) keys in
+          let vs_member vsname kv =
+            (* value-set membership from the loaded configuration *)
+            List.exists
+              (fun (e : Testgen.Testspec.entry) ->
+                e.e_table = vsname && e.e_action = "__vs_member__"
+                && List.exists
+                     (fun (_, m) ->
+                       match m with
+                       | Testgen.Testspec.MExact v -> Bits.equal (Bits.zext v (Bits.width kv)) kv
+                       | _ -> false)
+                     e.e_keys)
+              st.entries
+          in
+          let matching (c : Ast.select_case) =
+            match c.sel_keys with
+            | [ Ast.EVar n ]
+              when (match resolve_var st fr n with
+                   | Some (_, Ast.TSpec ("value_set", _)) -> true
+                   | _ -> false) ->
+                vs_member n (List.hd keyvals)
+            | _ ->
+                List.for_all2 (fun kv pat -> match_pattern cfg fr st kv pat) keyvals c.sel_keys
+          in
+          match List.find_opt matching cases with
+          | Some c -> (
+              match c.sel_next with
+              | "accept" -> ()
+              | "reject" -> raise (Reject "NoError")
+              | next -> run_parser_state cfg fr st pd next)
+          | None -> raise (Reject "NoMatch")))
+
+(* ------------------------------------------------------------------ *)
+(* Block invocation with parameter binding *)
+
+type binding = BData of string | BPacket
+
+let bind_in cfg st prefix (params : Ast.param list) (bindings : binding list) =
+  List.iter2
+    (fun (p : Ast.param) b ->
+      match b with
+      | BPacket -> ()
+      | BData src -> (
+          declare cfg st ~init:(uninit cfg st) p.par_typ (prefix ^ "." ^ p.par_name);
+          match p.par_dir with
+          | Ast.DirIn | Ast.DirInOut | Ast.DirNone ->
+              copy_composite cfg st src (prefix ^ "." ^ p.par_name) p.par_typ
+          | Ast.DirOut -> ()))
+    params bindings
+
+let bind_out cfg st prefix (params : Ast.param list) (bindings : binding list) =
+  List.iter2
+    (fun (p : Ast.param) b ->
+      match (b, p.par_dir) with
+      | BData dst, (Ast.DirOut | Ast.DirInOut) ->
+          copy_composite cfg st (prefix ^ "." ^ p.par_name) dst p.par_typ
+      | _ -> ())
+    params bindings
+
+let declare_block_locals cfg st prefix (locals : Ast.local_decl list) fr =
+  List.iter
+    (fun l ->
+      match l with
+      | Ast.LVar (t, n, init) -> (
+          declare cfg st ~init:(uninit cfg st) t (prefix ^ "." ^ n);
+          match init with
+          | Some e ->
+              let w = Typing.width_of cfg.tctx t in
+              write_tree cfg st t (prefix ^ "." ^ n) (Bits.zext (eval ~hint:w cfg fr st e) w)
+          | None -> ())
+      | Ast.LConst (t, n, e) ->
+          declare cfg st ~init:Bits.zero t (prefix ^ "." ^ n);
+          let w = Typing.width_of cfg.tctx t in
+          write_tree cfg st t (prefix ^ "." ^ n) (Bits.zext (eval ~hint:w cfg fr st e) w)
+      | Ast.LInstantiation (TSpec (("register" | "Register"), [ elem ]), iargs, n) ->
+          let width = Typing.width_of cfg.tctx elem in
+          let size = match iargs with Ast.EInt { iv; _ } :: _ -> min iv 1024 | _ -> 16 in
+          Hashtbl.replace st.registers (prefix ^ "." ^ n)
+            (Array.make (max size 1) (Bits.zero width))
+      | Ast.LInstantiation ((TSpec ("value_set", [ _ ]) as t), _, n) ->
+          st.vartypes <- SMap.add (prefix ^ "." ^ n) t st.vartypes
+      | Ast.LInstantiation _ | Ast.LAction _ | Ast.LTable _ -> ())
+    locals
+
+let run_control cfg st (cd : Ast.control_decl) (bindings : binding list) =
+  let prefix = fresh_prefix st cd.Ast.c_name in
+  bind_in cfg st prefix cd.c_params bindings;
+  let fr = { scopes = [ prefix ]; ctrl = Some cd; parser = None } in
+  declare_block_locals cfg st prefix cd.c_locals fr;
+  (try exec_block cfg fr st cd.c_body with Exit_block -> ());
+  bind_out cfg st prefix cd.c_params bindings
+
+let run_parser cfg st (pd : Ast.parser_decl) (bindings : binding list) : (unit, string) result =
+  let prefix = fresh_prefix st pd.Ast.p_name in
+  bind_in cfg st prefix pd.p_params bindings;
+  let fr = { scopes = [ prefix ]; ctrl = None; parser = Some pd } in
+  declare_block_locals cfg st prefix pd.p_locals fr;
+  st.visits <- SMap.empty;
+  let r = try Ok (run_parser_state cfg fr st pd "start") with Reject e -> Error e in
+  bind_out cfg st prefix pd.p_params bindings;
+  r

@@ -1,0 +1,1 @@
+lib/smt/blast.ml: Array Bitv Expr Hashtbl List Sat

@@ -1,0 +1,1 @@
+lib/smt/blast.mli: Expr Sat

@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Bitv Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Bitv Blast Expr Hashtbl List Sat Unix

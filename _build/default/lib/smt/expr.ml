@@ -1,0 +1,596 @@
+module Bits = Bitv.Bits
+
+type var = { vname : string; vwidth : int; vid : int }
+
+type t = { node : node; tag : int; width : int; tainted : bool }
+
+and node =
+  | Const of Bits.t
+  | Var of var
+  | Taint of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Udiv of t * t
+  | Urem of t * t
+  | Concat of t * t
+  | Slice of t * int * int
+  | Eq of t * t
+  | Ult of t * t
+  | Slt of t * t
+  | Ite of t * t * t
+  | Shl of t * t
+  | Lshr of t * t
+  | Ashr of t * t
+
+let width e = e.width
+let tainted e = e.tainted
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing.  Children of a node are already hash-consed, so
+   shallow equality compares children by tag. *)
+
+module Node_key = struct
+  type nonrec t = node
+
+  let child_tag e = e.tag
+
+  let equal a b =
+    match (a, b) with
+    | Const x, Const y -> Bits.equal x y
+    | Var x, Var y -> x.vid = y.vid
+    | Taint x, Taint y -> x = y
+    | Not x, Not y -> x == y
+    | And (a1, a2), And (b1, b2)
+    | Or (a1, a2), Or (b1, b2)
+    | Xor (a1, a2), Xor (b1, b2)
+    | Add (a1, a2), Add (b1, b2)
+    | Sub (a1, a2), Sub (b1, b2)
+    | Mul (a1, a2), Mul (b1, b2)
+    | Udiv (a1, a2), Udiv (b1, b2)
+    | Urem (a1, a2), Urem (b1, b2)
+    | Concat (a1, a2), Concat (b1, b2)
+    | Eq (a1, a2), Eq (b1, b2)
+    | Ult (a1, a2), Ult (b1, b2)
+    | Slt (a1, a2), Slt (b1, b2)
+    | Shl (a1, a2), Shl (b1, b2)
+    | Lshr (a1, a2), Lshr (b1, b2)
+    | Ashr (a1, a2), Ashr (b1, b2) -> a1 == b1 && a2 == b2
+    | Slice (a, h1, l1), Slice (b, h2, l2) -> a == b && h1 = h2 && l1 = l2
+    | Ite (a1, a2, a3), Ite (b1, b2, b3) -> a1 == b1 && a2 == b2 && a3 == b3
+    | ( ( Const _ | Var _ | Taint _ | Not _ | And _ | Or _ | Xor _ | Add _
+        | Sub _ | Mul _ | Udiv _ | Urem _ | Concat _ | Slice _ | Eq _ | Ult _
+        | Slt _ | Ite _ | Shl _ | Lshr _ | Ashr _ ),
+        _ ) -> false
+
+  let hash n =
+    let h2 k a b = (k * 1000003) + (child_tag a * 31) + child_tag b in
+    match n with
+    | Const b -> Hashtbl.hash (0, Bits.to_hex b, Bits.width b)
+    | Var v -> Hashtbl.hash (1, v.vid)
+    | Taint i -> Hashtbl.hash (2, i)
+    | Not a -> Hashtbl.hash (3, a.tag)
+    | And (a, b) -> h2 4 a b
+    | Or (a, b) -> h2 5 a b
+    | Xor (a, b) -> h2 6 a b
+    | Add (a, b) -> h2 7 a b
+    | Sub (a, b) -> h2 8 a b
+    | Mul (a, b) -> h2 9 a b
+    | Udiv (a, b) -> h2 10 a b
+    | Urem (a, b) -> h2 11 a b
+    | Concat (a, b) -> h2 12 a b
+    | Slice (a, h, l) -> Hashtbl.hash (13, a.tag, h, l)
+    | Eq (a, b) -> h2 14 a b
+    | Ult (a, b) -> h2 15 a b
+    | Slt (a, b) -> h2 16 a b
+    | Ite (a, b, c) -> Hashtbl.hash (17, a.tag, b.tag, c.tag)
+    | Shl (a, b) -> h2 18 a b
+    | Lshr (a, b) -> h2 19 a b
+    | Ashr (a, b) -> h2 20 a b
+end
+
+module Tbl = Hashtbl.Make (Node_key)
+
+let table : t Tbl.t = Tbl.create 4096
+let next_tag = ref 0
+
+let reset_hooks : (unit -> unit) list ref = ref []
+
+let node_tainted = function
+  | Const _ | Var _ -> false
+  | Taint _ -> true
+  | Not a -> a.tainted
+  | And (a, b) | Or (a, b) | Xor (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b)
+  | Udiv (a, b) | Urem (a, b) | Concat (a, b) | Eq (a, b) | Ult (a, b)
+  | Slt (a, b) | Shl (a, b) | Lshr (a, b) | Ashr (a, b) -> a.tainted || b.tainted
+  | Slice (a, _, _) -> a.tainted
+  | Ite (a, b, c) -> a.tainted || b.tainted || c.tainted
+
+let mk node width =
+  match Tbl.find_opt table node with
+  | Some e -> e
+  | None ->
+      let e = { node; tag = !next_tag; width; tainted = node_tainted node } in
+      incr next_tag;
+      Tbl.add table node e;
+      e
+
+(* ------------------------------------------------------------------ *)
+(* Variables *)
+
+let var_registry : (string, var) Hashtbl.t = Hashtbl.create 256
+let next_vid = ref 0
+
+let var name w =
+  match Hashtbl.find_opt var_registry name with
+  | Some v ->
+      if v.vwidth <> w then
+        invalid_arg
+          (Printf.sprintf "Expr.var: %s already has width %d (asked %d)" name
+             v.vwidth w);
+      mk (Var v) w
+  | None ->
+      let v = { vname = name; vwidth = w; vid = !next_vid } in
+      incr next_vid;
+      Hashtbl.add var_registry name v;
+      mk (Var v) w
+
+let var_of e =
+  match e.node with
+  | Var v -> v
+  | _ -> invalid_arg "Expr.var_of: not a variable"
+
+let fresh_counter = ref 0
+
+let fresh_var prefix w =
+  incr fresh_counter;
+  var (Printf.sprintf "%s!%d" prefix !fresh_counter) w
+
+let next_taint = ref 0
+
+let fresh_taint w =
+  incr next_taint;
+  mk (Taint !next_taint) w
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors *)
+
+let const b = mk (Const b) (Bits.width b)
+let of_int ~width n = const (Bits.of_int ~width n)
+let zero w = const (Bits.zero w)
+let ones w = const (Bits.ones w)
+let tru = const (Bits.ones 1)
+let fls = const (Bits.zero 1)
+let of_bool b = if b then tru else fls
+
+let is_const e = match e.node with Const b -> Some b | _ -> None
+let is_true e = match e.node with Const b -> Bits.is_ones b && Bits.width b = 1 | _ -> false
+let is_false e = match e.node with Const b -> Bits.is_zero b && Bits.width b = 1 | _ -> false
+
+let check_width name a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Expr.%s: width mismatch (%d vs %d)" name a.width b.width)
+
+let lognot a =
+  match a.node with
+  | Const b -> const (Bits.lognot b)
+  | Not x -> x
+  | _ -> mk (Not a) a.width
+
+let rec logand a b =
+  check_width "logand" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.logand x y)
+  | Const _, _ -> logand b a
+  | _, Const y when Bits.is_zero y -> b
+  | _, Const y when Bits.is_ones y -> a
+  | _ when a == b && not a.tainted -> a
+  | _ -> mk (And (a, b)) a.width
+
+let rec logor a b =
+  check_width "logor" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.logor x y)
+  | Const _, _ -> logor b a
+  | _, Const y when Bits.is_zero y -> a
+  | _, Const y when Bits.is_ones y -> b
+  | _ when a == b && not a.tainted -> a
+  | _ -> mk (Or (a, b)) a.width
+
+let rec logxor a b =
+  check_width "logxor" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.logxor x y)
+  | Const _, _ -> logxor b a
+  | _, Const y when Bits.is_zero y -> a
+  | _, Const y when Bits.is_ones y -> lognot a
+  | _ when a == b && not a.tainted -> zero a.width
+  | _ -> mk (Xor (a, b)) a.width
+
+let rec add a b =
+  check_width "add" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.add x y)
+  | Const _, _ -> add b a
+  | _, Const y when Bits.is_zero y -> a
+  | _ -> mk (Add (a, b)) a.width
+
+let sub a b =
+  check_width "sub" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.sub x y)
+  | _, Const y when Bits.is_zero y -> a
+  | _ when a == b && not a.tainted -> zero a.width
+  | _ -> mk (Sub (a, b)) a.width
+
+let neg a = sub (zero a.width) a
+
+let rec mul a b =
+  check_width "mul" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.mul x y)
+  | Const _, _ -> mul b a
+  (* Taint-elimination: anything times zero is zero (§5.3). *)
+  | _, Const y when Bits.is_zero y -> b
+  | _, Const y when Bits.equal y (Bits.of_int ~width:(Bits.width y) 1) -> a
+  | _ -> mk (Mul (a, b)) a.width
+
+let udiv a b =
+  check_width "udiv" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.udiv x y)
+  | _ -> mk (Udiv (a, b)) a.width
+
+let urem a b =
+  check_width "urem" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> const (Bits.urem x y)
+  | _ -> mk (Urem (a, b)) a.width
+
+let rec concat hi lo =
+  if hi.width = 0 then lo
+  else if lo.width = 0 then hi
+  else
+    match (hi.node, lo.node) with
+    | Const x, Const y -> const (Bits.concat x y)
+    (* Merge adjacent slices of the same base term. *)
+    | Slice (a, h1, l1), Slice (b, h2, l2) when a == b && l1 = h2 + 1 ->
+        slice a ~hi:h1 ~lo:l2
+    | _ -> mk (Concat (hi, lo)) (hi.width + lo.width)
+
+and slice e ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= e.width then
+    invalid_arg
+      (Printf.sprintf "Expr.slice: [%d:%d] out of range for width %d" hi lo
+         e.width);
+  if lo = 0 && hi = e.width - 1 then e
+  else
+    match e.node with
+    | Const b -> const (Bits.slice b ~hi ~lo)
+    | Slice (x, _, l) -> slice x ~hi:(l + hi) ~lo:(l + lo)
+    | Concat (h, l) ->
+        if hi < l.width then slice l ~hi ~lo
+        else if lo >= l.width then slice h ~hi:(hi - l.width) ~lo:(lo - l.width)
+        else
+          concat (slice h ~hi:(hi - l.width) ~lo:0) (slice l ~hi:(l.width - 1) ~lo)
+    | Ite (c, t, f) when not c.tainted ->
+        (* Push slices into ite so packet reconstruction stays sliceable. *)
+        mk (Ite (c, slice t ~hi ~lo, slice f ~hi ~lo)) (hi - lo + 1)
+    | _ -> mk (Slice (e, hi, lo)) (hi - lo + 1)
+
+and ite c t f =
+  if c.width <> 1 then invalid_arg "Expr.ite: condition width must be 1";
+  check_width "ite" t f;
+  match c.node with
+  | Const b -> if Bits.is_ones b then t else f
+  | _ when t == f -> t
+  | _ when is_true t && is_false f -> c
+  | _ when is_false t && is_true f -> lognot c
+  | _ -> mk (Ite (c, t, f)) t.width
+
+let zext e w =
+  if w < e.width then slice e ~hi:(w - 1) ~lo:0
+  else if w = e.width then e
+  else concat (zero (w - e.width)) e
+
+let sext e w =
+  if w < e.width then slice e ~hi:(w - 1) ~lo:0
+  else if w = e.width then e
+  else if e.width = 0 then zero w
+  else
+    let sign = slice e ~hi:(e.width - 1) ~lo:(e.width - 1) in
+    concat (ite sign (ones (w - e.width)) (zero (w - e.width))) e
+
+let rec eq a b =
+  check_width "eq" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> of_bool (Bits.equal x y)
+  | _ when a == b && not a.tainted -> tru
+  | Const _, _ -> eq b a
+  (* eq over concats decomposes into per-part equalities. *)
+  | Concat (h, l), Const _ ->
+      let bh = slice b ~hi:(a.width - 1) ~lo:l.width in
+      let bl = slice b ~hi:(l.width - 1) ~lo:0 in
+      band (eq h bh) (eq l bl)
+  | _ -> mk (Eq (a, b)) 1
+
+and band a b =
+  if a.width <> 1 || b.width <> 1 then invalid_arg "Expr.band: width 1 expected";
+  logand a b
+
+let bor a b =
+  if a.width <> 1 || b.width <> 1 then invalid_arg "Expr.bor: width 1 expected";
+  logor a b
+
+let bnot a =
+  if a.width <> 1 then invalid_arg "Expr.bnot: width 1 expected";
+  lognot a
+
+let neq a b = bnot (eq a b)
+
+let ult a b =
+  check_width "ult" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> of_bool (Bits.ult x y)
+  | _, Const y when Bits.is_zero y -> fls
+  | _ when a == b && not a.tainted -> fls
+  | _ -> mk (Ult (a, b)) 1
+
+let slt a b =
+  check_width "slt" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> of_bool (Bits.slt x y)
+  | _ when a == b && not a.tainted -> fls
+  | _ -> mk (Slt (a, b)) 1
+
+let ule a b = bnot (ult b a)
+let ugt a b = ult b a
+let uge a b = ule b a
+let sle a b = bnot (slt b a)
+let sgt a b = slt b a
+let sge a b = sle b a
+
+let mk_shift ctor fold a b =
+  check_width "shift" a b;
+  match (a.node, b.node) with
+  | Const x, Const y -> (
+      match Bits.to_int_checked y with
+      | Some k when k <= Bits.width x -> const (fold x k)
+      | _ -> const (fold x (Bits.width x)))
+  | _, Const y when Bits.is_zero y -> a
+  | _ -> mk (ctor a b) a.width
+
+let shl a b = mk_shift (fun a b -> Shl (a, b)) Bits.shift_left a b
+let lshr a b = mk_shift (fun a b -> Lshr (a, b)) Bits.shift_right a b
+let ashr a b = mk_shift (fun a b -> Ashr (a, b)) Bits.shift_right_arith a b
+
+let conj es = List.fold_left band tru es
+let disj es = List.fold_left bor fls es
+let implies a b = bor (bnot a) b
+
+(* ------------------------------------------------------------------ *)
+(* Taint mask *)
+
+(* Drop the whole hash-consing context.  Terms created before a reset
+   must never be mixed with terms created after it (physical equality
+   would no longer coincide with structural equality), so this is only
+   safe between independent runs; {!Solver} instances from before the
+   reset must be discarded too. *)
+let reset () =
+  Tbl.reset table;
+  Hashtbl.reset var_registry;
+  next_tag := 0;
+  next_vid := 0;
+  fresh_counter := 0;
+  next_taint := 0;
+  List.iter (fun f -> f ()) !reset_hooks
+
+let on_reset f = reset_hooks := f :: !reset_hooks
+
+let taint_tbl : (int, Bits.t) Hashtbl.t = Hashtbl.create 1024
+let () = on_reset (fun () -> Hashtbl.reset taint_tbl)
+
+let rec taint_mask e =
+  if not e.tainted then Bits.zero e.width
+  else
+    match Hashtbl.find_opt taint_tbl e.tag with
+    | Some m -> m
+    | None ->
+        let m = compute_taint e in
+        Hashtbl.add taint_tbl e.tag m;
+        m
+
+and compute_taint e =
+  let all = Bits.ones e.width in
+  match e.node with
+  | Const _ | Var _ -> Bits.zero e.width
+  | Taint _ -> all
+  | Not a -> taint_mask a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> Bits.logor (taint_mask a) (taint_mask b)
+  | Add (a, b) | Sub (a, b) ->
+      (* Carries propagate upward only: everything at or above the
+         lowest tainted bit is tainted. *)
+      let m = Bits.logor (taint_mask a) (taint_mask b) in
+      upward_closure m
+  | Mul (a, b) | Udiv (a, b) | Urem (a, b) ->
+      if Bits.is_zero (Bits.logor (taint_mask a) (taint_mask b)) then
+        Bits.zero e.width
+      else all
+  | Concat (h, l) -> Bits.concat (taint_mask h) (taint_mask l)
+  | Slice (a, hi, lo) -> Bits.slice (taint_mask a) ~hi ~lo
+  | Eq (a, b) | Ult (a, b) | Slt (a, b) ->
+      if a.tainted || b.tainted then all else Bits.zero 1
+  | Ite (c, t, f) ->
+      if c.tainted then all else Bits.logor (taint_mask t) (taint_mask f)
+  | Shl (a, b) | Lshr (a, b) | Ashr (a, b) ->
+      if b.tainted then all
+      else (
+        match b.node with
+        | Const k -> (
+            match Bits.to_int_checked k with
+            | Some k when k <= e.width -> (
+                match e.node with
+                | Shl _ -> Bits.shift_left (taint_mask a) k
+                | Lshr _ -> Bits.shift_right (taint_mask a) k
+                | _ -> if Bits.is_zero (taint_mask a) then Bits.zero e.width else all)
+            | _ -> Bits.zero e.width)
+        | _ -> if a.tainted then all else Bits.zero e.width)
+
+and upward_closure m =
+  let w = Bits.width m in
+  let rec lowest i = if i >= w then None else if Bits.get m i then Some i else lowest (i + 1) in
+  match lowest 0 with
+  | None -> m
+  | Some i -> Bits.concat (Bits.ones (w - i)) (Bits.zero i)
+
+(* ------------------------------------------------------------------ *)
+(* Traversals *)
+
+let vars e =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec go e =
+    if not (Hashtbl.mem seen e.tag) then begin
+      Hashtbl.add seen e.tag ();
+      match e.node with
+      | Var v -> acc := v :: !acc
+      | Const _ | Taint _ -> ()
+      | Not a | Slice (a, _, _) -> go a
+      | And (a, b) | Or (a, b) | Xor (a, b) | Add (a, b) | Sub (a, b)
+      | Mul (a, b) | Udiv (a, b) | Urem (a, b) | Concat (a, b) | Eq (a, b)
+      | Ult (a, b) | Slt (a, b) | Shl (a, b) | Lshr (a, b) | Ashr (a, b) ->
+          go a; go b
+      | Ite (a, b, c) -> go a; go b; go c
+    end
+  in
+  go e;
+  List.sort (fun a b -> compare a.vid b.vid) !acc
+
+let size e =
+  let seen = Hashtbl.create 64 in
+  let rec go e =
+    if not (Hashtbl.mem seen e.tag) then begin
+      Hashtbl.add seen e.tag ();
+      match e.node with
+      | Var _ | Const _ | Taint _ -> ()
+      | Not a | Slice (a, _, _) -> go a
+      | And (a, b) | Or (a, b) | Xor (a, b) | Add (a, b) | Sub (a, b)
+      | Mul (a, b) | Udiv (a, b) | Urem (a, b) | Concat (a, b) | Eq (a, b)
+      | Ult (a, b) | Slt (a, b) | Shl (a, b) | Lshr (a, b) | Ashr (a, b) ->
+          go a; go b
+      | Ite (a, b, c) -> go a; go b; go c
+    end
+  in
+  go e;
+  Hashtbl.length seen
+
+let eval ?(taint = fun _ w -> Bits.zero w) env e =
+  let memo = Hashtbl.create 64 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.tag with
+    | Some v -> v
+    | None ->
+        let v = compute e in
+        Hashtbl.add memo e.tag v;
+        v
+  and compute e =
+    let shift_amount b =
+      let v = go b in
+      match Bits.to_int_checked v with
+      | Some k -> min k (Bits.width v + 1)
+      | None -> e.width
+    in
+    match e.node with
+    | Const b -> b
+    | Var v -> (
+        let b = env v in
+        if Bits.width b <> v.vwidth then
+          invalid_arg (Printf.sprintf "Expr.eval: env width mismatch for %s" v.vname);
+        b)
+    | Taint id -> taint id e.width
+    | Not a -> Bits.lognot (go a)
+    | And (a, b) -> Bits.logand (go a) (go b)
+    | Or (a, b) -> Bits.logor (go a) (go b)
+    | Xor (a, b) -> Bits.logxor (go a) (go b)
+    | Add (a, b) -> Bits.add (go a) (go b)
+    | Sub (a, b) -> Bits.sub (go a) (go b)
+    | Mul (a, b) -> Bits.mul (go a) (go b)
+    | Udiv (a, b) -> Bits.udiv (go a) (go b)
+    | Urem (a, b) -> Bits.urem (go a) (go b)
+    | Concat (h, l) -> Bits.concat (go h) (go l)
+    | Slice (a, hi, lo) -> Bits.slice (go a) ~hi ~lo
+    | Eq (a, b) -> if Bits.equal (go a) (go b) then Bits.ones 1 else Bits.zero 1
+    | Ult (a, b) -> if Bits.ult (go a) (go b) then Bits.ones 1 else Bits.zero 1
+    | Slt (a, b) -> if Bits.slt (go a) (go b) then Bits.ones 1 else Bits.zero 1
+    | Ite (c, t, f) -> if Bits.is_ones (go c) then go t else go f
+    | Shl (a, b) -> Bits.shift_left (go a) (shift_amount b)
+    | Lshr (a, b) -> Bits.shift_right (go a) (shift_amount b)
+    | Ashr (a, b) -> Bits.shift_right_arith (go a) (shift_amount b)
+  in
+  go e
+
+let subst f e =
+  let memo = Hashtbl.create 64 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.tag with
+    | Some v -> v
+    | None ->
+        let v = compute e in
+        Hashtbl.add memo e.tag v;
+        v
+  and compute e =
+    match e.node with
+    | Const _ | Taint _ -> e
+    | Var v -> ( match f v with Some r -> r | None -> e)
+    | Not a -> lognot (go a)
+    | And (a, b) -> logand (go a) (go b)
+    | Or (a, b) -> logor (go a) (go b)
+    | Xor (a, b) -> logxor (go a) (go b)
+    | Add (a, b) -> add (go a) (go b)
+    | Sub (a, b) -> sub (go a) (go b)
+    | Mul (a, b) -> mul (go a) (go b)
+    | Udiv (a, b) -> udiv (go a) (go b)
+    | Urem (a, b) -> urem (go a) (go b)
+    | Concat (h, l) -> concat (go h) (go l)
+    | Slice (a, hi, lo) -> slice (go a) ~hi ~lo
+    | Eq (a, b) -> eq (go a) (go b)
+    | Ult (a, b) -> ult (go a) (go b)
+    | Slt (a, b) -> slt (go a) (go b)
+    | Ite (c, t, f') -> ite (go c) (go t) (go f')
+    | Shl (a, b) -> shl (go a) (go b)
+    | Lshr (a, b) -> lshr (go a) (go b)
+    | Ashr (a, b) -> ashr (go a) (go b)
+  in
+  go e
+
+let rec pp ppf e =
+  let open Format in
+  match e.node with
+  | Const b -> Bits.pp ppf b
+  | Var v -> fprintf ppf "%s" v.vname
+  | Taint id -> fprintf ppf "taint#%d/%d" id e.width
+  | Not a -> fprintf ppf "(~ %a)" pp a
+  | And (a, b) -> fprintf ppf "(%a & %a)" pp a pp b
+  | Or (a, b) -> fprintf ppf "(%a | %a)" pp a pp b
+  | Xor (a, b) -> fprintf ppf "(%a ^ %a)" pp a pp b
+  | Add (a, b) -> fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> fprintf ppf "(%a * %a)" pp a pp b
+  | Udiv (a, b) -> fprintf ppf "(%a / %a)" pp a pp b
+  | Urem (a, b) -> fprintf ppf "(%a %% %a)" pp a pp b
+  | Concat (a, b) -> fprintf ppf "(%a ++ %a)" pp a pp b
+  | Slice (a, hi, lo) -> fprintf ppf "%a[%d:%d]" pp a hi lo
+  | Eq (a, b) -> fprintf ppf "(%a == %a)" pp a pp b
+  | Ult (a, b) -> fprintf ppf "(%a <u %a)" pp a pp b
+  | Slt (a, b) -> fprintf ppf "(%a <s %a)" pp a pp b
+  | Ite (c, t, f) -> fprintf ppf "(%a ? %a : %a)" pp c pp t pp f
+  | Shl (a, b) -> fprintf ppf "(%a << %a)" pp a pp b
+  | Lshr (a, b) -> fprintf ppf "(%a >> %a)" pp a pp b
+  | Ashr (a, b) -> fprintf ppf "(%a >>a %a)" pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

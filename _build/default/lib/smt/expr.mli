@@ -1,0 +1,140 @@
+(** Hash-consed bitvector terms.
+
+    All terms are bitvectors; booleans are width-1 vectors ([tru] and
+    [fls]).  Smart constructors perform constant folding and algebraic
+    simplification, including the taint-elimination rewrites of the
+    paper (§5.3), e.g. [mul taint zero = zero].
+
+    Terms are hash-consed in a module-global context: structurally
+    equal terms are physically equal and share a [tag].  [Taint] nodes
+    are the exception — every call to {!fresh_taint} yields a distinct
+    unknown. *)
+
+type var = private { vname : string; vwidth : int; vid : int }
+
+type t = private { node : node; tag : int; width : int; tainted : bool }
+
+and node =
+  | Const of Bitv.Bits.t
+  | Var of var
+  | Taint of int  (** a fresh nondeterministic unknown (§5.3) *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Udiv of t * t
+  | Urem of t * t
+  | Concat of t * t  (** [Concat (hi, lo)] — P4's [hi ++ lo] *)
+  | Slice of t * int * int  (** [Slice (e, hi, lo)], inclusive *)
+  | Eq of t * t
+  | Ult of t * t
+  | Slt of t * t
+  | Ite of t * t * t  (** condition has width 1 *)
+  | Shl of t * t
+  | Lshr of t * t
+  | Ashr of t * t
+
+val width : t -> int
+val tainted : t -> bool
+
+(** {1 Variables} *)
+
+val reset : unit -> unit
+(** Clears the hash-consing context (all terms, variables, taint ids).
+    Only safe between independent runs: terms and solvers created
+    before the reset must not be used afterwards. *)
+
+val on_reset : (unit -> unit) -> unit
+(** Registers a callback invoked by {!reset} (used by caches keyed on
+    term tags). *)
+
+val var : string -> int -> t
+(** [var name w] returns the (unique) variable [name] of width [w].
+    Raises [Invalid_argument] if [name] exists with another width. *)
+
+val var_of : t -> var
+(** The variable underlying a [Var] term.  Raises otherwise. *)
+
+val fresh_var : string -> int -> t
+(** [fresh_var prefix w] mints a variable with a unique suffixed name. *)
+
+val fresh_taint : int -> t
+
+(** {1 Constructors} *)
+
+val const : Bitv.Bits.t -> t
+val of_int : width:int -> int -> t
+val zero : int -> t
+val ones : int -> t
+val tru : t
+val fls : t
+val of_bool : bool -> t
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val urem : t -> t -> t
+val concat : t -> t -> t
+val slice : t -> hi:int -> lo:int -> t
+val zext : t -> int -> t
+val sext : t -> int -> t
+val eq : t -> t -> t
+val neq : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val sgt : t -> t -> t
+val sge : t -> t -> t
+val ite : t -> t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+
+(** Width-1 boolean helpers. *)
+
+val band : t -> t -> t
+val bor : t -> t -> t
+val bnot : t -> t
+val conj : t list -> t
+val disj : t list -> t
+val implies : t -> t -> t
+
+(** {1 Observation} *)
+
+val is_const : t -> Bitv.Bits.t option
+val is_true : t -> bool
+val is_false : t -> bool
+
+val taint_mask : t -> Bitv.Bits.t
+(** Conservative per-bit taint: bit [i] set iff output bit [i] may
+    depend on a nondeterministic source.  Arithmetic spreads taint
+    upward from the lowest tainted operand bit (carry direction);
+    comparisons and taint-conditioned [Ite]s taint every result bit. *)
+
+val vars : t -> var list
+(** All variables occurring in the term, each once, in [vid] order. *)
+
+val eval : ?taint:(int -> int -> Bitv.Bits.t) -> (var -> Bitv.Bits.t) -> t -> Bitv.Bits.t
+(** Concrete evaluation.  [taint id width] supplies values for taint
+    nodes (defaults to zero). *)
+
+val subst : (var -> t option) -> t -> t
+(** Capture-free substitution of variables. *)
+
+val size : t -> int
+(** Number of distinct subterms (DAG size). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,539 @@
+(* CDCL SAT solver in the MiniSat tradition.
+
+   Value encoding per variable: 0 = unassigned, 1 = true, 2 = false.
+   A literal l is "lit of var (l lsr 1)", negated iff (l land 1) = 1. *)
+
+type clause = { lits : int array; learnt : bool; mutable deleted : bool }
+
+(* Growable array *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let d = Array.make (2 * v.len) v.dummy in
+      Array.blit v.data 0 d 0 v.len;
+      v.data <- d
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let len v = v.len
+  let shrink v n = v.len <- n
+  let pop v = v.len <- v.len - 1; v.data.(v.len)
+end
+
+type t = {
+  mutable nvars : int;
+  mutable ok : bool;
+  mutable clause_count : int;
+  (* per-literal watch lists *)
+  mutable watches : clause Vec.t array;
+  (* per-variable state *)
+  mutable assign : int array; (* 0/1/2 *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable polarity : bool array; (* saved phase *)
+  mutable heap_pos : int array; (* -1 when absent *)
+  (* VSIDS heap of variables ordered by activity *)
+  heap : int Vec.t;
+  mutable var_inc : float;
+  (* trail *)
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* vars occurring in at least one clause; only these are decided —
+     unconstrained variables may take any value, so leaving them
+     unassigned is sound and keeps solves proportional to the active
+     instance rather than to every variable ever allocated *)
+  mutable constrained : bool array;
+  (* learned clauses, for periodic database reduction *)
+  learnts : clause Vec.t;
+  mutable reduce_limit : int;
+  (* stats *)
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  (* scratch *)
+  mutable seen : bool array;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; deleted = false }
+
+let create () =
+  {
+    nvars = 0;
+    ok = true;
+    clause_count = 0;
+    watches = Array.init 2 (fun _ -> Vec.create dummy_clause);
+    assign = Array.make 1 0;
+    level = Array.make 1 0;
+    reason = Array.make 1 None;
+    activity = Array.make 1 0.0;
+    polarity = Array.make 1 false;
+    heap_pos = Array.make 1 (-1);
+    heap = Vec.create 0;
+    var_inc = 1.0;
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    constrained = Array.make 1 false;
+    learnts = Vec.create dummy_clause;
+    reduce_limit = 4000;
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    seen = Array.make 1 false;
+  }
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let sign l = l land 1 = 1
+
+let nvars s = s.nvars
+let nclauses s = s.clause_count
+let stats s = (s.decisions, s.propagations, s.conflicts)
+
+(* value of literal: 0 undef, 1 true, 2 false *)
+let lit_val s l =
+  let a = s.assign.(var_of l) in
+  if a = 0 then 0 else if sign l then 3 - a else a
+
+let grow_array a n dummy =
+  let len = Array.length a in
+  if n <= len then a
+  else begin
+    let d = Array.make (max n (2 * len)) dummy in
+    Array.blit a 0 d 0 len;
+    d
+  end
+
+(* -------------------- VSIDS heap (max-heap on activity) ------------ *)
+
+let heap_lt s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = Vec.get s.heap i and b = Vec.get s.heap j in
+  Vec.set s.heap i b;
+  Vec.set s.heap j a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt s (Vec.get s.heap i) (Vec.get s.heap p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let n = Vec.len s.heap in
+  let best = ref i in
+  if l < n && heap_lt s (Vec.get s.heap l) (Vec.get s.heap !best) then best := l;
+  if r < n && heap_lt s (Vec.get s.heap r) (Vec.get s.heap !best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap_pos.(v) <- Vec.len s.heap;
+    Vec.push s.heap v;
+    heap_up s (Vec.len s.heap - 1)
+  end
+
+let heap_remove_max s =
+  let top = Vec.get s.heap 0 in
+  let last = Vec.pop s.heap in
+  s.heap_pos.(top) <- -1;
+  if Vec.len s.heap > 0 then begin
+    Vec.set s.heap 0 last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  top
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* -------------------- variable management -------------------------- *)
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assign <- grow_array s.assign (v + 1) 0;
+  s.level <- grow_array s.level (v + 1) 0;
+  s.reason <- grow_array s.reason (v + 1) None;
+  s.activity <- grow_array s.activity (v + 1) 0.0;
+  s.polarity <- grow_array s.polarity (v + 1) false;
+  s.heap_pos <- grow_array s.heap_pos (v + 1) (-1);
+  s.seen <- grow_array s.seen (v + 1) false;
+  s.constrained <- grow_array s.constrained (v + 1) false;
+  let nlits = 2 * (v + 1) in
+  if Array.length s.watches < nlits then begin
+    let w = Array.init (max nlits (2 * Array.length s.watches)) (fun i ->
+        if i < Array.length s.watches then s.watches.(i) else Vec.create dummy_clause)
+    in
+    s.watches <- w
+  end;
+  s.assign.(v) <- 0;
+  s.level.(v) <- 0;
+  s.reason.(v) <- None;
+  s.activity.(v) <- 0.0;
+  s.polarity.(v) <- false;
+  s.heap_pos.(v) <- -1;
+  s.seen.(v) <- false;
+  s.constrained.(v) <- false;
+  (* not inserted into the decision heap until it appears in a clause *)
+  v
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* -------------------- trail ---------------------------------------- *)
+
+let decision_level s = Vec.len s.trail_lim
+
+let enqueue s l reason =
+  let v = var_of l in
+  s.assign.(v) <- (if sign l then 2 else 1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let mark_constrained s v =
+  if not s.constrained.(v) then begin
+    s.constrained.(v) <- true;
+    heap_insert s v
+  end
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.len s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = var_of l in
+      s.assign.(v) <- 0;
+      s.polarity.(v) <- not (sign l);
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.len s.trail
+  end
+
+(* -------------------- clauses -------------------------------------- *)
+
+let watch s l c = Vec.push s.watches.(l) c
+
+let attach s c =
+  (* watch the negations of the first two literals *)
+  watch s (negate c.lits.(0)) c;
+  watch s (negate c.lits.(1)) c
+
+exception Conflict of clause
+
+let propagate s =
+  try
+    while s.qhead < Vec.len s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      let ws = s.watches.(p) in
+      let n = Vec.len ws in
+      let j = ref 0 in
+      (* i scans, j writes back retained watches *)
+      let i = ref 0 in
+      while !i < n do
+        let c = Vec.get ws !i in
+        incr i;
+        if c.deleted then ()  (* lazily drop deleted clauses *)
+        else begin
+        (* make sure the false literal is lits.(1) *)
+        let falsel = negate p in
+        if c.lits.(0) = falsel then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- falsel
+        end;
+        if lit_val s c.lits.(0) = 1 then begin
+          (* clause satisfied; keep watch *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let len = Array.length c.lits in
+          let k = ref 2 in
+          let found = ref false in
+          while (not !found) && !k < len do
+            if lit_val s c.lits.(!k) <> 2 then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- falsel;
+              watch s (negate c.lits.(1)) c;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            (* unit or conflicting *)
+            Vec.set ws !j c;
+            incr j;
+            if lit_val s c.lits.(0) = 2 then begin
+              (* conflict: copy remaining watches and raise *)
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr i;
+                incr j
+              done;
+              Vec.shrink ws !j;
+              s.qhead <- Vec.len s.trail;
+              raise (Conflict c)
+            end
+            else enqueue s c.lits.(0) (Some c)
+          end
+        end
+        end
+      done;
+      Vec.shrink ws !j
+    done;
+    None
+  with Conflict c -> Some c
+
+let add_clause s lits =
+  if s.ok then begin
+    (* simplify: remove duplicates and false lits (level 0), drop if tautology or satisfied *)
+    assert (decision_level s = 0);
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (negate l) lits) lits
+      || List.exists (fun l -> lit_val s l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_val s l <> 2) lits in
+      List.iter (fun l -> mark_constrained s (var_of l)) lits;
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          enqueue s l None;
+          if propagate s <> None then s.ok <- false
+      | _ ->
+          let c = { lits = Array.of_list lits; learnt = false; deleted = false } in
+          s.clause_count <- s.clause_count + 1;
+          attach s c
+    end
+  end
+
+(* -------------------- conflict analysis ---------------------------- *)
+
+let analyze s confl =
+  (* first-UIP learning *)
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.len s.trail - 1) in
+  let confl = ref (Some confl) in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+    | None -> assert false
+    | Some c ->
+        let start = if !p = -1 then 0 else 1 in
+        for k = start to Array.length c.lits - 1 do
+          let q = c.lits.(k) in
+          let v = var_of q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            var_bump s v;
+            if s.level.(v) >= decision_level s then incr path_count
+            else learnt := q :: !learnt
+          end
+        done);
+    (* pick next literal to expand from the trail *)
+    let rec next_seen i = if s.seen.(var_of (Vec.get s.trail i)) then i else next_seen (i - 1) in
+    index := next_seen !index;
+    let l = Vec.get s.trail !index in
+    decr index;
+    p := l;
+    let v = var_of l in
+    confl := s.reason.(v);
+    s.seen.(v) <- false;
+    decr path_count;
+    if !path_count <= 0 then continue := false
+  done;
+  let learnt = negate !p :: !learnt in
+  (* clear seen *)
+  List.iter (fun l -> s.seen.(var_of l) <- false) learnt;
+  (* compute backtrack level = max level among learnt tail *)
+  match learnt with
+  | [] -> assert false
+  | [ _ ] -> (learnt, 0)
+  | first :: rest ->
+      let max_lit =
+        List.fold_left
+          (fun best l -> if s.level.(var_of l) > s.level.(var_of best) then l else best)
+          (List.hd rest) rest
+      in
+      (* move max to second position *)
+      let rest = max_lit :: List.filter (fun l -> l <> max_lit) rest in
+      (first :: rest, s.level.(var_of max_lit))
+
+let record_learnt s lits =
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] ->
+      (* Unit learnt clause.  Give it a self-reason so that conflict
+         analysis never expands a reasonless literal mid-level (the
+         1-literal reason contributes nothing and terminates cleanly). *)
+      enqueue s l (Some { lits = [| l |]; learnt = true; deleted = false })
+  | _ ->
+      let c = { lits = Array.of_list lits; learnt = true; deleted = false } in
+      s.clause_count <- s.clause_count + 1;
+      Vec.push s.learnts c;
+      attach s c;
+      enqueue s c.lits.(0) (Some c)
+
+(* -------------------- search --------------------------------------- *)
+
+(* a clause is locked while it is the reason of an assignment *)
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = var_of c.lits.(0) in
+  s.assign.(v) <> 0 && (match s.reason.(v) with Some r -> r == c | None -> false)
+
+(* periodically drop the older half of long learned clauses; binary
+   and locked clauses are kept (MiniSat's reduceDB) *)
+let reduce_db s =
+  let n = Vec.len s.learnts in
+  if n > s.reduce_limit then begin
+    let kept = ref [] in
+    let deleted = ref 0 in
+    for i = 0 to n - 1 do
+      let c = Vec.get s.learnts i in
+      if c.deleted then ()
+      else if i < n / 2 && Array.length c.lits > 2 && not (locked s c) then begin
+        c.deleted <- true;
+        incr deleted;
+        s.clause_count <- s.clause_count - 1
+      end
+      else kept := c :: !kept
+    done;
+    Vec.shrink s.learnts 0;
+    List.iter (Vec.push s.learnts) (List.rev !kept);
+    s.reduce_limit <- s.reduce_limit + (s.reduce_limit / 2)
+  end
+
+let rec luby i =
+  (* Luby sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+  let rec pow2 k = if k = 0 then 1 else 2 * pow2 (k - 1) in
+  let rec find k = if pow2 k - 1 >= i then k else find (k + 1) in
+  let k = find 1 in
+  if pow2 k - 1 = i then pow2 (k - 1) else luby (i - pow2 (k - 1) + 1)
+
+let pick_branch s =
+  let rec go () =
+    if Vec.len s.heap = 0 then None
+    else
+      let v = heap_remove_max s in
+      if s.assign.(v) = 0 then Some v else go ()
+  in
+  go ()
+
+exception Unsat
+exception Sat_found
+
+let solve ?(assumptions = []) s =
+  if not s.ok then false
+  else begin
+    cancel_until s 0;
+    let assumptions = Array.of_list assumptions in
+    let conflicts_budget = ref 100 in
+    let restart_count = ref 0 in
+    try
+      let rec search () =
+        match propagate s with
+        | Some confl ->
+            s.conflicts <- s.conflicts + 1;
+            if decision_level s <= Array.length assumptions then begin
+              (* conflict within/below assumption levels: UNSAT under assumptions.
+                 Conservative: any conflict at a level not above the assumption
+                 prefix means assumptions are inconsistent with the clauses. *)
+              if decision_level s = 0 then s.ok <- false;
+              raise Unsat
+            end;
+            reduce_db s;
+            let learnt, back_lvl = analyze s confl in
+            let back_lvl = max back_lvl (min (Array.length assumptions) (decision_level s - 1)) in
+            cancel_until s back_lvl;
+            record_learnt s learnt;
+            var_decay s;
+            decr conflicts_budget;
+            if !conflicts_budget <= 0 then begin
+              incr restart_count;
+              conflicts_budget := 100 * luby (!restart_count + 1);
+              cancel_until s (min (Array.length assumptions) (decision_level s))
+            end;
+            search ()
+        | None ->
+            if decision_level s < Array.length assumptions then begin
+              (* establish next assumption *)
+              let a = assumptions.(decision_level s) in
+              match lit_val s a with
+              | 1 ->
+                  (* already true: still open a level to keep indexing aligned *)
+                  Vec.push s.trail_lim (Vec.len s.trail);
+                  search ()
+              | 2 -> raise Unsat
+              | _ ->
+                  Vec.push s.trail_lim (Vec.len s.trail);
+                  enqueue s a None;
+                  search ()
+            end
+            else begin
+              match pick_branch s with
+              | None -> raise Sat_found
+              | Some v ->
+                  s.decisions <- s.decisions + 1;
+                  Vec.push s.trail_lim (Vec.len s.trail);
+                  let l = if s.polarity.(v) then pos v else neg v in
+                  enqueue s l None;
+                  search ()
+            end
+      in
+      search ()
+    with
+    | Sat_found -> true
+    | Unsat ->
+        cancel_until s 0;
+        false
+  end
+
+let set_polarity s v b = if v < s.nvars then s.polarity.(v) <- b
+
+let backtrack s = cancel_until s 0
+
+let snapshot s = Array.sub s.assign 0 s.nvars
+
+let value s v = s.assign.(v) = 1
+
+let lit_value s l = lit_val s l = 1

@@ -1,0 +1,58 @@
+(** A CDCL SAT solver (two-watched-literal propagation, VSIDS decision
+    heuristic, first-UIP clause learning, phase saving, Luby restarts,
+    solving under assumptions).
+
+    Literals are integers: variable [v]'s positive literal is [2 * v],
+    its negation [2 * v + 1].  Variables must be allocated with
+    {!new_var} before use. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a variable and returns its index. *)
+
+val nvars : t -> int
+val nclauses : t -> int
+
+val pos : int -> int
+(** [pos v] is variable [v]'s positive literal. *)
+
+val neg : int -> int
+(** [neg v] is variable [v]'s negative literal. *)
+
+val negate : int -> int
+(** Negates a literal. *)
+
+val add_clause : t -> int list -> unit
+(** Adds a clause.  Adding the empty clause (or a clause falsified at
+    level 0) makes the instance permanently unsatisfiable. *)
+
+val solve : ?assumptions:int list -> t -> bool
+(** [solve s ~assumptions] is [true] iff the clauses are satisfiable
+    together with the assumption literals.  The solver state persists:
+    learned clauses are kept across calls (incremental solving). *)
+
+val set_polarity : t -> int -> bool -> unit
+(** [set_polarity s v b] makes the solver try [v = b] first when
+    branching (phase suggestion; overwritten by phase saving after the
+    next conflict involving [v]). *)
+
+val backtrack : t -> unit
+(** Undoes all decisions, returning to level 0.  Must be called before
+    {!add_clause} if a {!solve} has run since the last clause was
+    added.  Invalidate any model read so far. *)
+
+val snapshot : t -> int array
+(** Copy of the current assignment array (0 unassigned / 1 true /
+    2 false per variable), valid until mutated by the caller. *)
+
+val value : t -> int -> bool
+(** [value s v]: variable [v]'s value in the model of the last
+    successful {!solve}. *)
+
+val lit_value : t -> int -> bool
+
+val stats : t -> int * int * int
+(** (decisions, propagations, conflicts) since creation. *)

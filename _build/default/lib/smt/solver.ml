@@ -1,0 +1,155 @@
+module Bits = Bitv.Bits
+
+type result = Sat | Unsat
+
+type t = {
+  sat : Sat.t;
+  blast : Blast.t;
+  mutable scopes : int list; (* activation literals, innermost first *)
+  (* snapshot of the SAT assignment after the last Sat answer; models
+     are read from here so they survive backtracking, and branch
+     conditions already true under it skip the solver entirely *)
+  mutable model_snap : int array;
+  (* per-variable suggested values for free inputs; consulted when the
+     SAT core left the bit unassigned (unconstrained vars are no longer
+     decided at all) *)
+  suggestions : (int, Bitv.Bits.t) Hashtbl.t;
+  mutable checks : int;
+  mutable time : float;
+}
+
+let create () =
+  let sat = Sat.create () in
+  let blast = Blast.create sat in
+  {
+    sat;
+    blast;
+    scopes = [];
+    model_snap = [||];
+    suggestions = Hashtbl.create 256;
+    checks = 0;
+    time = 0.0;
+  }
+
+let scope_depth s = List.length s.scopes
+
+let push s =
+  Sat.backtrack s.sat;
+  let g = Sat.pos (Sat.new_var s.sat) in
+  s.scopes <- g :: s.scopes
+
+let pop s =
+  match s.scopes with
+  | [] -> invalid_arg "Solver.pop: no scope to pop"
+  | g :: rest ->
+      Sat.backtrack s.sat;
+      (* permanently disable the scope's assertions *)
+      Sat.add_clause s.sat [ Sat.negate g ];
+      s.scopes <- rest
+
+let assert_ s e =
+  if Expr.width e <> 1 then invalid_arg "Solver.assert_: width-1 term expected";
+  Sat.backtrack s.sat;
+  let l = Blast.lit s.blast e in
+  match s.scopes with
+  | [] -> Sat.add_clause s.sat [ l ]
+  | g :: _ -> Sat.add_clause s.sat [ Sat.negate g; l ]
+
+let run s assumptions =
+  s.checks <- s.checks + 1;
+  let t0 = Unix.gettimeofday () in
+  let r = Sat.solve ~assumptions s.sat in
+  s.time <- s.time +. (Unix.gettimeofday () -. t0);
+  if r then begin
+    s.model_snap <- Sat.snapshot s.sat;
+    Sat
+  end
+  else Unsat
+
+let check s = run s s.scopes
+
+let check_assuming s es =
+  Sat.backtrack s.sat;
+  let ls =
+    List.map
+      (fun e ->
+        if Expr.width e <> 1 then
+          invalid_arg "Solver.check_assuming: width-1 term expected";
+        Blast.lit s.blast e)
+      es
+  in
+  run s (s.scopes @ ls)
+
+let suggest s e (b : Bits.t) =
+  (* record the preferred value, materialize the variable's bits
+     (fresh SAT vars, no clauses), and set branching polarity for the
+     bits the solver does decide *)
+  (match e.Expr.node with
+  | Expr.Var v -> Hashtbl.replace s.suggestions v.Expr.vid b
+  | _ -> ());
+  let ls = Blast.bits s.blast e in
+  Array.iteri
+    (fun i l ->
+      if l land 1 = 0 (* positive literal: polarity = bit value *) then
+        Sat.set_polarity s.sat (l lsr 1) (Bits.get b i)
+      else Sat.set_polarity s.sat (l lsr 1) (not (Bits.get b i)))
+    ls
+
+(* literal value under the snapshot: 1 true, 2 false, 0 unassigned *)
+let snap_raw s l =
+  let v = l lsr 1 in
+  let a = if v < Array.length s.model_snap then s.model_snap.(v) else 0 in
+  if a = 0 then 0 else if l land 1 = 0 then a else 3 - a
+
+let snap_lit s l = snap_raw s l = 1
+
+let bits_of_lits s ls =
+  let w = Array.length ls in
+  let v = ref (Bits.zero w) in
+  for i = 0 to w - 1 do
+    if snap_lit s ls.(i) then
+      v := Bits.logor !v (Bits.shift_left (Bits.of_int ~width:w 1) i)
+  done;
+  !v
+
+(* like [bits_of_lits] but bits the model leaves unassigned (the SAT
+   core only decides constrained variables) fall back to a suggested
+   value — any value is a sound extension for an unconstrained bit *)
+let bits_of_lits_with_default s ls (default : Bits.t option) =
+  let w = Array.length ls in
+  let v = ref (Bits.zero w) in
+  for i = 0 to w - 1 do
+    let bit =
+      match snap_raw s ls.(i) with
+      | 1 -> true
+      | 2 -> false
+      | _ -> ( match default with Some d -> Bits.get d i | None -> false)
+    in
+    if bit then v := Bits.logor !v (Bits.shift_left (Bits.of_int ~width:w 1) i)
+  done;
+  !v
+
+let model_var s (v : Expr.var) =
+  let default = Hashtbl.find_opt s.suggestions v.Expr.vid in
+  match Blast.var_bits s.blast v with
+  | Some ls -> bits_of_lits_with_default s ls default
+  | None -> ( match default with Some d -> Bits.zext d v.Expr.vwidth | None -> Bits.zero v.Expr.vwidth)
+
+let model_taint s id width =
+  match Blast.taint_bits s.blast id with
+  | Some ls -> bits_of_lits s ls
+  | None -> Bits.zero width
+
+let model_eval s e =
+  Expr.eval ~taint:(fun id w -> model_taint s id w) (fun v -> model_var s v) e
+
+let size s = Sat.nvars s.sat
+
+(* [holds s e] — the width-1 term [e] is true under the last model
+   (extended with zeros for new variables).  Used by the explorer to
+   skip solver calls for branches the current model already takes. *)
+let holds s e =
+  Array.length s.model_snap > 0 && Bits.is_ones (model_eval s e)
+
+let num_checks s = s.checks
+let solve_time s = s.time

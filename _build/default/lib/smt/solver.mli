@@ -1,0 +1,60 @@
+(** Incremental QF_BV solver over {!Expr} terms.
+
+    Assertions are grouped into a stack of scopes.  {!push} opens a
+    scope guarded by a fresh activation literal; {!pop} retires the
+    scope and permanently disables its assertions.  Learned clauses
+    and blasted subcircuits survive pops, which is what makes DFS path
+    exploration incremental (the paper configures Z3 the same way,
+    §6). *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val push : t -> unit
+val pop : t -> unit
+(** Raises [Invalid_argument] when the scope stack is empty. *)
+
+val scope_depth : t -> int
+
+val assert_ : t -> Expr.t -> unit
+(** Asserts a width-1 term in the current scope. *)
+
+val check : t -> result
+
+val check_assuming : t -> Expr.t list -> result
+(** Checks the current assertions plus temporary width-1 assumptions
+    that are not retained. *)
+
+val suggest : t -> Expr.t -> Bitv.Bits.t -> unit
+(** [suggest s var_term value] asks the SAT core to try [value] first
+    for the bits of a variable term — a "soft" preference that costs no
+    clauses, used to randomize free test inputs. *)
+
+val model_var : t -> Expr.var -> Bitv.Bits.t
+(** Value of a variable in the model of the last [Sat] answer.
+    Variables that never appeared in an assertion are zero. *)
+
+val model_taint : t -> int -> int -> Bitv.Bits.t
+(** [model_taint s id width]: model value of a taint node. *)
+
+val model_eval : t -> Expr.t -> Bitv.Bits.t
+(** Evaluates any term under the last model. *)
+
+val size : t -> int
+(** Number of SAT variables allocated so far (grows monotonically as
+    terms are blasted; used to decide when a fresh solver is cheaper
+    than an ever-growing one). *)
+
+val holds : t -> Expr.t -> bool
+(** [holds s e]: the width-1 term [e] evaluates to true under the last
+    [Sat] model (extended with zeros for variables the model does not
+    mention).  When it does, the model also witnesses satisfiability of
+    the current assertions plus [e], so no solver call is needed. *)
+
+val num_checks : t -> int
+val solve_time : t -> float
+(** Cumulative wall-clock seconds spent inside {!check} /
+    {!check_assuming} (the paper's Fig. 7 instruments this). *)

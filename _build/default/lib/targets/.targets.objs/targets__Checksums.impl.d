@@ -1,0 +1,1 @@
+lib/targets/checksums.ml: Bitv List

@@ -1,0 +1,1 @@
+lib/targets/ebpf.ml: Ast Checksums Eval Hashtbl List P4 Smt Step String Target_intf Testgen

@@ -1,0 +1,1 @@
+lib/targets/registry.ml: Ebpf List T2na Testgen Tna V1model

@@ -1,0 +1,1 @@
+lib/targets/t2na.ml: Testgen Tofino

@@ -1,0 +1,1 @@
+lib/targets/tna.ml: Testgen Tofino

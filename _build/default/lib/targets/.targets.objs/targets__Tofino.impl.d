@@ -1,0 +1,1 @@
+lib/targets/tofino.ml: Ast Bitv Checksums Eval Hashtbl List Option P4 Smt Step String Target_intf Testgen

@@ -1,0 +1,1 @@
+lib/targets/v1model.ml: Array Ast Bitv Checksums Env Eval Hashtbl List Option P4 Smt Step String Target_intf Testgen Typing

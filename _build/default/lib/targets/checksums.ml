@@ -1,0 +1,74 @@
+(* Concrete implementations of the hash/checksum externs.
+
+   These are the functions the concolic engine (§5.4) executes to bind
+   placeholder variables: the symbolic executor never encodes them in
+   first-order logic. *)
+
+module Bits = Bitv.Bits
+
+(* data as bytes, MSB first; odd widths are padded with zero bits at
+   the tail, mirroring BMv2's calculation buffers *)
+let to_bytes (b : Bits.t) : int list =
+  let w = Bits.width b in
+  let padded = if w mod 8 = 0 then b else Bits.concat b (Bits.zero (8 - (w mod 8))) in
+  let n = Bits.width padded / 8 in
+  List.init n (fun i ->
+      Bits.to_int (Bits.slice padded ~hi:(Bits.width padded - (8 * i) - 1) ~lo:(Bits.width padded - (8 * (i + 1)))))
+
+(** RFC 1071 ones'-complement 16-bit checksum. *)
+let csum16 (data : Bits.t) : Bits.t =
+  let bytes = to_bytes data in
+  let rec words = function
+    | [] -> []
+    | [ a ] -> [ a * 256 ]
+    | a :: b :: rest -> ((a * 256) + b) :: words rest
+  in
+  let sum = List.fold_left ( + ) 0 (words bytes) in
+  let rec fold s = if s > 0xFFFF then fold ((s land 0xFFFF) + (s lsr 16)) else s in
+  Bits.of_int ~width:16 (lnot (fold sum) land 0xFFFF)
+
+(** CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320). *)
+let crc32 (data : Bits.t) : Bits.t =
+  let crc = ref 0xFFFFFFFF in
+  List.iter
+    (fun byte ->
+      crc := !crc lxor byte;
+      for _ = 1 to 8 do
+        if !crc land 1 = 1 then crc := (!crc lsr 1) lxor 0xEDB88320 else crc := !crc lsr 1
+      done)
+    (to_bytes data);
+  Bits.of_int ~width:32 (lnot !crc land 0xFFFFFFFF)
+
+(** CRC-16 (ARC, reflected, poly 0xA001). *)
+let crc16 (data : Bits.t) : Bits.t =
+  let crc = ref 0 in
+  List.iter
+    (fun byte ->
+      crc := !crc lxor byte;
+      for _ = 1 to 8 do
+        if !crc land 1 = 1 then crc := (!crc lsr 1) lxor 0xA001 else crc := !crc lsr 1
+      done)
+    (to_bytes data);
+  Bits.of_int ~width:16 !crc
+
+(** XOR of all 16-bit words. *)
+let xor16 (data : Bits.t) : Bits.t =
+  let bytes = to_bytes data in
+  let rec words = function
+    | [] -> []
+    | [ a ] -> [ a * 256 ]
+    | a :: b :: rest -> ((a * 256) + b) :: words rest
+  in
+  Bits.of_int ~width:16 (List.fold_left ( lxor ) 0 (words bytes))
+
+(** Identity "hash": the low [width] bits of the input. *)
+let identity ~width (data : Bits.t) : Bits.t = Bits.zext data width
+
+let by_algorithm ~width (algo : string) : Bits.t -> Bits.t =
+  match algo with
+  | "csum16" -> fun d -> Bits.zext (csum16 d) width
+  | "crc16" -> fun d -> Bits.zext (crc16 d) width
+  | "crc32" | "crc32_custom" -> fun d -> Bits.zext (crc32 d) width
+  | "xor16" -> fun d -> Bits.zext (xor16 d) width
+  | "identity" -> identity ~width
+  | _ -> fun d -> Bits.zext (crc32 d) width

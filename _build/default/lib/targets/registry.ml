@@ -1,0 +1,20 @@
+(* Registry of all shipped target extensions (Tbl. 1). *)
+
+let all : (string * (module Testgen.Target_intf.S)) list =
+  [
+    ("v1model", V1model.target);
+    ("tna", Tna.target);
+    ("t2na", T2na.target);
+    ("ebpf_model", Ebpf.target);
+  ]
+
+let find name = List.assoc_opt name all
+
+(** Tbl. 1: extension -> (target device, test back ends). *)
+let capabilities =
+  [
+    ("v1model", ("BMv2", [ "STF"; "PTF"; "Protobuf" ]));
+    ("tna", ("Tofino 1", [ "Internal"; "PTF" ]));
+    ("t2na", ("Tofino 2", [ "Internal"; "PTF" ]));
+    ("ebpf_model", ("Linux Kernel", [ "STF" ]));
+  ]

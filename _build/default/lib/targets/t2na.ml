@@ -1,0 +1,8 @@
+(* The t2na architecture extension (Tofino 2, §6.1.2).
+
+   t2na shares the tna pipeline template and adds the ghost-thread
+   metadata types; ghost blocks in the package instantiation are
+   accepted and ignored (the ghost thread runs concurrently with
+   packet processing and does not affect single-packet tests). *)
+
+let target : (module Testgen.Target_intf.S) = Tofino.make Tofino.T2na

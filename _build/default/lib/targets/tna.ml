@@ -1,0 +1,3 @@
+(* The tna architecture extension (Tofino 1, §6.1.2). *)
+
+let target : (module Testgen.Target_intf.S) = Tofino.make Tofino.Tna

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Backends Bitv List Option Progzoo String Targets Testgen

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bitv QCheck QCheck_alcotest

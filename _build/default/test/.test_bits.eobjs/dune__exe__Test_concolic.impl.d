@@ -1,0 +1,1 @@
+test/test_concolic.ml: Alcotest Bitv List Printf Progzoo Targets Testgen

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Bitv List Printf Progzoo String Targets Testgen

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest List P4 Printf Progzoo Sim Targets Testgen

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Bitv List Printf Targets Testgen

@@ -1,0 +1,1 @@
+test/test_p4.ml: Alcotest Ast Lexer List Option P4 Parser Passes Pretty String Typing

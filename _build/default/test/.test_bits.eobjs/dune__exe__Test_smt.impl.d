@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Bitv Fun List Option Printf QCheck QCheck_alcotest Smt

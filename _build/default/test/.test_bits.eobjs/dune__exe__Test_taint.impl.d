@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Bitv List Printf Smt Targets Testgen

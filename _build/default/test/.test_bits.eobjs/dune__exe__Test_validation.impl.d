@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Bitv List Option Progzoo Sim Targets Testgen

@@ -1,0 +1,150 @@
+(* Back-end emitter tests: STF / PTF / protobuf-text formats. *)
+
+module Bits = Bitv.Bits
+module Testspec = Testgen.Testspec
+
+let sample_test =
+  Testspec.make
+    ~input:(Testspec.packet ~port:(Bits.of_int ~width:9 3) (Bits.of_hex ~width:112 "00000000000000000000000000BEEF" |> fun b -> Bits.slice b ~hi:111 ~lo:0))
+    ~outputs:
+      [
+        {
+          Testspec.port = Bits.of_int ~width:9 7;
+          data = Bits.of_int ~width:16 0xBEEF;
+          dontcare = Bits.zero 16;
+        };
+      ]
+    ~entries:
+      [
+        {
+          Testspec.e_table = "forward_table";
+          e_keys = [ ("etype", Testspec.MExact (Bits.of_int ~width:16 0xBEEF)) ];
+          e_action = "set_out";
+          e_args = [ ("port", Bits.of_int ~width:9 7) ];
+          e_priority = None;
+        };
+      ]
+    ~registers:[] ~covered:[ 1; 2; 3 ] ~comment:"sample"
+
+let drop_test =
+  Testspec.make
+    ~input:(Testspec.packet ~port:(Bits.of_int ~width:9 1) (Bits.of_int ~width:16 0xAAAA))
+    ~outputs:[] ~entries:[] ~registers:[] ~covered:[] ~comment:"drop"
+
+let masked_test =
+  Testspec.make
+    ~input:(Testspec.packet ~port:(Bits.of_int ~width:9 1) (Bits.of_int ~width:16 0x1234))
+    ~outputs:
+      [
+        {
+          Testspec.port = Bits.of_int ~width:9 2;
+          data = Bits.of_int ~width:16 0xFF00;
+          dontcare = Bits.of_int ~width:16 0x00FF;  (* low byte undefined *)
+        };
+      ]
+    ~entries:[] ~registers:[] ~covered:[] ~comment:"masked"
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_stf () =
+  let out = Backends.Stf.emit [ sample_test; drop_test ] in
+  Alcotest.(check bool) "add line" true (contains out "add forward_table etype:0xBEEF set_out(port:0x007)");
+  Alcotest.(check bool) "packet line" true (contains out "packet 3 ");
+  Alcotest.(check bool) "expect line" true (contains out "expect 7 BEEF");
+  Alcotest.(check bool) "drop comment" true (contains out "# expect no packet (drop)")
+
+let test_stf_mask () =
+  let out = Backends.Stf.emit [ masked_test ] in
+  (* don't-care nibbles become '*' *)
+  Alcotest.(check bool) "masked nibbles" true (contains out "expect 2 FF**")
+
+let test_stf_range_unsupported () =
+  let t =
+    Testspec.make
+      ~input:(Testspec.packet ~port:(Bits.zero 9) (Bits.zero 16))
+      ~outputs:[]
+      ~entries:
+        [
+          {
+            Testspec.e_table = "t";
+            e_keys = [ ("k", Testspec.MRange (Bits.zero 8, Bits.ones 8)) ];
+            e_action = "a";
+            e_args = [];
+            e_priority = None;
+          };
+        ]
+      ~registers:[] ~covered:[] ~comment:"range"
+  in
+  (* STF cannot express range entries (§6): the test is skipped, not emitted *)
+  let out = Backends.Stf.emit [ t ] in
+  Alcotest.(check bool) "skipped" true (contains out "skipped");
+  Alcotest.(check bool) "no add" false (contains out "add t ")
+
+let test_ptf () =
+  let out = Backends.Ptf.emit [ sample_test; masked_test ] in
+  Alcotest.(check bool) "class" true (contains out "class Test0(P4TestgenTest):");
+  Alcotest.(check bool) "table_add" true (contains out "self.table_add(\"forward_table\"");
+  Alcotest.(check bool) "send" true (contains out "send_packet(self, 3, pkt)");
+  Alcotest.(check bool) "verify" true (contains out "verify_packet(self, exp0, 7)");
+  Alcotest.(check bool) "masked verify" true (contains out "verify_masked_packet");
+  let out_drop = Backends.Ptf.emit [ drop_test ] in
+  Alcotest.(check bool) "drop verify" true (contains out_drop "verify_no_other_packets")
+
+let test_proto () =
+  let out = Backends.Proto.emit [ sample_test; drop_test ] in
+  Alcotest.(check bool) "table entry" true (contains out "table: \"forward_table\"");
+  Alcotest.(check bool) "exact match" true (contains out "exact { value:");
+  Alcotest.(check bool) "action" true (contains out "name: \"set_out\"");
+  Alcotest.(check bool) "input packet" true (contains out "input_packet {");
+  Alcotest.(check bool) "drop" true (contains out "expect_drop: true")
+
+let test_registry () =
+  Alcotest.(check int) "three back ends" 3 (List.length Backends.Registry.all);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Backends.Registry.find name <> None))
+    [ "stf"; "ptf"; "protobuf" ]
+
+(* round-trip style property: every generated corpus test serializes
+   without raising in every back end *)
+let test_all_backends_total () =
+  List.iter
+    (fun (name, src) ->
+      let arch =
+        match name with
+        | "ebpf_filter" -> "ebpf_model"
+        | "tna_basic" | "tna_kitchen" -> "tna"
+        | _ -> "v1model"
+      in
+      let tgt = Option.get (Targets.Registry.find arch) in
+      let run = Testgen.Oracle.generate tgt src in
+      let tests = run.Testgen.Oracle.result.Testgen.Explore.tests in
+      List.iter
+        (fun (b : Backends.Registry.t) ->
+          let out = b.emit tests in
+          Alcotest.(check bool) (name ^ "/" ^ b.name ^ " non-empty") true
+            (String.length out > 0))
+        Backends.Registry.all)
+    (Progzoo.Corpus.v1model_validatable
+    @ [ ("ebpf_filter", Progzoo.Corpus.ebpf_filter); ("tna_basic", Progzoo.Corpus.tna_basic) ])
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "stf",
+        [
+          Alcotest.test_case "format" `Quick test_stf;
+          Alcotest.test_case "don't-care mask" `Quick test_stf_mask;
+          Alcotest.test_case "range unsupported" `Quick test_stf_range_unsupported;
+        ] );
+      ("ptf", [ Alcotest.test_case "format" `Quick test_ptf ]);
+      ("protobuf", [ Alcotest.test_case "format" `Quick test_proto ]);
+      ( "registry",
+        [
+          Alcotest.test_case "lookup" `Quick test_registry;
+          Alcotest.test_case "total on corpus" `Quick test_all_backends_total;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+(* Concolic-execution tests (§5.4): checksum and hash externs must be
+   bound to their real implementations in the emitted tests, and paths
+   whose concolic constraints cannot be satisfied must be discarded
+   rather than emitted flaky. *)
+
+module Bits = Bitv.Bits
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+module Testspec = Testgen.Testspec
+
+let generate src = Oracle.generate Targets.V1model.target src
+
+let wrap ~verify_body ~ingress_body =
+  Printf.sprintf
+    {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<16> h; bit<1> err; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { %s } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply { %s }
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+    verify_body ingress_body
+
+let test_hash_binding () =
+  (* the hash result steers a branch; emitted tests must carry packets
+     whose *recomputed* hash actually takes that branch *)
+  let src =
+    wrap ~verify_body:""
+      ~ingress_body:
+        {|
+    hash(meta.h, HashAlgorithm.crc16, 16w0, {hdr.eth.dst, hdr.eth.src}, 16w256);
+    if (meta.h[0:0] == 1) {
+      sm.egress_spec = 2;
+    } else {
+      sm.egress_spec = 3;
+    }
+|}
+  in
+  let run = generate src in
+  let tests = run.Oracle.result.Explore.tests in
+  let checked = ref 0 in
+  List.iter
+    (fun (t : Testspec.t) ->
+      if Bits.width t.input.data = 112 then begin
+        let data = Bits.slice t.input.data ~hi:111 ~lo:16 in
+        let h =
+          Bits.to_int (Bits.urem (Bits.zext (Targets.Checksums.crc16 data) 16)
+                         (Bits.of_int ~width:16 256))
+        in
+        let expected_port = if h land 1 = 1 then 2 else 3 in
+        match t.outputs with
+        | [ o ] ->
+            incr checked;
+            Alcotest.(check int) "port consistent with recomputed hash" expected_port
+              (Bits.to_int o.port)
+        | _ -> Alcotest.fail "expected one output"
+      end)
+    tests;
+  (* both branches must be exercised *)
+  Alcotest.(check bool) "both hash branches covered" true (!checked >= 2);
+  let ports =
+    List.filter_map
+      (fun (t : Testspec.t) ->
+        match t.outputs with [ o ] -> Some (Bits.to_int o.port) | _ -> None)
+      tests
+  in
+  Alcotest.(check bool) "port 2 reached" true (List.mem 2 ports);
+  Alcotest.(check bool) "port 3 reached" true (List.mem 3 ports)
+
+let test_verify_checksum_constant_reference_infeasible () =
+  (* §5.4, "handling unsatisfiable concolic assignments": when the
+     reference value is a constant that no input data hashes to along
+     the path, the checksum-ok branch must be discarded, not emitted *)
+  let src =
+    wrap
+      ~verify_body:
+        {|
+    meta.err = verify_checksum(hdr.eth.isValid(), {hdr.eth.dst, hdr.eth.src},
+                               16w0xFFFF, HashAlgorithm.csum16);
+|}
+      ~ingress_body:
+        {|
+    if (meta.err == 1) {
+      mark_to_drop(sm);
+    } else {
+      sm.egress_spec = 2;
+    }
+|}
+  in
+  (* csum16(x) = 0xFFFF holds exactly when the folded sum is 0, e.g.
+     the all-zero input: the ok branch IS feasible here, and the
+     emitted test must carry data whose checksum really is 0xFFFF *)
+  let run = generate src in
+  let oks =
+    List.filter
+      (fun (t : Testspec.t) ->
+        (not (Testspec.is_drop t)) && Bits.width t.input.data = 112)
+      run.Oracle.result.Explore.tests
+  in
+  List.iter
+    (fun (t : Testspec.t) ->
+      let data = Bits.slice t.input.data ~hi:111 ~lo:16 in
+      Alcotest.(check string) "data checksums to 0xFFFF" "FFFF"
+        (Bits.to_hex (Targets.Checksums.csum16 data)))
+    oks
+
+let test_update_checksum_in_output () =
+  (* the deparsed packet must carry the checksum of the *final* header
+     contents (TTL already decremented) *)
+  let run = generate Progzoo.Corpus.ipv4_checksum in
+  let fwd =
+    List.filter
+      (fun (t : Testspec.t) -> not (Testspec.is_drop t))
+      run.Oracle.result.Explore.tests
+  in
+  Alcotest.(check bool) "forwarding tests exist" true (fwd <> []);
+  List.iter
+    (fun (t : Testspec.t) ->
+      let o = List.hd t.outputs in
+      let w = Bits.width o.data in
+      if w >= 112 + 160 then begin
+        (* ipv4 header is the 160 bits after ethernet *)
+        let ip = Bits.slice o.data ~hi:(w - 113) ~lo:(w - 272) in
+        let before = Bits.slice ip ~hi:159 ~lo:80 in
+        let after = Bits.slice ip ~hi:63 ~lo:0 in
+        let carried = Bits.slice ip ~hi:79 ~lo:64 in
+        let recomputed = Targets.Checksums.csum16 (Bits.concat before after) in
+        Alcotest.(check string) "output checksum correct" (Bits.to_hex recomputed)
+          (Bits.to_hex carried)
+      end)
+    fwd
+
+let test_dependent_concolic_calls () =
+  (* a hash of a hash: calls must be bound oldest-first *)
+  let src =
+    wrap ~verify_body:""
+      ~ingress_body:
+        {|
+    hash(meta.h, HashAlgorithm.crc16, 16w0, {hdr.eth.dst}, 16w0);
+    hash(hdr.eth.etype, HashAlgorithm.crc16, 16w0, {meta.h}, 16w0);
+    sm.egress_spec = 4;
+|}
+  in
+  let run = generate src in
+  let fwd =
+    List.filter
+      (fun (t : Testspec.t) ->
+        (not (Testspec.is_drop t)) && Bits.width t.input.data = 112)
+      run.Oracle.result.Explore.tests
+  in
+  Alcotest.(check bool) "tests exist" true (fwd <> []);
+  List.iter
+    (fun (t : Testspec.t) ->
+      let o = List.hd t.outputs in
+      let dst = Bits.slice t.input.data ~hi:111 ~lo:64 in
+      let h1 = Bits.zext (Targets.Checksums.crc16 dst) 16 in
+      let h2 = Bits.zext (Targets.Checksums.crc16 h1) 16 in
+      Alcotest.(check string) "chained hashes" (Bits.to_hex h2)
+        (Bits.to_hex (Bits.slice o.data ~hi:15 ~lo:0)))
+    fwd
+
+let () =
+  Alcotest.run "concolic"
+    [
+      ( "externs",
+        [
+          Alcotest.test_case "hash branch binding" `Quick test_hash_binding;
+          Alcotest.test_case "constant reference" `Quick
+            test_verify_checksum_constant_reference_infeasible;
+          Alcotest.test_case "update_checksum output" `Quick test_update_checksum_in_output;
+          Alcotest.test_case "dependent calls" `Quick test_dependent_concolic_calls;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Exploration-strategy and precondition tests: DFS exhaustion,
+   random ordering, coverage-greedy emission, test caps, fixed packet
+   size, P4-constraints pruning, recirculation bounds. *)
+
+module Bits = Bitv.Bits
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+module Runtime = Testgen.Runtime
+module Testspec = Testgen.Testspec
+
+let v1model = Targets.V1model.target
+
+let generate ?(opts = Runtime.default_options) ?(config = Explore.default_config) src =
+  Oracle.generate ~opts ~config v1model src
+
+let test_dfs_exhaustive () =
+  let run = generate Progzoo.Corpus.lpm_router in
+  let r = run.Oracle.result in
+  (* every feasible path became a test or was deliberately discarded *)
+  Alcotest.(check int) "paths = tests + discards"
+    r.Explore.stats.Explore.paths
+    (r.Explore.stats.Explore.tests + r.Explore.stats.Explore.discarded_taint
+   + r.Explore.stats.Explore.discarded_concolic);
+  Alcotest.(check bool) "pruning happened" true (r.Explore.stats.Explore.infeasible >= 0)
+
+let test_max_tests_cap () =
+  let config = { Explore.default_config with Explore.max_tests = Some 3 } in
+  let run = generate ~config Progzoo.Corpus.lpm_router in
+  Alcotest.(check int) "capped" 3 (List.length run.Oracle.result.Explore.tests)
+
+let test_rnd_same_coverage () =
+  (* random branch ordering explores the same path space *)
+  let run_dfs = generate Progzoo.Corpus.lpm_router in
+  let config = { Explore.default_config with Explore.strategy = Explore.Rnd } in
+  let run_rnd = generate ~config Progzoo.Corpus.lpm_router in
+  Alcotest.(check int) "same test count"
+    (List.length run_dfs.Oracle.result.Explore.tests)
+    (List.length run_rnd.Oracle.result.Explore.tests);
+  Alcotest.(check bool) "same coverage" true
+    (Testgen.Runtime.IntSet.equal run_dfs.Oracle.result.Explore.covered
+       run_rnd.Oracle.result.Explore.covered)
+
+let test_cov_greedy_fewer_tests () =
+  (* the coverage-greedy strategy emits only coverage-increasing tests:
+     never more than DFS, same final coverage *)
+  let run_dfs = generate Progzoo.Corpus.lpm_router in
+  let config = { Explore.default_config with Explore.strategy = Explore.Cov } in
+  let run_cov = generate ~config Progzoo.Corpus.lpm_router in
+  Alcotest.(check bool) "fewer or equal tests" true
+    (List.length run_cov.Oracle.result.Explore.tests
+    <= List.length run_dfs.Oracle.result.Explore.tests);
+  Alcotest.(check bool) "same coverage" true
+    (Testgen.Runtime.IntSet.equal run_dfs.Oracle.result.Explore.covered
+       run_cov.Oracle.result.Explore.covered)
+
+let test_stop_at_full_coverage () =
+  let config = { Explore.default_config with Explore.stop_at_full_coverage = true } in
+  let run = generate ~config Progzoo.Corpus.lpm_router in
+  let r = run.Oracle.result in
+  Alcotest.(check bool) "full coverage reached" true (Explore.coverage_pct r >= 100.0)
+
+let test_fixed_packet_size () =
+  (* with a fixed input size there are no parser-reject paths and every
+     input is exactly that size (Tbl. 4b) *)
+  let opts = { Runtime.default_options with Runtime.fixed_packet_bytes = Some 64 } in
+  let run = generate ~opts Progzoo.Corpus.lpm_router in
+  let tests = run.Oracle.result.Explore.tests in
+  Alcotest.(check bool) "tests exist" true (tests <> []);
+  List.iter
+    (fun (t : Testspec.t) ->
+      Alcotest.(check bool) "no short packets" true (Bits.width t.input.data > 0))
+    tests
+
+let test_constraints_prune () =
+  let src = Progzoo.Generators.middleblock ~acl_stages:1 () in
+  let with_c =
+    generate ~opts:{ Runtime.default_options with Runtime.apply_constraints = true } src
+  in
+  let without_c =
+    generate ~opts:{ Runtime.default_options with Runtime.apply_constraints = false } src
+  in
+  let n_with = with_c.Oracle.result.Explore.stats.Explore.paths in
+  let n_without = without_c.Oracle.result.Explore.stats.Explore.paths in
+  Alcotest.(check bool)
+    (Printf.sprintf "constraints prune paths (%d < %d)" n_with n_without)
+    true (n_with < n_without);
+  (* and the restriction is visible in the emitted entries: every acl
+     entry's proto key is 6 or 17 *)
+  List.iter
+    (fun (t : Testspec.t) ->
+      List.iter
+        (fun (e : Testspec.entry) ->
+          if e.e_table = "acl_0" then
+            List.iter
+              (fun (k, m) ->
+                if k = "proto" then
+                  match m with
+                  | Testspec.MTernary (v, _) ->
+                      let v = Bits.to_int v in
+                      Alcotest.(check bool) "proto constrained" true (v = 6 || v = 17)
+                  | _ -> ())
+              e.e_keys)
+        t.entries)
+    with_c.Oracle.result.Explore.tests
+
+let test_recirculation_bounded () =
+  (* the recirculate program loops; the bound keeps exploration finite
+     and recirculated paths yield tests *)
+  let run = generate Progzoo.Corpus.recirculate_program in
+  let r = run.Oracle.result in
+  Alcotest.(check bool) "terminates with tests" true (r.Explore.tests <> []);
+  let recirc_tests =
+    List.filter
+      (fun (t : Testspec.t) ->
+        let rec contains s sub i =
+          i + String.length sub <= String.length s
+          && (String.sub s i (String.length sub) = sub || contains s sub (i + 1))
+        in
+        contains t.comment "recirculate" 0)
+      r.Explore.tests
+  in
+  Alcotest.(check bool) "recirculated path tested" true (recirc_tests <> [])
+
+let test_unroll_bound_controls_depth () =
+  (* deeper unrolling exposes more MPLS stack paths *)
+  let shallow =
+    generate ~opts:{ Runtime.default_options with Runtime.unroll_bound = 1 }
+      Progzoo.Corpus.mpls_stack
+  in
+  let deep =
+    generate ~opts:{ Runtime.default_options with Runtime.unroll_bound = 4 }
+      Progzoo.Corpus.mpls_stack
+  in
+  Alcotest.(check bool) "more paths with deeper unrolling" true
+    (deep.Oracle.result.Explore.stats.Explore.paths
+    > shallow.Oracle.result.Explore.stats.Explore.paths)
+
+let test_seed_changes_values_not_paths () =
+  let r1 = generate ~opts:{ Runtime.default_options with Runtime.seed = 1 } Progzoo.Corpus.fig1a in
+  let r2 = generate ~opts:{ Runtime.default_options with Runtime.seed = 99 } Progzoo.Corpus.fig1a in
+  Alcotest.(check int) "same number of tests"
+    (List.length r1.Oracle.result.Explore.tests)
+    (List.length r2.Oracle.result.Explore.tests);
+  (* randomized free inputs (ports) differ across seeds somewhere *)
+  let ports run =
+    List.map
+      (fun (t : Testspec.t) -> Bits.to_hex t.input.port)
+      run.Oracle.result.Explore.tests
+  in
+  Alcotest.(check bool) "different random choices" true (ports r1 <> ports r2)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "dfs exhaustive" `Quick test_dfs_exhaustive;
+          Alcotest.test_case "max-tests cap" `Quick test_max_tests_cap;
+          Alcotest.test_case "rnd same coverage" `Quick test_rnd_same_coverage;
+          Alcotest.test_case "cov-greedy fewer tests" `Quick test_cov_greedy_fewer_tests;
+          Alcotest.test_case "stop at full coverage" `Quick test_stop_at_full_coverage;
+        ] );
+      ( "preconditions",
+        [
+          Alcotest.test_case "fixed packet size" `Quick test_fixed_packet_size;
+          Alcotest.test_case "p4-constraints prune" `Quick test_constraints_prune;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "recirculation" `Quick test_recirculation_bounded;
+          Alcotest.test_case "unroll depth" `Quick test_unroll_bound_controls_depth;
+          Alcotest.test_case "seed variation" `Quick test_seed_changes_values_not_paths;
+        ] );
+    ]

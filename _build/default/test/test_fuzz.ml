@@ -1,0 +1,66 @@
+(* Differential fuzzing: random well-typed v1model programs, oracle vs
+   the concrete simulator.  For every seed:
+
+     1. the program must parse and pretty-print round-trip,
+     2. the oracle must generate at least one test,
+     3. every generated test must pass on the software model.
+
+   This is the §7 correctness methodology scaled to arbitrary
+   programs, and the same idea Gauntlet uses against compilers. *)
+
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+
+let num_seeds = 25
+
+let fuzz_one seed () =
+  let src = Progzoo.Randprog.generate ~seed in
+  (* 1. front-end round trip *)
+  let prog =
+    try P4.Parser.parse_program src
+    with P4.Parser.Error (msg, pos) ->
+      Alcotest.failf "seed %d: parse error at %d:%d: %s\n%s" seed pos.P4.Ast.line
+        pos.P4.Ast.col msg src
+  in
+  let printed = P4.Pretty.program_to_string prog in
+  (match P4.Parser.parse_program printed with
+  | _ -> ()
+  | exception P4.Parser.Error (msg, _) ->
+      Alcotest.failf "seed %d: pretty-printed program does not reparse: %s" seed msg);
+  (* 2. generate *)
+  let config = { Explore.default_config with Explore.max_tests = Some 40 } in
+  let opts = { Testgen.Runtime.default_options with seed } in
+  let run =
+    try Oracle.generate ~opts ~config Targets.V1model.target src
+    with Testgen.Runtime.Exec_error msg ->
+      Alcotest.failf "seed %d: oracle failed: %s\n%s" seed msg src
+  in
+  let tests = run.Oracle.result.Explore.tests in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d generates tests" seed)
+    true (tests <> []);
+  (* 3. validate on the independent model *)
+  let sim = Sim.Harness.prepare ~arch:"v1model" src in
+  let summary, results = Sim.Harness.run_suite sim tests in
+  List.iter
+    (fun ((t : Testgen.Testspec.t), v) ->
+      match v with
+      | Sim.Harness.Pass -> ()
+      | Sim.Harness.Wrong_output msg ->
+          Alcotest.failf "seed %d: WRONG %s\ntest: %s\nprogram:\n%s" seed msg
+            (Testgen.Testspec.to_string t) src
+      | Sim.Harness.Crash msg ->
+          Alcotest.failf "seed %d: CRASH %s\nprogram:\n%s" seed msg src)
+    results;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d all pass" seed)
+    summary.Sim.Harness.total summary.Sim.Harness.passed
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "oracle-vs-model",
+        List.init num_seeds (fun i ->
+            Alcotest.test_case (Printf.sprintf "seed %d" (i + 1)) `Quick (fuzz_one (i + 1)))
+      );
+    ]

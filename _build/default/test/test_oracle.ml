@@ -1,0 +1,311 @@
+(* End-to-end oracle tests on the paper's running examples (§3).
+
+   Fig. 1a: forwarding on EtherType — expect four kinds of tests:
+   miss/default, hit set_out, hit noop, and a short-packet path where
+   the tainted key forces the default action.
+
+   Fig. 1b: checksum validation — expect an invalid-header path, a
+   checksum-ok path (concolic), and a checksum-mismatch drop path. *)
+
+module Bits = Bitv.Bits
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+module Testspec = Testgen.Testspec
+
+let fig1a =
+  {|
+header ethernet_t {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> etype;
+}
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<9> output_port; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control MyVerify(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyIngress(inout headers_t h, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+  action noop() { }
+  action set_out(bit<9> port) {
+    meta.output_port = port;
+    sm.egress_spec = port;
+  }
+  table forward_table {
+    key = { h.eth.etype : exact @name("etype"); }
+    actions = { noop; set_out; }
+    default_action = noop();
+  }
+  apply {
+    h.eth.etype = 0xBEEF;
+    forward_table.apply();
+  }
+}
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) { apply { } }
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); }
+}
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(), MyCompute(), MyDeparser()) main;
+|}
+
+let fig1b =
+  {|
+header ethernet_t {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> etype;
+}
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> checksum_err; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control MyVerify(inout headers_t hdr, inout meta_t meta) {
+  apply {
+    meta.checksum_err = verify_checksum(hdr.eth.isValid(),
+                                        {hdr.eth.dst, hdr.eth.src},
+                                        hdr.eth.etype, HashAlgorithm.csum16);
+  }
+}
+control MyIngress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+  apply {
+    if (meta.checksum_err == 1) {
+      mark_to_drop(sm);
+    }
+  }
+}
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) { apply { } }
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); }
+}
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(), MyCompute(), MyDeparser()) main;
+|}
+
+let generate ?opts src =
+  let run = Oracle.generate ?opts Targets.V1model.target src in
+  run
+
+let test_fig1a () =
+  let run = generate fig1a in
+  let tests = run.Oracle.result.Explore.tests in
+  Printf.printf "fig1a: %d tests\n" (List.length tests);
+  List.iter (fun t -> print_endline (Testspec.to_string t)) tests;
+  Alcotest.(check bool) "at least 4 tests" true (List.length tests >= 4);
+  (* coverage should be complete *)
+  let cov = Oracle.coverage_report run in
+  Alcotest.(check (list int)) "full coverage" [] cov.uncovered;
+  (* some test must carry a synthesized entry matching 0xBEEF *)
+  let has_beef_entry =
+    List.exists
+      (fun (t : Testspec.t) ->
+        List.exists
+          (fun (e : Testspec.entry) ->
+            e.e_table = "forward_table"
+            && List.exists
+                 (fun (k, m) ->
+                   k = "etype"
+                   && match m with Testspec.MExact v -> Bits.to_int v = 0xBEEF | _ -> false)
+                 e.e_keys)
+          t.entries)
+      tests
+  in
+  Alcotest.(check bool) "entry key folds to 0xBEEF" true has_beef_entry;
+  (* a short-packet test exists: input smaller than the ethernet header *)
+  let has_short =
+    List.exists (fun (t : Testspec.t) -> Bits.width t.input.data < 112) tests
+  in
+  Alcotest.(check bool) "short-packet test" true has_short;
+  (* every full-header test input must be exactly the ethernet header *)
+  let full = List.filter (fun (t : Testspec.t) -> Bits.width t.input.data = 112) tests in
+  Alcotest.(check bool) "some full-size tests" true (full <> [])
+
+let test_fig1b () =
+  let run = generate fig1b in
+  let tests = run.Oracle.result.Explore.tests in
+  Printf.printf "fig1b: %d tests\n" (List.length tests);
+  List.iter (fun t -> print_endline (Testspec.to_string t)) tests;
+  Alcotest.(check bool) "at least 3 tests" true (List.length tests >= 3);
+  (* drop test: checksum mismatch *)
+  let drops = List.filter Testspec.is_drop tests in
+  Alcotest.(check bool) "has drop test" true (drops <> []);
+  (* checksum-ok test: the etype field equals the checksum of dst++src *)
+  let ok =
+    List.exists
+      (fun (t : Testspec.t) ->
+        (not (Testspec.is_drop t))
+        && Bits.width t.input.data = 112
+        &&
+        let data = Bits.slice t.input.data ~hi:111 ~lo:16 in
+        let etype = Bits.slice t.input.data ~hi:15 ~lo:0 in
+        Bits.equal etype (Targets.Checksums.csum16 data))
+      tests
+  in
+  Alcotest.(check bool) "concolic checksum binds" true ok
+
+(* ------------------------------------------------------------------ *)
+(* eBPF filter (§6.1.3) *)
+
+let ebpf_filter =
+  {|
+header ethernet_t {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> etype;
+}
+struct headers_t { ethernet_t eth; }
+
+parser prs(packet_in pkt, out headers_t hdr) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control pipe(inout headers_t hdr, out bool pass) {
+  apply {
+    if (hdr.eth.etype == 0x0800) {
+      pass = true;
+    } else {
+      pass = false;
+    }
+  }
+}
+ebpfFilter(prs(), pipe()) main;
+|}
+
+let test_ebpf () =
+  let run = Testgen.Oracle.generate Targets.Ebpf.target ebpf_filter in
+  let tests = run.Oracle.result.Explore.tests in
+  Printf.printf "ebpf: %d tests\n" (List.length tests);
+  List.iter (fun t -> print_endline (Testspec.to_string t)) tests;
+  (* pass, drop-by-filter, drop-by-short-packet *)
+  Alcotest.(check bool) "3 tests" true (List.length tests >= 3);
+  let passes = List.filter (fun t -> not (Testspec.is_drop t)) tests in
+  let drops = List.filter Testspec.is_drop tests in
+  Alcotest.(check bool) "has pass" true (passes <> []);
+  Alcotest.(check bool) "has drops" true (List.length drops >= 2);
+  (* the passing test must carry EtherType 0x0800 and echo the packet *)
+  List.iter
+    (fun (t : Testspec.t) ->
+      Alcotest.(check int) "pass etype" 0x0800
+        (Bits.to_int (Bits.slice t.input.data ~hi:15 ~lo:0));
+      let out = List.hd t.outputs in
+      Alcotest.(check bool) "filter echoes packet" true (Bits.equal out.data t.input.data))
+    passes;
+  let cov = Oracle.coverage_report run in
+  Alcotest.(check (list int)) "ebpf full coverage" [] cov.uncovered
+
+(* ------------------------------------------------------------------ *)
+(* TNA two-pipe program (§6.1.2) *)
+
+let tna_program =
+  {|
+header ethernet_t {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> etype;
+}
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<8> scratch; }
+
+parser IgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+  state start {
+    pkt.extract(ig_intr_md);
+    transition parse_eth;
+  }
+  state parse_eth {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control Ig(inout headers_t hdr, inout meta_t md,
+           in ingress_intrinsic_metadata_t ig_intr_md,
+           in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+           inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+           inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+  action fwd(bit<9> port) { ig_tm_md.ucast_egress_port = port; }
+  action drop() { ig_dprsr_md.drop_ctl = 1; }
+  table l2 {
+    key = { hdr.eth.dst : exact @name("dst"); }
+    actions = { fwd; drop; }
+    default_action = drop();
+  }
+  apply {
+    l2.apply();
+  }
+}
+control IgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+  apply { pkt.emit(hdr.eth); }
+}
+parser EgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out egress_intrinsic_metadata_t eg_intr_md) {
+  state start {
+    pkt.extract(eg_intr_md);
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control Eg(inout headers_t hdr, inout meta_t md,
+           in egress_intrinsic_metadata_t eg_intr_md,
+           in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+           inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+           inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+  apply {
+    hdr.eth.src = 0xC0FFEE000001;
+  }
+}
+control EgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+  apply { pkt.emit(hdr.eth); }
+}
+Switch(Pipeline(IgParser(), Ig(), IgDeparser(), EgParser(), Eg(), EgDeparser())) main;
+|}
+
+let test_tna () =
+  let run = Testgen.Oracle.generate Targets.Tna.target tna_program in
+  let tests = run.Oracle.result.Explore.tests in
+  Printf.printf "tna: %d tests\n" (List.length tests);
+  List.iter (fun t -> print_endline (Testspec.to_string t)) tests;
+  Alcotest.(check bool) "tests generated" true (List.length tests >= 2);
+  let fwd = List.filter (fun t -> not (Testspec.is_drop t)) tests in
+  Alcotest.(check bool) "has forwarded test" true (fwd <> []);
+  List.iter
+    (fun (t : Testspec.t) ->
+      (* 64-byte minimum frame (Tbl. 6) *)
+      Alcotest.(check bool) "64B minimum" true (Bits.width t.input.data >= 64 * 8);
+      let out = List.hd t.outputs in
+      (* the egress rewrote the source MAC *)
+      let src = Bits.slice out.data ~hi:(Bits.width out.data - 49) ~lo:(Bits.width out.data - 96) in
+      Alcotest.(check string) "egress rewrite" "C0FFEE000001" (Bits.to_hex src))
+    fwd;
+  (* the drop-by-default-action test exists *)
+  Alcotest.(check bool) "has drop test" true (List.exists Testspec.is_drop tests)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "fig1a" `Quick test_fig1a;
+          Alcotest.test_case "fig1b" `Quick test_fig1b;
+        ] );
+      ("ebpf", [ Alcotest.test_case "filter" `Quick test_ebpf ]);
+      ("tna", [ Alcotest.test_case "two-pipe" `Quick test_tna ]);
+    ]

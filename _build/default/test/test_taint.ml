@@ -1,0 +1,205 @@
+(* Taint semantics tests (§5.3): sources, propagation, spread
+   mitigation, and the oracle-level consequences (default-action
+   fallback, wildcard ternary entries, discarded flaky tests,
+   don't-care masks). *)
+
+module Bits = Bitv.Bits
+module Expr = Smt.Expr
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+module Testspec = Testgen.Testspec
+
+let v1model = Targets.V1model.target
+
+let generate ?(opts = Testgen.Runtime.default_options) src = Oracle.generate ~opts v1model src
+
+let wrap_v1 ingress_body ~meta_fields =
+  Printf.sprintf
+    {|
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { %s }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.eth); transition accept; }
+}
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+%s
+}
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+    meta_fields ingress_body
+
+(* ------------------------------------------------------------------ *)
+(* expression-level taint algebra *)
+
+let test_taint_sources () =
+  let t = Expr.fresh_taint 8 in
+  Alcotest.(check bool) "distinct" false (Expr.fresh_taint 8 == Expr.fresh_taint 8);
+  Alcotest.(check bool) "tainted flag" true (Expr.tainted t)
+
+let test_mitigation_mul_zero () =
+  (* §5.3 heuristic 1: multiplying a tainted value with 0 yields 0 *)
+  let t = Expr.fresh_taint 8 in
+  Alcotest.(check bool) "t*0 untainted" false (Expr.tainted (Expr.mul t (Expr.zero 8)));
+  Alcotest.(check bool) "t&0 untainted" false (Expr.tainted (Expr.logand t (Expr.zero 8)));
+  (* identities that must NOT kill taint *)
+  Alcotest.(check bool) "t|0 tainted" true (Expr.tainted (Expr.logor t (Expr.zero 8)));
+  Alcotest.(check bool) "t+0 tainted" true (Expr.tainted (Expr.add t (Expr.zero 8)))
+
+let test_mask_precision () =
+  let t = Expr.fresh_taint 4 and x = Expr.var "taint_prec_x" 4 in
+  (* concat keeps per-bit placement *)
+  let c = Expr.concat x t in
+  Alcotest.(check string) "mask placement" "0F" (Bits.to_hex (Expr.taint_mask c));
+  (* arithmetic carries spread upward from the lowest tainted bit *)
+  let sum = Expr.add c (Expr.var "taint_prec_y" 8) in
+  Alcotest.(check string) "carry spread" "FF" (Bits.to_hex (Expr.taint_mask sum));
+  let sum2 = Expr.add (Expr.concat t x) (Expr.var "taint_prec_z" 8) in
+  Alcotest.(check string) "high taint spreads only up" "F0"
+    (Bits.to_hex (Expr.taint_mask sum2))
+
+let test_ite_collapse () =
+  (* same value in both branches kills a tainted condition's influence *)
+  let t = Expr.fresh_taint 1 and x = Expr.var "taint_ite_x" 8 in
+  Alcotest.(check bool) "ite collapse" true (Expr.ite t x x == x)
+
+(* ------------------------------------------------------------------ *)
+(* oracle-level behavior *)
+
+let test_tainted_key_default_only () =
+  (* an exact key fed by an uninitialized (tainted) read: P4Testgen
+     must not synthesize an entry (Fig. 1c, line 7) *)
+  let src =
+    wrap_v1 ~meta_fields:"bit<16> scratch;"
+      {|
+  action hit_act(bit<9> p) { sm.egress_spec = p; }
+  action miss_act() { }
+  table t {
+    key = { hdr.eth.etype : exact @name("etype"); }
+    actions = { hit_act; miss_act; }
+    default_action = miss_act();
+  }
+  apply { t.apply(); }
+|}
+  in
+  let run = generate src in
+  let tests = run.Oracle.result.Explore.tests in
+  (* the short-packet path reads an invalid header: its tests must not
+     install entries *)
+  let short = List.filter (fun (t : Testspec.t) -> Bits.width t.input.data < 112) tests in
+  Alcotest.(check bool) "short-packet tests exist" true (short <> []);
+  List.iter
+    (fun (t : Testspec.t) ->
+      Alcotest.(check int) "no entry for tainted key" 0 (List.length t.entries))
+    short
+
+let test_tainted_ternary_wildcard () =
+  (* §5.3 heuristic 2: a tainted *ternary* key still admits a wildcard
+     entry, so the hit branch remains testable *)
+  let src =
+    wrap_v1 ~meta_fields:"bit<16> scratch;"
+      {|
+  action hit_act(bit<9> p) { sm.egress_spec = p; }
+  action miss_act() { }
+  table t {
+    key = { hdr.eth.etype : ternary @name("etype"); }
+    actions = { hit_act; miss_act; }
+    default_action = miss_act();
+  }
+  apply { t.apply(); }
+|}
+  in
+  let run = generate src in
+  let tests = run.Oracle.result.Explore.tests in
+  let short_hits =
+    List.filter
+      (fun (t : Testspec.t) -> Bits.width t.input.data < 112 && t.entries <> [])
+      tests
+  in
+  Alcotest.(check bool) "wildcard entry on tainted ternary key" true (short_hits <> []);
+  List.iter
+    (fun (t : Testspec.t) ->
+      List.iter
+        (fun (e : Testspec.entry) ->
+          List.iter
+            (fun (_, m) ->
+              match m with
+              | Testspec.MTernary (_, mask) ->
+                  Alcotest.(check bool) "mask all zero (wildcard)" true (Bits.is_zero mask)
+              | _ -> Alcotest.fail "expected ternary")
+            e.e_keys)
+        t.entries)
+    short_hits
+
+let test_tainted_port_discards () =
+  (* random() output routed to the port: the packet's destination is
+     unpredictable, so the test must be discarded (§5.3) *)
+  let src =
+    wrap_v1 ~meta_fields:"bit<16> scratch;"
+      {|
+  apply {
+    random(sm.egress_spec, 9w0, 9w100);
+  }
+|}
+  in
+  let run = generate src in
+  let stats = run.Oracle.result.Explore.stats in
+  Alcotest.(check bool) "flaky tests discarded" true (stats.Explore.discarded_taint > 0);
+  (* the only remaining tests are short-packet paths (also routed by
+     the tainted port, so in this program everything is discarded) *)
+  List.iter
+    (fun (t : Testspec.t) -> Alcotest.(check bool) "no forwarded test" true (Testspec.is_drop t))
+    run.Oracle.result.Explore.tests
+
+let test_tainted_payload_masks () =
+  (* a nondeterministic value written into an emitted header must show
+     up as a don't-care mask, not as a concrete expectation *)
+  let src =
+    wrap_v1 ~meta_fields:"bit<16> scratch;"
+      {|
+  apply {
+    random(meta.scratch, 16w0, 16w65535);
+    hdr.eth.etype = meta.scratch;
+    sm.egress_spec = 1;
+  }
+|}
+  in
+  let run = generate src in
+  let fwd =
+    List.filter
+      (fun (t : Testspec.t) ->
+        (not (Testspec.is_drop t)) && Bits.width (List.hd t.outputs).data >= 16)
+      run.Oracle.result.Explore.tests
+  in
+  Alcotest.(check bool) "forwarded tests exist" true (fwd <> []);
+  List.iter
+    (fun (t : Testspec.t) ->
+      let o = List.hd t.outputs in
+      (* the low 16 bits (etype) must be don't-care *)
+      let low = Bits.slice o.dontcare ~hi:15 ~lo:0 in
+      Alcotest.(check bool) "etype masked" true (Bits.is_ones low))
+    fwd
+
+let () =
+  Alcotest.run "taint"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "sources" `Quick test_taint_sources;
+          Alcotest.test_case "mul-zero mitigation" `Quick test_mitigation_mul_zero;
+          Alcotest.test_case "mask precision" `Quick test_mask_precision;
+          Alcotest.test_case "ite collapse" `Quick test_ite_collapse;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "exact key -> default only" `Quick test_tainted_key_default_only;
+          Alcotest.test_case "ternary key -> wildcard" `Quick test_tainted_ternary_wildcard;
+          Alcotest.test_case "tainted port -> discard" `Quick test_tainted_port_discards;
+          Alcotest.test_case "tainted payload -> mask" `Quick test_tainted_payload_masks;
+        ] );
+    ]
