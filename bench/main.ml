@@ -323,12 +323,13 @@ let bechamel () =
   let t_7 =
     Test.make ~name:"fig7-solver-query"
       (stage (fun () ->
-           let s = Smt.Solver.create () in
-           let x = Smt.Expr.fresh_var "bench_x" 32 in
+           let ectx = Smt.Expr.create_ctx () in
+           let s = Smt.Solver.create ectx in
+           let x = Smt.Expr.fresh_var ectx "bench_x" 32 in
            Smt.Solver.assert_ s
              (Smt.Expr.eq
-                (Smt.Expr.mul x (Smt.Expr.of_int ~width:32 3))
-                (Smt.Expr.of_int ~width:32 123));
+                (Smt.Expr.mul x (Smt.Expr.of_int ectx ~width:32 3))
+                (Smt.Expr.of_int ectx ~width:32 123));
            ignore (Smt.Solver.check s)))
   in
   let grouped =
@@ -345,6 +346,53 @@ let bechamel () =
       | Some [ ns ] -> Printf.printf "%-40s %12.1f us/run\n" name (ns /. 1000.0)
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
     (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus-wide batch generation across domains *)
+
+let batch jobs =
+  header (Printf.sprintf "Batch — corpus-wide generation on %d domain(s)" jobs);
+  let arch_of = function
+    | "ebpf_filter" -> "ebpf_model"
+    | "tna_basic" -> "tna"
+    | _ -> "v1model"
+  in
+  let js =
+    List.map
+      (fun (name, src) -> Oracle.job ~label:name (target_of (arch_of name)) src)
+      Progzoo.Corpus.all
+  in
+  (* the large generated programs carry most of the work; without them
+     the corpus is too small for the domain fan-out to pay off *)
+  let cap = { Explore.default_config with Explore.max_tests = Some 300 } in
+  let big =
+    [
+      Oracle.job ~label:"middleblock" ~config:cap (target_of "v1model")
+        (Progzoo.Generators.middleblock ~acl_stages:2 ());
+      Oracle.job ~label:"up4" ~config:cap (target_of "v1model") (Progzoo.Generators.up4 ());
+      Oracle.job ~label:"switch4_tna" ~config:cap (target_of "tna")
+        (Progzoo.Generators.switch_tna ~stages:4 ());
+      Oracle.job ~label:"switch6_tna" ~config:cap (target_of "tna")
+        (Progzoo.Generators.switch_tna ~stages:6 ());
+    ]
+  in
+  let b = Oracle.generate_batch ~jobs (big @ js) in
+  List.iter
+    (fun (label, o) ->
+      match o with
+      | Oracle.Finished r ->
+          Printf.printf "%-20s %5d tests  %6.2fs
+" label
+            (List.length r.Oracle.result.Explore.tests)
+            r.Oracle.result.Explore.total_time
+      | Oracle.Failed msg -> Printf.printf "%-20s FAILED: %s
+" label msg)
+    b.Oracle.outcomes;
+  Printf.printf "
+%d paths / %d tests across the corpus; wall-clock %.2fs on %d domain(s)
+"
+    b.Oracle.merged_stats.Explore.paths b.Oracle.merged_stats.Explore.tests
+    b.Oracle.batch_wall jobs
 
 (* ------------------------------------------------------------------ *)
 
@@ -369,8 +417,14 @@ let () =
   | Some "table4a" -> table4a ()
   | Some "table4b" -> table4b ()
   | Some "bechamel" -> bechamel ()
+  | Some "batch" ->
+      let jobs =
+        if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
+      in
+      batch jobs
   | Some other ->
       Printf.eprintf
-        "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel)\n"
+        "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
+         batch [jobs])\n"
         other;
       exit 1

@@ -43,15 +43,6 @@ let run_generate file target backend max_tests max_paths seed strategy fixed_siz
               unroll_bound = unroll;
             }
           in
-          let strategy =
-            match strategy with
-            | "dfs" -> Testgen.Explore.Dfs
-            | "rnd" -> Testgen.Explore.Rnd
-            | "cov" -> Testgen.Explore.Cov
-            | s ->
-                Printf.eprintf "warning: unknown strategy %s, using dfs\n" s;
-                Testgen.Explore.Dfs
-          in
           let config =
             { Testgen.Explore.default_config with max_tests; max_paths; strategy }
           in
@@ -125,9 +116,17 @@ let max_paths =
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 
 let strategy =
+  (* an enum: an unknown strategy is a CLI error, not a silent dfs *)
+  let strategies =
+    [ ("dfs", Testgen.Explore.Dfs); ("rnd", Testgen.Explore.Rnd); ("cov", Testgen.Explore.Cov) ]
+  in
   Arg.(
-    value & opt string "dfs"
-    & info [ "strategy" ] ~doc:"Path selection: dfs (exhaustive), rnd (random order), cov (coverage-greedy)")
+    value
+    & opt (enum strategies) Testgen.Explore.Dfs
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Path selection: $(b,dfs) (exhaustive), $(b,rnd) (random order), $(b,cov) \
+           (coverage-greedy)")
 
 let fixed_size =
   Arg.(
@@ -162,20 +161,125 @@ let generate_t =
     $ fixed_size $ no_constraints $ no_random $ unroll $ out_file $ validate $ print_tests
     $ verbose)
 
-let cmd =
-  let doc = "generate input-output packet tests for a P4 program" in
+(* ------------------------------------------------------------------ *)
+(* batch: many programs across domains *)
+
+let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_constraints
+    no_random unroll verbose =
+  setup_logs verbose;
+  match Targets.Registry.find target with
+  | None ->
+      Printf.eprintf "error: unknown target %s\n" target;
+      list_targets ();
+      1
+  | Some tgt ->
+      let opts =
+        {
+          Testgen.Runtime.default_options with
+          seed;
+          fixed_packet_bytes = fixed_size;
+          apply_constraints = not no_constraints;
+          randomize = not no_random;
+          unroll_bound = unroll;
+        }
+      in
+      let config = { Testgen.Explore.default_config with max_tests; max_paths; strategy } in
+      let js =
+        List.map
+          (fun f ->
+            let source = In_channel.with_open_text f In_channel.input_all in
+            Testgen.Oracle.job ~opts ~config ~label:f tgt source)
+          files
+      in
+      let b = Testgen.Oracle.generate_batch ~jobs js in
+      let failed = ref 0 in
+      List.iter
+        (fun (label, o) ->
+          match o with
+          | Testgen.Oracle.Finished r ->
+              let result = r.Testgen.Oracle.result in
+              Printf.printf "%-32s %5d tests  %5.1f%% coverage  %.3fs\n" label
+                (List.length result.Testgen.Explore.tests)
+                (Testgen.Explore.coverage_pct result)
+                result.Testgen.Explore.total_time
+          | Testgen.Oracle.Failed msg ->
+              incr failed;
+              Printf.printf "%-32s FAILED: %s\n" label msg)
+        b.Testgen.Oracle.outcomes;
+      let stats = b.Testgen.Oracle.merged_stats in
+      Printf.printf "batch: %d programs, %d paths, %d tests; wall-clock %.3fs on %d job(s)\n"
+        (List.length files) stats.Testgen.Explore.paths stats.Testgen.Explore.tests
+        b.Testgen.Oracle.batch_wall jobs;
+      if !failed > 0 then 1 else 0
+
+let batch_files =
+  Arg.(
+    non_empty & pos_all non_dir_file []
+    & info [] ~docv:"PROGRAM.p4" ~doc:"P4 programs to generate tests for")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains; each program runs in its own term context")
+
+let batch_t =
+  Term.(
+    const run_batch $ batch_files $ target $ jobs $ max_tests $ max_paths $ seed $ strategy
+    $ fixed_size $ no_constraints $ no_random $ unroll $ verbose)
+
+(* ------------------------------------------------------------------ *)
+
+let man =
+  [
+    `S Manpage.s_description;
+    `P
+      "$(mname) symbolically executes a P4-16 program under a target \
+       architecture's whole-program semantics and emits, for each feasible \
+       program path, a test: an input packet, the control-plane \
+       configuration needed to drive the path, and the expected output \
+       packet(s).";
+    `P "An OCaml reproduction of P4Testgen (Ruffy et al., SIGCOMM 2023).";
+  ]
+
+let generate_cmd =
+  let doc = "generate input-output packet tests for one P4 program (the default)" in
+  Cmd.v (Cmd.info "generate" ~doc ~man) generate_t
+
+let batch_cmd =
+  let doc = "generate tests for many P4 programs in parallel across domains" in
   let man =
     [
       `S Manpage.s_description;
       `P
-        "$(tname) symbolically executes a P4-16 program under a target \
-         architecture's whole-program semantics and emits, for each feasible \
-         program path, a test: an input packet, the control-plane \
-         configuration needed to drive the path, and the expected output \
-         packet(s).";
-      `P "An OCaml reproduction of P4Testgen (Ruffy et al., SIGCOMM 2023).";
+        "Runs the oracle over each given program.  With $(b,--jobs) N the \
+         programs are distributed over N domains; every program owns its \
+         term context and solver, so results are identical to a sequential \
+         run with the same seed.";
     ]
   in
-  Cmd.v (Cmd.info "p4testgen" ~version:"1.0.0" ~doc ~man) generate_t
+  Cmd.v (Cmd.info "batch" ~doc ~man) batch_t
 
-let () = exit (Cmd.eval' cmd)
+let cmd =
+  let doc = "generate input-output packet tests for P4 programs" in
+  Cmd.group ~default:generate_t
+    (Cmd.info "p4testgen" ~version:"1.0.0" ~doc ~man)
+    [ generate_cmd; batch_cmd ]
+
+let () =
+  (* back-compat: `p4testgen prog.p4 ...` (no subcommand) still runs
+     the generator — route anything that is not a known subcommand or a
+     group-level flag to `generate` *)
+  let argv = Sys.argv in
+  let argv =
+    if
+      Array.length argv > 1
+      &&
+      match argv.(1) with
+      | "batch" | "generate" | "--help" | "--version" -> false
+      | _ -> true
+    then
+      Array.concat [ [| argv.(0); "generate" |]; Array.sub argv 1 (Array.length argv - 1) ]
+    else argv
+  in
+  exit (Cmd.eval' ~argv cmd)

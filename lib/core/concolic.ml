@@ -40,8 +40,12 @@ let bindings_of s (calls : concolic_call list) : Expr.t list * Expr.t list =
       (fun (aeqs, oeqs, computed) call ->
         let arg_vals = List.map (eval_with s computed) call.cc_args in
         let out = call.cc_impl arg_vals in
-        let aeqs' = List.map2 (fun a v -> Expr.eq a (Expr.const v)) call.cc_args arg_vals in
-        let oeq = Expr.eq call.cc_var (Expr.const out) in
+        let aeqs' =
+          List.map2
+            (fun a v -> Expr.eq a (Expr.const (Expr.ctx_of a) v))
+            call.cc_args arg_vals
+        in
+        let oeq = Expr.eq call.cc_var (Expr.const (Expr.ctx_of call.cc_var) out) in
         (aeqs @ aeqs', oeqs @ [ oeq ], computed @ [ (Expr.var_of call.cc_var, out) ]))
       ([], [], []) calls
   in
@@ -76,7 +80,7 @@ let resolve ?(extra = []) (s : Solver.t) (st : state) : outcome =
         else begin
           (* block this argument assignment and retry (§5.4,
              "handling unsatisfiable concolic assignments") *)
-          let block = Expr.bnot (Expr.conj arg_eqs) in
+          let block = Expr.bnot (Expr.conj (Solver.ctx s) arg_eqs) in
           attempt (n + 1) (block :: blocked) soft
         end
       end

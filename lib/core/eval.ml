@@ -116,7 +116,7 @@ let rec read_tree ctx st (t : Ast.typ) path : Expr.t =
   | TBit _ | TInt _ | TVarbit _ | TBool | TError -> read_leaf st path
   | TStack (h, n) ->
       let parts = List.init n (fun i -> read_tree ctx st (TName h) (Printf.sprintf "%s[%d]" path i)) in
-      List.fold_left Expr.concat (Expr.zero 0) parts
+      List.fold_left Expr.concat (Expr.zero ctx.ectx 0) parts
   | TName tn -> (
       let fields =
         match Typing.header_fields ctx.tctx tn with
@@ -130,9 +130,9 @@ let rec read_tree ctx st (t : Ast.typ) path : Expr.t =
       | Some fs ->
           List.fold_left
             (fun acc f -> Expr.concat acc (read_tree ctx st f.Ast.f_typ (path ^ "." ^ f.Ast.f_name)))
-            (Expr.zero 0) fs
+            (Expr.zero ctx.ectx 0) fs
       | None -> read_leaf st path)
-  | TVoid | TSpec _ -> Expr.zero 0
+  | TVoid | TSpec _ -> Expr.zero ctx.ectx 0
 
 (* Write raw bits across the leaves of a composite value. *)
 let rec write_tree ctx st (t : Ast.typ) path (bits : Expr.t) : state =
@@ -192,7 +192,7 @@ let header_emit_bits ctx st (hname : string) path : Expr.t =
             let v = read_leaf st fpath in
             Expr.concat acc (Expr.slice v ~hi:(maxw - 1) ~lo:(maxw - len))
       | t -> Expr.concat acc (read_tree ctx st t fpath))
-    (Expr.zero 0) fields
+    (Expr.zero ctx.ectx 0) fields
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation *)
@@ -212,13 +212,13 @@ let coerce_pair a b =
 
 let rec eval ?(hint = 0) ctx fr st (e : Ast.expr) : state * Expr.t =
   match e with
-  | EBool true -> (st, Expr.tru)
-  | EBool false -> (st, Expr.fls)
-  | EInt { value = Some b; _ } -> (st, Expr.const b)
+  | EBool true -> (st, Expr.tru ctx.ectx)
+  | EBool false -> (st, Expr.fls ctx.ectx)
+  | EInt { value = Some b; _ } -> (st, Expr.const ctx.ectx b)
   | EInt { iv; width = None; _ } ->
       let w = if hint > 0 then hint else 32 in
-      (st, Expr.of_int ~width:w iv)
-  | EInt { iv; width = Some w; _ } -> (st, Expr.of_int ~width:w iv)
+      (st, Expr.of_int ctx.ectx ~width:w iv)
+  | EInt { iv; width = Some w; _ } -> (st, Expr.of_int ctx.ectx ~width:w iv)
   | EString _ -> fail "string in expression position"
   | EVar n -> (
       match resolve_var st fr n with
@@ -227,21 +227,21 @@ let rec eval ?(hint = 0) ctx fr st (e : Ast.expr) : state * Expr.t =
           (* enum type name used bare, or error — resolved via EMember *)
           fail "unbound variable %s" n)
   | EMember (EVar "error", ename) ->
-      (st, Expr.of_int ~width:Typing.error_width (Typing.error_code ctx.tctx ename))
+      (st, Expr.of_int ctx.ectx ~width:Typing.error_width (Typing.error_code ctx.tctx ename))
   | EMember (EVar base, m) when Hashtbl.mem ctx.tctx.Typing.enums base ->
-      (st, Expr.of_int ~width:Typing.enum_width (Typing.enum_code ctx.tctx base m))
+      (st, Expr.of_int ctx.ectx ~width:Typing.enum_width (Typing.enum_code ctx.tctx base m))
   | EMember (EVar base, m) when Hashtbl.mem ctx.tctx.Typing.ser_enums base -> (
       let t, ms = Hashtbl.find ctx.tctx.Typing.ser_enums base in
       match List.assoc_opt m ms with
       | Some (EInt { iv; _ }) ->
-          (st, Expr.of_int ~width:(Typing.width_of ctx.tctx t) iv)
+          (st, Expr.of_int ctx.ectx ~width:(Typing.width_of ctx.tctx t) iv)
       | _ -> fail "unsupported serializable enum member %s.%s" base m)
   | EMember (b, "lastIndex") -> (
       let base = lvalue_of ctx fr st b in
       match base.lv_typ with
       | TStack _ ->
           let next = read_leaf st (base.lv_path ^ ".$next") in
-          (st, Expr.sub next (Expr.of_int ~width:32 1))
+          (st, Expr.sub next (Expr.of_int ctx.ectx ~width:32 1))
       | _ -> fail "lastIndex of non-stack")
   | EMember _ | EIndex _ | ESlice _ ->
       let lv = lvalue_of ctx fr st e in
@@ -267,7 +267,7 @@ let rec eval ?(hint = 0) ctx fr st (e : Ast.expr) : state * Expr.t =
       let st, v = eval ~hint:w ctx fr st a in
       match Typing.resolve ctx.tctx t with
       | TInt _ -> (st, Expr.sext v w)
-      | TBool -> (st, Expr.neq v (Expr.zero (Expr.width v)))
+      | TBool -> (st, Expr.neq v (Expr.zero ctx.ectx (Expr.width v)))
       | _ -> (st, Expr.zext v w))
   | ECall (EMember (b, "isValid"), []) ->
       let lv = lvalue_of ctx fr st b in
@@ -288,7 +288,7 @@ let rec eval ?(hint = 0) ctx fr st (e : Ast.expr) : state * Expr.t =
         (fun (st, acc) e ->
           let st, v = eval ctx fr st e in
           (st, Expr.concat acc v))
-        (st, Expr.zero 0) es
+        (st, Expr.zero ctx.ectx 0) es
   | ETypeArg _ -> fail "type argument in value position"
   | EDontCare -> fail "'_' in value position"
   | EDefault -> fail "'default' in value position"
@@ -301,8 +301,8 @@ and eval_read ctx fr st e ~slice path t =
   let guarded =
     match validity_of ctx fr st e with
     | Some v when Expr.is_true v -> raw
-    | Some v when Expr.is_false v -> Expr.fresh_taint (Expr.width raw)
-    | Some v -> Expr.ite v raw (Expr.fresh_taint (Expr.width raw))
+    | Some v when Expr.is_false v -> Expr.fresh_taint ctx.ectx (Expr.width raw)
+    | Some v -> Expr.ite v raw (Expr.fresh_taint ctx.ectx (Expr.width raw))
     | None -> raw
   in
   let value =
@@ -364,10 +364,10 @@ and eval_binop ~hint ctx fr st op a b =
             let w = Expr.width va in
             let ext = Expr.add (Expr.zext va (w + 1)) (Expr.zext vb (w + 1)) in
             let ovf = Expr.slice ext ~hi:w ~lo:w in
-            Expr.ite (Expr.eq ovf (Expr.ones 1)) (Expr.ones w) (Expr.add va vb)
+            Expr.ite (Expr.eq ovf (Expr.ones ctx.ectx 1)) (Expr.ones ctx.ectx w) (Expr.add va vb)
         | SubSat ->
             let underflow = Expr.ult va vb in
-            Expr.ite underflow (Expr.zero (Expr.width va)) (Expr.sub va vb)
+            Expr.ite underflow (Expr.zero ctx.ectx (Expr.width va)) (Expr.sub va vb)
         | BAnd -> Expr.logand va vb
         | BOr -> Expr.logor va vb
         | BXor -> Expr.logxor va vb
@@ -418,13 +418,13 @@ let write_lvalue ctx fr st (lhs : Ast.expr) (v : Expr.t) : state =
       let stitched =
         List.fold_left
           (fun acc p -> match p with Some e -> Expr.concat acc e | None -> acc)
-          (Expr.zero 0)
+          (Expr.zero ctx.ectx 0)
           parts
       in
       write_leaf base.lv_path stitched st
   | None ->
       let w = Typing.width_of ctx.tctx lv.lv_typ in
-      let v = if Expr.width v = 0 && w > 0 then Expr.zero w else v in
+      let v = if Expr.width v = 0 && w > 0 then Expr.zero ctx.ectx w else v in
       if Expr.width v <> w then
         fail "assignment width mismatch at %s: %d vs %d" lv.lv_path (Expr.width v) w;
       let st = write_tree ctx st lv.lv_typ lv.lv_path v in

@@ -46,6 +46,34 @@ type result = {
   total_time : float;
 }
 
+let empty_stats () =
+  {
+    paths = 0;
+    tests = 0;
+    infeasible = 0;
+    abandoned = 0;
+    discarded_taint = 0;
+    discarded_concolic = 0;
+    t_step = 0.0;
+    t_emit = 0.0;
+    t_emit_solve = 0.0;
+    solver_checks = 0;
+  }
+
+(* accumulate [s] into [acc] (used by the batch driver to merge
+   per-run statistics) *)
+let add_stats acc (s : stats) =
+  acc.paths <- acc.paths + s.paths;
+  acc.tests <- acc.tests + s.tests;
+  acc.infeasible <- acc.infeasible + s.infeasible;
+  acc.abandoned <- acc.abandoned + s.abandoned;
+  acc.discarded_taint <- acc.discarded_taint + s.discarded_taint;
+  acc.discarded_concolic <- acc.discarded_concolic + s.discarded_concolic;
+  acc.t_step <- acc.t_step +. s.t_step;
+  acc.t_emit <- acc.t_emit +. s.t_emit;
+  acc.t_emit_solve <- acc.t_emit_solve +. s.t_emit_solve;
+  acc.solver_checks <- acc.solver_checks + s.solver_checks
+
 let coverage_pct r =
   if r.total_stmts = 0 then 100.0
   else 100.0 *. float_of_int (IntSet.cardinal r.covered) /. float_of_int r.total_stmts
@@ -132,14 +160,14 @@ let port_tainted st =
 
 let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
   let t_start = Unix.gettimeofday () in
-  let solver = ref (Solver.create ()) in
+  let solver = ref (Solver.create ctx.ectx) in
   (* the DFS spine's active assertions, innermost first, mirroring the
      solver's scope stack; lets us rebuild a fresh solver when the old
      one has accumulated too many dead variables from popped scopes *)
   let spine : Expr.t list ref = ref [] in
   let maybe_rebuild () =
     if Solver.size !solver > 300_000 && List.length !spine <= 4 then begin
-      let s = Solver.create () in
+      let s = Solver.create ctx.ectx in
       List.iter
         (fun c ->
           Solver.push s;
@@ -148,20 +176,7 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
       solver := s
     end
   in
-  let stats =
-    {
-      paths = 0;
-      tests = 0;
-      infeasible = 0;
-      abandoned = 0;
-      discarded_taint = 0;
-      discarded_concolic = 0;
-      t_step = 0.0;
-      t_emit = 0.0;
-      t_emit_solve = 0.0;
-      solver_checks = 0;
-    }
-  in
+  let stats = empty_stats () in
   let tests = ref [] in
   let covered = ref IntSet.empty in
   let check_budget () =
@@ -195,7 +210,9 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
     match config.strategy with
     | Rnd ->
         List.map snd
-          (List.sort compare (List.map (fun b -> (Random.State.bits ctx.rng, b)) branches))
+          (List.sort
+             (fun (ka, _) (kb, _) -> Int.compare ka kb)
+             (List.map (fun b -> (Random.State.bits ctx.rng, b)) branches))
     | Dfs | Cov -> branches
   in
   let rec explore st =
@@ -246,8 +263,6 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
                 maybe_rebuild ())
           (order branches)
   in
-  let solve_time_before = ref 0.0 in
-  ignore solve_time_before;
   (try explore st0 with Stop -> ());
   {
     tests = List.rev !tests;

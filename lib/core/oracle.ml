@@ -20,9 +20,9 @@ let prepare ?(opts = Runtime.default_options) (target : (module Target_intf.S)) 
     : prepared =
   let module T = (val target) in
   let t0 = Unix.gettimeofday () in
-  (* each run gets a fresh term context; terms and solvers never cross
-     run boundaries *)
-  Smt.Expr.reset ();
+  (* [Runtime.make_ctx] below allocates a fresh term context for this
+     run, so two prepared values coexist: terms and solvers of one run
+     stay valid while another run explores *)
   let prelude = P4.Parser.parse_program T.prelude in
   let user = P4.Parser.parse_program source in
   let prog = prelude @ user in
@@ -48,6 +48,81 @@ let generate ?(opts = Runtime.default_options) ?(config = Explore.default_config
   let st = initial_state p in
   let result = Explore.run ~config p.ctx st in
   { result; prepared = p }
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver: many oracle jobs across OCaml domains.
+
+   Each job owns its term context (created by [prepare]) and its own
+   solver stack, so jobs share no mutable term state; the only shared
+   structure is the atomic work-queue index that idle domains pull
+   from.  A job's result therefore depends only on its own options
+   (in particular the seed), never on scheduling — [jobs = 1] and
+   [jobs = N] produce identical test sets per job. *)
+
+type job = {
+  job_label : string;
+  job_target : (module Target_intf.S);
+  job_source : string;
+  job_opts : Runtime.options;
+  job_config : Explore.config;
+}
+
+let job ?(opts = Runtime.default_options) ?(config = Explore.default_config)
+    ~label target source =
+  {
+    job_label = label;
+    job_target = target;
+    job_source = source;
+    job_opts = opts;
+    job_config = config;
+  }
+
+type outcome = Finished of run | Failed of string
+
+type batch = {
+  outcomes : (string * outcome) list;  (* in submission order *)
+  merged_stats : Explore.stats;
+  batch_wall : float;
+}
+
+let run_job j =
+  try Finished (generate ~opts:j.job_opts ~config:j.job_config j.job_target j.job_source)
+  with e -> Failed (Printexc.to_string e)
+
+let generate_batch ?(jobs = 1) (js : job list) : batch =
+  let t0 = Unix.gettimeofday () in
+  let arr = Array.of_list js in
+  let n = Array.length arr in
+  let out = Array.make n (Failed "not run") in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        out.(i) <- run_job arr.(i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = max 1 (min jobs n) in
+  if workers <= 1 then worker ()
+  else begin
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  let merged = Explore.empty_stats () in
+  Array.iter
+    (function
+      | Finished r -> Explore.add_stats merged r.result.Explore.stats
+      | Failed _ -> ())
+    out;
+  {
+    outcomes = Array.to_list (Array.map2 (fun j o -> (j.job_label, o)) arr out);
+    merged_stats = merged;
+    batch_wall = Unix.gettimeofday () -. t0;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Coverage report (§7, "What exactly do P4Testgen's tests cover?") *)

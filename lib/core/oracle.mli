@@ -22,8 +22,9 @@ val prepare :
   ?opts:Runtime.options -> (module Target_intf.S) -> string -> prepared
 (** [prepare target source] runs phase 1.  Raises
     {!P4.Parser.Error} on syntax errors and {!Runtime.Exec_error} when
-    the program does not fit the architecture.  Resets the global term
-    context: terms and solvers from earlier runs must not be reused. *)
+    the program does not fit the architecture.  Allocates a fresh
+    {!Smt.Expr.ctx} for the run, so any number of prepared values can
+    coexist and interleave; terms and solvers never cross runs. *)
 
 val initial_state : prepared -> Runtime.state
 (** Pipeline-template instantiation (phase 2): the returned state has
@@ -38,6 +39,43 @@ val generate :
   string ->
   run
 (** End-to-end test generation for a P4 source string. *)
+
+(** {1 Batch driver}
+
+    Runs many oracle jobs across OCaml domains.  Each job owns its
+    term context and solver stack (created by its own {!prepare}), so
+    jobs share no mutable term state; idle domains pull the next job
+    from an atomic queue index.  Results depend only on each job's
+    options (seed included), never on scheduling: [jobs = 1] and
+    [jobs = N] produce identical test sets per job. *)
+
+type job
+
+val job :
+  ?opts:Runtime.options ->
+  ?config:Explore.config ->
+  label:string ->
+  (module Target_intf.S) ->
+  string ->
+  job
+(** [job ~label target source] describes one end-to-end generation
+    run, as {!generate} would perform it. *)
+
+type outcome =
+  | Finished of run
+  | Failed of string  (** exception text of a job that raised *)
+
+type batch = {
+  outcomes : (string * outcome) list;
+      (** (label, outcome) in submission order *)
+  merged_stats : Explore.stats;  (** per-run statistics, summed *)
+  batch_wall : float;  (** wall-clock seconds for the whole batch *)
+}
+
+val generate_batch : ?jobs:int -> job list -> batch
+(** [generate_batch ~jobs js] runs the jobs on [min jobs (length js)]
+    domains (the calling domain included).  [jobs] defaults to 1,
+    which runs everything sequentially on the calling domain. *)
 
 (** {1 Coverage reporting (§7)} *)
 

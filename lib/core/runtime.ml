@@ -40,6 +40,8 @@ let default_options =
   }
 
 type ctx = {
+  ectx : Expr.ctx;
+      (** the run's term context; all terms of a run live here *)
   prog : Ast.program;
   tctx : Typing.ctx;
   parsers : (string, Ast.parser_decl) Hashtbl.t;
@@ -130,13 +132,17 @@ and state = {
   trace : string list;  (** newest first *)
 }
 
-let empty_bits = Expr.zero 0
+(* The term context of a state, recovered from an always-present term
+   (for helpers that do not receive the run context). *)
+let state_ectx st = Expr.ctx_of st.live
+
+let empty_bits ectx = Expr.zero ectx 0
 
 let fresh_name ctx prefix =
   ctx.fresh_ctr <- ctx.fresh_ctr + 1;
   Printf.sprintf "%s@%d" prefix ctx.fresh_ctr
 
-let fresh_var ctx prefix w = Expr.var (fresh_name ctx prefix) w
+let fresh_var ctx prefix w = Expr.var ctx.ectx (fresh_name ctx prefix) w
 
 let rec make_ctx ?(opts = default_options) (prog : Ast.program) ~nstmts tctx =
   let parsers = Hashtbl.create 8 and controls = Hashtbl.create 8 in
@@ -147,6 +153,9 @@ let rec make_ctx ?(opts = default_options) (prog : Ast.program) ~nstmts tctx =
       | _ -> ())
     prog;
   {
+    (* each run context owns a fresh term context: two prepared runs
+       can coexist and interleave, or run on different domains *)
+    ectx = Expr.create_ctx ();
     prog;
     tctx;
     parsers;
@@ -172,17 +181,16 @@ and pop_to_reject err st =
   { st with work = go st.work; trace = ("parser reject: " ^ err) :: st.trace }
 
 let initial_state ctx ~port_width =
-  ignore ctx;
   {
     env = Env.empty;
     vartypes = Env.empty;
     path_cond = [];
     work = [];
     chunks = [];
-    live = empty_bits;
-    emit_buf = empty_bits;
+    live = empty_bits ctx.ectx;
+    emit_buf = empty_bits ctx.ectx;
     sealed = false;
-    in_port = Expr.var "$in_port" port_width;
+    in_port = Expr.var ctx.ectx "$in_port" port_width;
     entries = [];
     registers = [];
     reg_inits = [];
@@ -276,18 +284,18 @@ let declare ctx ?(valid = false) ~init (t : Ast.typ) path st =
       (fun env (p, leaf) ->
         match leaf with
         | LfField w -> Env.add p (init p w) env
-        | LfValidity -> Env.add (p ^ ".$valid") (Expr.of_bool valid) env
-        | LfStackNext -> Env.add (p ^ ".$next") (Expr.zero 32) env
-        | LfVarbitLen -> Env.add (p ^ ".$vblen") (Expr.zero 32) env)
+        | LfValidity -> Env.add (p ^ ".$valid") (Expr.of_bool ctx.ectx valid) env
+        | LfStackNext -> Env.add (p ^ ".$next") (Expr.zero ctx.ectx 32) env
+        | LfVarbitLen -> Env.add (p ^ ".$vblen") (Expr.zero ctx.ectx 32) env)
       st.env (leaves ctx t path)
   in
   { st with env; vartypes = Env.add path t st.vartypes }
 
-let init_taint _ w = Expr.fresh_taint w
-let init_zero _ w = Expr.zero w
+let init_taint ctx _ w = Expr.fresh_taint ctx.ectx w
+let init_zero ctx _ w = Expr.zero ctx.ectx w
 
 (** target policy for uninitialized storage *)
-let init_uninit ctx = if ctx.uninit_is_zero then init_zero else init_taint
+let init_uninit ctx = if ctx.uninit_is_zero then init_zero ctx else init_taint ctx
 
 (* copy all leaves under [src] prefix to [dst] prefix *)
 let copy_tree ctx t ~src ~dst st =
@@ -367,7 +375,7 @@ let input_width st = List.fold_left (fun acc c -> acc + Expr.width c) 0 st.chunk
 let input_expr st =
   (* chunks are newest-first; the first chunk is the front of the wire
      packet, i.e. the most significant bits *)
-  List.fold_left (fun acc c -> Expr.concat c acc) empty_bits st.chunks
+  List.fold_left (fun acc c -> Expr.concat c acc) (empty_bits (state_ectx st)) st.chunks
 
 let append_chunk ctx w st =
   let c = fresh_var ctx "$pkt" w in
@@ -384,7 +392,9 @@ let take_bits ctx w st : take_result list =
   let lw = Expr.width st.live in
   if w <= lw then begin
     let bits = Expr.slice st.live ~hi:(lw - 1) ~lo:(lw - w) in
-    let live = if w = lw then empty_bits else Expr.slice st.live ~hi:(lw - w - 1) ~lo:0 in
+    let live =
+      if w = lw then empty_bits ctx.ectx else Expr.slice st.live ~hi:(lw - w - 1) ~lo:0
+    in
     [ TakeOk ({ st with live }, bits) ]
   end
   else begin
@@ -399,7 +409,8 @@ let take_bits ctx w st : take_result list =
             let lw' = Expr.width st'.live in
             let bits = Expr.slice st'.live ~hi:(lw' - 1) ~lo:(lw' - w) in
             let live =
-              if w = lw' then empty_bits else Expr.slice st'.live ~hi:(lw' - w - 1) ~lo:0
+              if w = lw' then empty_bits ctx.ectx
+              else Expr.slice st'.live ~hi:(lw' - w - 1) ~lo:0
             in
             Some (TakeOk ({ st' with live }, bits))
       end
@@ -430,7 +441,7 @@ let emit_bits bits st = { st with emit_buf = Expr.concat st.emit_buf bits }
 
 (* Deparser trigger point: prepend the emit buffer to the live packet. *)
 let flush_emit st =
-  { st with live = Expr.concat st.emit_buf st.live; emit_buf = empty_bits }
+  { st with live = Expr.concat st.emit_buf st.live; emit_buf = empty_bits (state_ectx st) }
 
 (* Pad the input with payload so the wire packet reaches [bytes]. *)
 let pad_to_bytes ctx bytes st =
@@ -450,7 +461,7 @@ let add_output ?(note = "") ~port ~data st =
 let find_register st name = List.assoc_opt name st.registers
 
 let add_register name ~size ~width st =
-  let arr = Array.init size (fun _ -> Expr.zero width) in
+  let arr = Array.init size (fun _ -> Expr.zero (state_ectx st) width) in
   { st with registers = (name, arr) :: st.registers }
 
 let read_register st name idx =

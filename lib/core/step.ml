@@ -28,7 +28,7 @@ let declare_locals ctx prefix (locals : Ast.local_decl list) st =
       match l with
       | Ast.LVar (t, n, _) ->
           declare ctx ~init:(init_uninit ctx) t (prefix ^ "." ^ n) st
-      | Ast.LConst (t, n, _) -> declare ctx ~init:init_zero t (prefix ^ "." ^ n) st
+      | Ast.LConst (t, n, _) -> declare ctx ~init:(init_zero ctx) t (prefix ^ "." ^ n) st
       | Ast.LInstantiation (TSpec (("register" | "Register"), [ elem ]), args, n) ->
           let width = Typing.width_of ctx.tctx elem in
           let size =
@@ -121,7 +121,7 @@ let invoke_action ctx (fr : frame) (decl : Ast.action_decl) (args : (Ast.param *
   let st =
     List.fold_left
       (fun st ((p : Ast.param), v) ->
-        let st = declare ctx ~init:init_zero p.par_typ (prefix ^ "." ^ p.par_name) st in
+        let st = declare ctx ~init:(init_zero ctx) p.par_typ (prefix ^ "." ^ p.par_name) st in
         write_leaf (prefix ^ "." ^ p.par_name) v st)
       st args
   in
@@ -188,7 +188,7 @@ let rec hoist_lookaheads ctx fr st (exprs : Ast.expr list) k : branch list =
           | TakeOk (st', bits) ->
               let tmp = fresh_name ctx "$la" in
               let scope = List.hd fr.fr_scopes in
-              let st' = declare ctx ~init:init_zero (Ast.TBit w) (scope ^ "." ^ tmp) st' in
+              let st' = declare ctx ~init:(init_zero ctx) (Ast.TBit w) (scope ^ "." ^ tmp) st' in
               let st' = write_leaf (scope ^ "." ^ tmp) bits st' in
               let exprs' =
                 List.map (replace_expr ~target:call ~by:(Ast.EVar tmp)) exprs
@@ -240,7 +240,7 @@ and do_extract_into ctx fr st (harg : Ast.expr) lv : branch list =
     | Ast.EMember (b, "next") ->
         let base = Eval.lvalue_of ctx fr st b in
         let next = read_leaf st (base.lv_path ^ ".$next") in
-        write_leaf (base.lv_path ^ ".$next") (Expr.add next (Expr.of_int ~width:32 1)) st
+        write_leaf (base.lv_path ^ ".$next") (Expr.add next (Expr.of_int ctx.ectx ~width:32 1)) st
     | _ -> st
   in
   List.concat_map
@@ -248,7 +248,7 @@ and do_extract_into ctx fr st (harg : Ast.expr) lv : branch list =
       | TakeOk (st', bits) ->
           let st' = Eval.write_tree ctx st' typ lv.lv_path bits in
           let st' =
-            if is_header then write_leaf (lv.lv_path ^ ".$valid") Expr.tru st' else st'
+            if is_header then write_leaf (lv.lv_path ^ ".$valid") (Expr.tru ctx.ectx) st' else st'
           in
           let st' = bump_stack st' in
           continue_ (note (Printf.sprintf "extract %s (%d bits)" lv.lv_path w) st')
@@ -275,7 +275,7 @@ let do_advance ctx fr st (arg : Ast.expr) : branch list =
       let outcomes = ref [] in
       for bytes = 0 to 4 do
         let w = bytes * 8 in
-        let cond = Expr.eq v (Expr.of_int ~width:(Expr.width v) w) in
+        let cond = Expr.eq v (Expr.of_int ctx.ectx ~width:(Expr.width v) w) in
         List.iter
           (function
             | TakeOk (st', _) ->
@@ -369,14 +369,14 @@ let do_extract_varbit ctx fr st (harg : Ast.expr) (lenarg : Ast.expr) : branch l
                   match Typing.resolve ctx.tctx f.Ast.f_typ with
                   | Ast.TVarbit mw ->
                       let fb =
-                        if len = 0 then Expr.zero mw
+                        if len = 0 then Expr.zero ctx.ectx mw
                         else
                           Expr.concat
                             (Expr.slice bits ~hi:(total - off - 1) ~lo:(total - off - len))
-                            (Expr.zero (mw - len))
+                            (Expr.zero ctx.ectx (mw - len))
                       in
                       let st' = write_leaf fpath fb st' in
-                      let st' = write_leaf (fpath ^ ".$vblen") (Expr.of_int ~width:32 len) st' in
+                      let st' = write_leaf (fpath ^ ".$vblen") (Expr.of_int ctx.ectx ~width:32 len) st' in
                       (st', off + len)
                   | t ->
                       let w = Typing.width_of ctx.tctx t in
@@ -384,7 +384,7 @@ let do_extract_varbit ctx fr st (harg : Ast.expr) (lenarg : Ast.expr) : branch l
                       (Eval.write_tree ctx st' t fpath fb, off + w))
                 (st', 0) fields
             in
-            let st' = write_leaf (lv.Eval.lv_path ^ ".$valid") Expr.tru st' in
+            let st' = write_leaf (lv.Eval.lv_path ^ ".$valid") (Expr.tru ctx.ectx) st' in
             continue_ (note (Printf.sprintf "extract %s (varbit %d)" lv.Eval.lv_path len) st')
         | TakeShort st' ->
             ctx.reject_hook ctx fr "PacketTooShort"
@@ -402,7 +402,7 @@ let do_extract_varbit ctx fr st (harg : Ast.expr) (lenarg : Ast.expr) : branch l
       let branches =
         List.concat_map
           (fun len ->
-            let cond = Expr.eq lenv (Expr.of_int ~width:32 len) in
+            let cond = Expr.eq lenv (Expr.of_int ctx.ectx ~width:32 len) in
             List.map
               (fun b ->
                 { b with
@@ -414,7 +414,7 @@ let do_extract_varbit ctx fr st (harg : Ast.expr) (lenarg : Ast.expr) : branch l
               (extract_with st len))
           candidates
       in
-      let over = Expr.ugt lenv (Expr.of_int ~width:32 maxw) in
+      let over = Expr.ugt lenv (Expr.of_int ctx.ectx ~width:32 maxw) in
       let reject_branches =
         List.map
           (fun b ->
@@ -532,7 +532,7 @@ let rec exec_stmt ctx (fr : frame) st (s : Ast.stmt) : branch list =
   | SConstDecl (_, t, n, e) ->
       let scope = List.hd fr.fr_scopes in
       let path = scope ^ "." ^ n in
-      let st = declare ctx ~init:init_zero t path st in
+      let st = declare ctx ~init:(init_zero ctx) t path st in
       let w = Typing.width_of ctx.tctx t in
       let st, v = Eval.eval ~hint:w ctx fr st e in
       continue_ (write_leaf path (Expr.zext v w) st)
@@ -564,10 +564,10 @@ and exec_call ctx fr st (f : Ast.expr) (args : Ast.expr list) : branch list =
   (* header validity *)
   | EMember (h, "setValid"), [] ->
       let lv = Eval.lvalue_of ctx fr st h in
-      continue_ (write_leaf (lv.lv_path ^ ".$valid") Expr.tru st)
+      continue_ (write_leaf (lv.lv_path ^ ".$valid") (Expr.tru ctx.ectx) st)
   | EMember (h, "setInvalid"), [] ->
       let lv = Eval.lvalue_of ctx fr st h in
-      continue_ (write_leaf (lv.lv_path ^ ".$valid") Expr.fls st)
+      continue_ (write_leaf (lv.lv_path ^ ".$valid") (Expr.fls ctx.ectx) st)
   (* header stacks *)
   | EMember (h, "push_front"), [ Ast.EInt { iv; _ } ] -> continue_ (stack_shift ctx fr st h iv)
   | EMember (h, "pop_front"), [ Ast.EInt { iv; _ } ] -> continue_ (stack_shift ctx fr st h (-iv))
@@ -586,7 +586,7 @@ and exec_call ctx fr st (f : Ast.expr) (args : Ast.expr list) : branch list =
           else
             { br_cond = Some v; br_state = st; br_label = "verify-ok" }
             :: List.map
-                 (fun b -> { b with br_cond = Some (Expr.band (Expr.bnot v) (Option.value b.br_cond ~default:Expr.tru)) })
+                 (fun b -> { b with br_cond = Some (Expr.band (Expr.bnot v) (Option.value b.br_cond ~default:(Expr.tru ctx.ectx))) })
                  (ctx.reject_hook ctx fr err_name st))
   (* table application as a statement *)
   | EMember (EVar t, "apply"), [] -> (
@@ -628,7 +628,7 @@ and stack_shift ctx fr st (h : Ast.expr) (k : int) : state =
           st := write_leaf (path ^ ".$valid") (List.nth valids src) !st
         end
         else begin
-          st := write_leaf (path ^ ".$valid") Expr.fls !st
+          st := write_leaf (path ^ ".$valid") (Expr.fls ctx.ectx) !st
         end
       done;
       (* adjust the next cursor, clamped to the stack bounds *)
@@ -638,7 +638,7 @@ and stack_shift ctx fr st (h : Ast.expr) (k : int) : state =
         | Some b -> Bits.to_int b
         | None -> 0
       in
-      write_leaf nextp (Expr.of_int ~width:32 (max 0 (min n (cur + k)))) !st
+      write_leaf nextp (Expr.of_int ctx.ectx ~width:32 (max 0 (min n (cur + k)))) !st
   | _ -> fail "push_front/pop_front on non-stack"
 
 and dispatch_extern ctx fr st (f : Ast.expr) (args : Ast.expr list) : branch list =
@@ -708,7 +708,7 @@ and exec_transition ctx (fr : frame) st (tr : Ast.transition) : branch list =
               (fun (st, acc) keyv pat ->
                 let st, m = Tables.match_pattern ctx fr st keyv pat in
                 (st, Expr.band acc m))
-              (st, Expr.tru) keyvals c.sel_keys
+              (st, Expr.tru ctx.ectx) keyvals c.sel_keys
           in
           let _, branches, miss =
             List.fold_left
@@ -718,7 +718,7 @@ and exec_transition ctx (fr : frame) st (tr : Ast.transition) : branch list =
                     let w = Typing.width_of ctx.tctx elem in
                     let keyv = Expr.zext (List.hd keyvals) w in
                     let member = fresh_var ctx ("$vs_" ^ vsname) w in
-                    let cond = Expr.band (Expr.eq keyv member) (Expr.conj misses) in
+                    let cond = Expr.band (Expr.eq keyv member) (Expr.conj ctx.ectx misses) in
                     let entry =
                       {
                         se_table = vsname;
@@ -740,7 +740,7 @@ and exec_transition ctx (fr : frame) st (tr : Ast.transition) : branch list =
                       | "reject" ->
                           List.map
                             (fun b ->
-                              { b with br_cond = Some (Expr.band cond (Option.value b.br_cond ~default:Expr.tru)) })
+                              { b with br_cond = Some (Expr.band cond (Option.value b.br_cond ~default:(Expr.tru ctx.ectx))) })
                             (ctx.reject_hook ctx fr "NoError" st')
                       | next ->
                           [
@@ -756,7 +756,7 @@ and exec_transition ctx (fr : frame) st (tr : Ast.transition) : branch list =
                     (i + 1, b @ acc, misses)
                 | None ->
                 let st, m = case_cond st c in
-                let cond = Expr.band m (Expr.conj misses) in
+                let cond = Expr.band m (Expr.conj ctx.ectx misses) in
                 let st' = { st with ctrl_taint = st.ctrl_taint || tainted } in
                 let b =
                   match c.sel_next with
@@ -765,7 +765,7 @@ and exec_transition ctx (fr : frame) st (tr : Ast.transition) : branch list =
                   | "reject" ->
                       List.map
                         (fun b ->
-                          { b with br_cond = Some (Expr.band cond (Option.value b.br_cond ~default:Expr.tru)) })
+                          { b with br_cond = Some (Expr.band cond (Option.value b.br_cond ~default:(Expr.tru ctx.ectx))) })
                         (ctx.reject_hook ctx fr "NoError" st')
                   | next ->
                       [
@@ -780,13 +780,13 @@ and exec_transition ctx (fr : frame) st (tr : Ast.transition) : branch list =
               (0, [], []) cases
           in
           (* no case matched: NoMatch error *)
-          let miss_cond = Expr.conj miss in
+          let miss_cond = Expr.conj ctx.ectx miss in
           let miss_branches =
             if Expr.is_false miss_cond then []
             else
               List.map
                 (fun b ->
-                  { b with br_cond = Some (Expr.band miss_cond (Option.value b.br_cond ~default:Expr.tru)) })
+                  { b with br_cond = Some (Expr.band miss_cond (Option.value b.br_cond ~default:(Expr.tru ctx.ectx))) })
                 (ctx.reject_hook ctx fr "NoMatch" { st with ctrl_taint = st.ctrl_taint || tainted })
           in
           List.rev branches @ miss_branches)

@@ -43,7 +43,7 @@ let eval_keys ctx fr st (tbl : Ast.table) =
 (* P4-constraints (@entry_restriction) support: restrict synthesized
    entry key variables (§6.1.1). *)
 
-let compile_constraint _ctx (keys : (string * string * Expr.t) list)
+let compile_constraint ctx (keys : (string * string * Expr.t) list)
     (entry_vars : (string * Expr.t) list) (src : string) : Expr.t option =
   ignore (keys : (string * string * Expr.t) list);
   match P4.Parser.parse_expr_string src with
@@ -51,12 +51,12 @@ let compile_constraint _ctx (keys : (string * string * Expr.t) list)
   | ast ->
       let rec comp (e : Ast.expr) : Expr.t option =
         match e with
-        | EBool b -> Some (Expr.of_bool b)
+        | EBool b -> Some (Expr.of_bool ctx.ectx b)
         | EVar n -> List.assoc_opt n entry_vars
         | EMember _ -> List.assoc_opt (Ast.lvalue_path e) entry_vars
         | EInt { iv; width; _ } ->
             let w = Option.value width ~default:32 in
-            Some (Expr.of_int ~width:w iv)
+            Some (Expr.of_int ctx.ectx ~width:w iv)
         | EUnop (LNot, a) -> Option.map Expr.bnot (comp a)
         | EBinop (op, a, b) -> (
             match (comp a, comp b) with
@@ -118,7 +118,7 @@ let action_decl ctx fr name =
 let rec match_pattern ctx fr st (keyv : Expr.t) (pat : Ast.expr) : state * Expr.t =
   let w = Expr.width keyv in
   match pat with
-  | EDontCare | EDefault -> (st, Expr.tru)
+  | EDontCare | EDefault -> (st, Expr.tru ctx.ectx)
   | EMask (v, m) ->
       let st, vv = Eval.eval ~hint:w ctx fr st v in
       let st, vm = Eval.eval ~hint:w ctx fr st m in
@@ -140,7 +140,7 @@ let match_entry ctx fr st keys (e : Ast.table_entry) : state * Expr.t =
     (fun (st, acc) (_, _, keyv) pat ->
       let st, m = match_pattern ctx fr st keyv pat in
       (st, Expr.band acc m))
-    (st, Expr.tru) keys e.te_keys
+    (st, Expr.tru ctx.ectx) keys e.te_keys
 
 (* order constant entries by priority (lower value = higher priority),
    then source order — the v1model "priority" annotation semantics *)
@@ -179,7 +179,9 @@ let synthesize_match ctx keys : synth =
       | "ternary" | "optional" when tainted ->
           (* wildcard entry: matches regardless of the tainted key *)
           let sk =
-            if kind = "ternary" then SkTernary (Expr.zero w, Expr.zero w) else SkOptional None
+            if kind = "ternary" then
+              SkTernary (Expr.zero ctx.ectx w, Expr.zero ctx.ectx w)
+            else SkOptional None
           in
           sks := (name, sk) :: !sks
       | _ when tainted -> ok := false
@@ -192,7 +194,7 @@ let synthesize_match ctx keys : synth =
           let kv = fresh_var ctx ("$key_" ^ name) w in
           conds := Expr.eq keyv kv :: !conds;
           vars := (name, kv) :: !vars;
-          sks := (name, SkTernary (kv, Expr.ones w)) :: !sks
+          sks := (name, SkTernary (kv, Expr.ones ctx.ectx w)) :: !sks
       | "lpm" ->
           let kv = fresh_var ctx ("$key_" ^ name) w in
           conds := Expr.eq keyv kv :: !conds;
@@ -211,7 +213,7 @@ let synthesize_match ctx keys : synth =
       | kind -> fail "unsupported match kind %s" kind)
     keys;
   {
-    sy_cond = Expr.conj (List.rev !conds);
+    sy_cond = Expr.conj ctx.ectx (List.rev !conds);
     sy_keys = List.rev !sks;
     sy_vars = List.rev !vars;
     sy_ok = !ok;
@@ -257,7 +259,7 @@ let apply ctx fr st (tbl : Ast.table) : applied list =
       List.fold_left
         (fun (i, acc, misses) entry ->
           let st, m = match_entry ctx fr st0 keys entry in
-          let cond = Expr.band m (Expr.conj misses) in
+          let cond = Expr.band m (Expr.conj ctx.ectx misses) in
           let decl = action_decl ctx fr entry.Ast.te_action in
           let st, args =
             List.fold_left2
@@ -286,7 +288,7 @@ let apply ctx fr st (tbl : Ast.table) : applied list =
         ap_action = dname;
         ap_args = dargs;
         ap_hit = false;
-        ap_cond = Some (Expr.conj miss_conds);
+        ap_cond = Some (Expr.conj ctx.ectx miss_conds);
         ap_state = st;
         ap_label = tbl.tbl_name ^ ":miss";
       }

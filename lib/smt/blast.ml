@@ -1,6 +1,7 @@
 module Bits = Bitv.Bits
 
 type t = {
+  ectx : Expr.ctx; (* the only term context this blaster accepts *)
   sat : Sat.t;
   tt : int; (* literal that is always true *)
   expr_cache : (int, int array) Hashtbl.t; (* Expr tag -> bit literals *)
@@ -9,10 +10,11 @@ type t = {
   gate_cache : (string * int * int * int, int) Hashtbl.t;
 }
 
-let create sat =
+let create ectx sat =
   let v = Sat.new_var sat in
   Sat.add_clause sat [ Sat.pos v ];
   {
+    ectx;
     sat;
     tt = Sat.pos v;
     expr_cache = Hashtbl.create 1024;
@@ -216,6 +218,8 @@ let divider blaster xs ys =
 (* Word-level translation *)
 
 let rec bits b (e : Expr.t) =
+  if Expr.ctx_of e != b.ectx then
+    invalid_arg "Blast.bits: term from a different Expr context";
   match Hashtbl.find_opt b.expr_cache e.Expr.tag with
   | Some ls -> ls
   | None ->

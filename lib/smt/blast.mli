@@ -2,11 +2,15 @@
 
     A blaster owns caches mapping each hash-consed {!Expr.t} to an
     array of SAT literals (one per bit, LSB first).  Gates are
-    structurally shared, so blasting the same subterm twice is free. *)
+    structurally shared, so blasting the same subterm twice is free.
+
+    A blaster is bound to one {!Expr.ctx}; terms from any other
+    context are rejected (their tags would collide with cached
+    entries). *)
 
 type t
 
-val create : Sat.t -> t
+val create : Expr.ctx -> Sat.t -> t
 
 val lit_true : t -> int
 val lit_false : t -> int

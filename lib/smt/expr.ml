@@ -2,7 +2,12 @@ module Bits = Bitv.Bits
 
 type var = { vname : string; vwidth : int; vid : int }
 
-type t = { node : node; tag : int; width : int; tainted : bool }
+(* Every term carries the context it was interned in; structural
+   equality coincides with physical equality only within one context.
+   The arena is keyed by the node hash (buckets scanned with shallow
+   equality) because the recursive type group cannot reference a
+   functor-generated hashtable of itself. *)
+type t = { node : node; tag : int; width : int; tainted : bool; ctx : ctx }
 
 and node =
   | Const of Bits.t
@@ -27,16 +32,43 @@ and node =
   | Lshr of t * t
   | Ashr of t * t
 
+and ctx = {
+  ctx_id : int;
+  arena : (int, t list) Hashtbl.t;  (** node hash -> interned terms *)
+  mutable next_tag : int;
+  registry : (string, var) Hashtbl.t;
+  mutable next_vid : int;
+  mutable fresh_counter : int;
+  mutable next_taint : int;
+  taint_memo : (int, Bits.t) Hashtbl.t;  (** term tag -> taint mask *)
+}
+
+let ctx_counter = Atomic.make 0
+
+let create_ctx () =
+  {
+    ctx_id = Atomic.fetch_and_add ctx_counter 1;
+    arena = Hashtbl.create 4096;
+    next_tag = 0;
+    registry = Hashtbl.create 256;
+    next_vid = 0;
+    fresh_counter = 0;
+    next_taint = 0;
+    taint_memo = Hashtbl.create 1024;
+  }
+
+let ctx_of e = e.ctx
+let ctx_id c = c.ctx_id
+let same_ctx a b = a.ctx == b.ctx
+
 let width e = e.width
 let tainted e = e.tainted
 
 (* ------------------------------------------------------------------ *)
 (* Hash-consing.  Children of a node are already hash-consed, so
-   shallow equality compares children by tag. *)
+   shallow equality compares children by physical identity. *)
 
 module Node_key = struct
-  type nonrec t = node
-
   let child_tag e = e.tag
 
   let equal a b =
@@ -93,13 +125,6 @@ module Node_key = struct
     | Ashr (a, b) -> h2 20 a b
 end
 
-module Tbl = Hashtbl.Make (Node_key)
-
-let table : t Tbl.t = Tbl.create 4096
-let next_tag = ref 0
-
-let reset_hooks : (unit -> unit) list ref = ref []
-
 let node_tainted = function
   | Const _ | Var _ -> false
   | Taint _ -> true
@@ -110,158 +135,162 @@ let node_tainted = function
   | Slice (a, _, _) -> a.tainted
   | Ite (a, b, c) -> a.tainted || b.tainted || c.tainted
 
-let mk node width =
-  match Tbl.find_opt table node with
+let mk ctx node width =
+  let h = Node_key.hash node in
+  let bucket = Option.value (Hashtbl.find_opt ctx.arena h) ~default:[] in
+  match List.find_opt (fun e -> Node_key.equal e.node node) bucket with
   | Some e -> e
   | None ->
-      let e = { node; tag = !next_tag; width; tainted = node_tainted node } in
-      incr next_tag;
-      Tbl.add table node e;
+      let e = { node; tag = ctx.next_tag; width; tainted = node_tainted node; ctx } in
+      ctx.next_tag <- ctx.next_tag + 1;
+      Hashtbl.replace ctx.arena h (e :: bucket);
       e
+
+let check_ctx name a b =
+  if a.ctx != b.ctx then
+    invalid_arg
+      (Printf.sprintf "Expr.%s: terms from different contexts (#%d vs #%d)" name
+         a.ctx.ctx_id b.ctx.ctx_id)
 
 (* ------------------------------------------------------------------ *)
 (* Variables *)
 
-let var_registry : (string, var) Hashtbl.t = Hashtbl.create 256
-let next_vid = ref 0
-
-let var name w =
-  match Hashtbl.find_opt var_registry name with
+let var ctx name w =
+  match Hashtbl.find_opt ctx.registry name with
   | Some v ->
       if v.vwidth <> w then
         invalid_arg
           (Printf.sprintf "Expr.var: %s already has width %d (asked %d)" name
              v.vwidth w);
-      mk (Var v) w
+      mk ctx (Var v) w
   | None ->
-      let v = { vname = name; vwidth = w; vid = !next_vid } in
-      incr next_vid;
-      Hashtbl.add var_registry name v;
-      mk (Var v) w
+      let v = { vname = name; vwidth = w; vid = ctx.next_vid } in
+      ctx.next_vid <- ctx.next_vid + 1;
+      Hashtbl.add ctx.registry name v;
+      mk ctx (Var v) w
 
 let var_of e =
   match e.node with
   | Var v -> v
   | _ -> invalid_arg "Expr.var_of: not a variable"
 
-let fresh_counter = ref 0
+let fresh_var ctx prefix w =
+  ctx.fresh_counter <- ctx.fresh_counter + 1;
+  var ctx (Printf.sprintf "%s!%d" prefix ctx.fresh_counter) w
 
-let fresh_var prefix w =
-  incr fresh_counter;
-  var (Printf.sprintf "%s!%d" prefix !fresh_counter) w
-
-let next_taint = ref 0
-
-let fresh_taint w =
-  incr next_taint;
-  mk (Taint !next_taint) w
+let fresh_taint ctx w =
+  ctx.next_taint <- ctx.next_taint + 1;
+  mk ctx (Taint ctx.next_taint) w
 
 (* ------------------------------------------------------------------ *)
-(* Smart constructors *)
+(* Smart constructors.  Leaves take the context explicitly; compound
+   constructors inherit it from their operands. *)
 
-let const b = mk (Const b) (Bits.width b)
-let of_int ~width n = const (Bits.of_int ~width n)
-let zero w = const (Bits.zero w)
-let ones w = const (Bits.ones w)
-let tru = const (Bits.ones 1)
-let fls = const (Bits.zero 1)
-let of_bool b = if b then tru else fls
+let const ctx b = mk ctx (Const b) (Bits.width b)
+let of_int ctx ~width n = const ctx (Bits.of_int ~width n)
+let zero ctx w = const ctx (Bits.zero w)
+let ones ctx w = const ctx (Bits.ones w)
+let tru ctx = const ctx (Bits.ones 1)
+let fls ctx = const ctx (Bits.zero 1)
+let of_bool ctx b = if b then tru ctx else fls ctx
 
 let is_const e = match e.node with Const b -> Some b | _ -> None
 let is_true e = match e.node with Const b -> Bits.is_ones b && Bits.width b = 1 | _ -> false
 let is_false e = match e.node with Const b -> Bits.is_zero b && Bits.width b = 1 | _ -> false
 
 let check_width name a b =
+  check_ctx name a b;
   if a.width <> b.width then
     invalid_arg
       (Printf.sprintf "Expr.%s: width mismatch (%d vs %d)" name a.width b.width)
 
 let lognot a =
   match a.node with
-  | Const b -> const (Bits.lognot b)
+  | Const b -> const a.ctx (Bits.lognot b)
   | Not x -> x
-  | _ -> mk (Not a) a.width
+  | _ -> mk a.ctx (Not a) a.width
 
 let rec logand a b =
   check_width "logand" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.logand x y)
+  | Const x, Const y -> const a.ctx (Bits.logand x y)
   | Const _, _ -> logand b a
   | _, Const y when Bits.is_zero y -> b
   | _, Const y when Bits.is_ones y -> a
   | _ when a == b && not a.tainted -> a
-  | _ -> mk (And (a, b)) a.width
+  | _ -> mk a.ctx (And (a, b)) a.width
 
 let rec logor a b =
   check_width "logor" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.logor x y)
+  | Const x, Const y -> const a.ctx (Bits.logor x y)
   | Const _, _ -> logor b a
   | _, Const y when Bits.is_zero y -> a
   | _, Const y when Bits.is_ones y -> b
   | _ when a == b && not a.tainted -> a
-  | _ -> mk (Or (a, b)) a.width
+  | _ -> mk a.ctx (Or (a, b)) a.width
 
 let rec logxor a b =
   check_width "logxor" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.logxor x y)
+  | Const x, Const y -> const a.ctx (Bits.logxor x y)
   | Const _, _ -> logxor b a
   | _, Const y when Bits.is_zero y -> a
   | _, Const y when Bits.is_ones y -> lognot a
-  | _ when a == b && not a.tainted -> zero a.width
-  | _ -> mk (Xor (a, b)) a.width
+  | _ when a == b && not a.tainted -> zero a.ctx a.width
+  | _ -> mk a.ctx (Xor (a, b)) a.width
 
 let rec add a b =
   check_width "add" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.add x y)
+  | Const x, Const y -> const a.ctx (Bits.add x y)
   | Const _, _ -> add b a
   | _, Const y when Bits.is_zero y -> a
-  | _ -> mk (Add (a, b)) a.width
+  | _ -> mk a.ctx (Add (a, b)) a.width
 
 let sub a b =
   check_width "sub" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.sub x y)
+  | Const x, Const y -> const a.ctx (Bits.sub x y)
   | _, Const y when Bits.is_zero y -> a
-  | _ when a == b && not a.tainted -> zero a.width
-  | _ -> mk (Sub (a, b)) a.width
+  | _ when a == b && not a.tainted -> zero a.ctx a.width
+  | _ -> mk a.ctx (Sub (a, b)) a.width
 
-let neg a = sub (zero a.width) a
+let neg a = sub (zero a.ctx a.width) a
 
 let rec mul a b =
   check_width "mul" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.mul x y)
+  | Const x, Const y -> const a.ctx (Bits.mul x y)
   | Const _, _ -> mul b a
   (* Taint-elimination: anything times zero is zero (§5.3). *)
   | _, Const y when Bits.is_zero y -> b
   | _, Const y when Bits.equal y (Bits.of_int ~width:(Bits.width y) 1) -> a
-  | _ -> mk (Mul (a, b)) a.width
+  | _ -> mk a.ctx (Mul (a, b)) a.width
 
 let udiv a b =
   check_width "udiv" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.udiv x y)
-  | _ -> mk (Udiv (a, b)) a.width
+  | Const x, Const y -> const a.ctx (Bits.udiv x y)
+  | _ -> mk a.ctx (Udiv (a, b)) a.width
 
 let urem a b =
   check_width "urem" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> const (Bits.urem x y)
-  | _ -> mk (Urem (a, b)) a.width
+  | Const x, Const y -> const a.ctx (Bits.urem x y)
+  | _ -> mk a.ctx (Urem (a, b)) a.width
 
 let rec concat hi lo =
+  check_ctx "concat" hi lo;
   if hi.width = 0 then lo
   else if lo.width = 0 then hi
   else
     match (hi.node, lo.node) with
-    | Const x, Const y -> const (Bits.concat x y)
+    | Const x, Const y -> const hi.ctx (Bits.concat x y)
     (* Merge adjacent slices of the same base term. *)
     | Slice (a, h1, l1), Slice (b, h2, l2) when a == b && l1 = h2 + 1 ->
         slice a ~hi:h1 ~lo:l2
-    | _ -> mk (Concat (hi, lo)) (hi.width + lo.width)
+    | _ -> mk hi.ctx (Concat (hi, lo)) (hi.width + lo.width)
 
 and slice e ~hi ~lo =
   if lo < 0 || hi < lo || hi >= e.width then
@@ -271,7 +300,7 @@ and slice e ~hi ~lo =
   if lo = 0 && hi = e.width - 1 then e
   else
     match e.node with
-    | Const b -> const (Bits.slice b ~hi ~lo)
+    | Const b -> const e.ctx (Bits.slice b ~hi ~lo)
     | Slice (x, _, l) -> slice x ~hi:(l + hi) ~lo:(l + lo)
     | Concat (h, l) ->
         if hi < l.width then slice l ~hi ~lo
@@ -280,44 +309,45 @@ and slice e ~hi ~lo =
           concat (slice h ~hi:(hi - l.width) ~lo:0) (slice l ~hi:(l.width - 1) ~lo)
     | Ite (c, t, f) when not c.tainted ->
         (* Push slices into ite so packet reconstruction stays sliceable. *)
-        mk (Ite (c, slice t ~hi ~lo, slice f ~hi ~lo)) (hi - lo + 1)
-    | _ -> mk (Slice (e, hi, lo)) (hi - lo + 1)
+        mk e.ctx (Ite (c, slice t ~hi ~lo, slice f ~hi ~lo)) (hi - lo + 1)
+    | _ -> mk e.ctx (Slice (e, hi, lo)) (hi - lo + 1)
 
 and ite c t f =
   if c.width <> 1 then invalid_arg "Expr.ite: condition width must be 1";
+  check_ctx "ite" c t;
   check_width "ite" t f;
   match c.node with
   | Const b -> if Bits.is_ones b then t else f
   | _ when t == f -> t
   | _ when is_true t && is_false f -> c
   | _ when is_false t && is_true f -> lognot c
-  | _ -> mk (Ite (c, t, f)) t.width
+  | _ -> mk c.ctx (Ite (c, t, f)) t.width
 
 let zext e w =
   if w < e.width then slice e ~hi:(w - 1) ~lo:0
   else if w = e.width then e
-  else concat (zero (w - e.width)) e
+  else concat (zero e.ctx (w - e.width)) e
 
 let sext e w =
   if w < e.width then slice e ~hi:(w - 1) ~lo:0
   else if w = e.width then e
-  else if e.width = 0 then zero w
+  else if e.width = 0 then zero e.ctx w
   else
     let sign = slice e ~hi:(e.width - 1) ~lo:(e.width - 1) in
-    concat (ite sign (ones (w - e.width)) (zero (w - e.width))) e
+    concat (ite sign (ones e.ctx (w - e.width)) (zero e.ctx (w - e.width))) e
 
 let rec eq a b =
   check_width "eq" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> of_bool (Bits.equal x y)
-  | _ when a == b && not a.tainted -> tru
+  | Const x, Const y -> of_bool a.ctx (Bits.equal x y)
+  | _ when a == b && not a.tainted -> tru a.ctx
   | Const _, _ -> eq b a
   (* eq over concats decomposes into per-part equalities. *)
   | Concat (h, l), Const _ ->
       let bh = slice b ~hi:(a.width - 1) ~lo:l.width in
       let bl = slice b ~hi:(l.width - 1) ~lo:0 in
       band (eq h bh) (eq l bl)
-  | _ -> mk (Eq (a, b)) 1
+  | _ -> mk a.ctx (Eq (a, b)) 1
 
 and band a b =
   if a.width <> 1 || b.width <> 1 then invalid_arg "Expr.band: width 1 expected";
@@ -336,17 +366,17 @@ let neq a b = bnot (eq a b)
 let ult a b =
   check_width "ult" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> of_bool (Bits.ult x y)
-  | _, Const y when Bits.is_zero y -> fls
-  | _ when a == b && not a.tainted -> fls
-  | _ -> mk (Ult (a, b)) 1
+  | Const x, Const y -> of_bool a.ctx (Bits.ult x y)
+  | _, Const y when Bits.is_zero y -> fls a.ctx
+  | _ when a == b && not a.tainted -> fls a.ctx
+  | _ -> mk a.ctx (Ult (a, b)) 1
 
 let slt a b =
   check_width "slt" a b;
   match (a.node, b.node) with
-  | Const x, Const y -> of_bool (Bits.slt x y)
-  | _ when a == b && not a.tainted -> fls
-  | _ -> mk (Slt (a, b)) 1
+  | Const x, Const y -> of_bool a.ctx (Bits.slt x y)
+  | _ when a == b && not a.tainted -> fls a.ctx
+  | _ -> mk a.ctx (Slt (a, b)) 1
 
 let ule a b = bnot (ult b a)
 let ugt a b = ult b a
@@ -360,49 +390,30 @@ let mk_shift ctor fold a b =
   match (a.node, b.node) with
   | Const x, Const y -> (
       match Bits.to_int_checked y with
-      | Some k when k <= Bits.width x -> const (fold x k)
-      | _ -> const (fold x (Bits.width x)))
+      | Some k when k <= Bits.width x -> const a.ctx (fold x k)
+      | _ -> const a.ctx (fold x (Bits.width x)))
   | _, Const y when Bits.is_zero y -> a
-  | _ -> mk (ctor a b) a.width
+  | _ -> mk a.ctx (ctor a b) a.width
 
 let shl a b = mk_shift (fun a b -> Shl (a, b)) Bits.shift_left a b
 let lshr a b = mk_shift (fun a b -> Lshr (a, b)) Bits.shift_right a b
 let ashr a b = mk_shift (fun a b -> Ashr (a, b)) Bits.shift_right_arith a b
 
-let conj es = List.fold_left band tru es
-let disj es = List.fold_left bor fls es
+let conj ctx es = List.fold_left band (tru ctx) es
+let disj ctx es = List.fold_left bor (fls ctx) es
 let implies a b = bor (bnot a) b
 
 (* ------------------------------------------------------------------ *)
 (* Taint mask *)
 
-(* Drop the whole hash-consing context.  Terms created before a reset
-   must never be mixed with terms created after it (physical equality
-   would no longer coincide with structural equality), so this is only
-   safe between independent runs; {!Solver} instances from before the
-   reset must be discarded too. *)
-let reset () =
-  Tbl.reset table;
-  Hashtbl.reset var_registry;
-  next_tag := 0;
-  next_vid := 0;
-  fresh_counter := 0;
-  next_taint := 0;
-  List.iter (fun f -> f ()) !reset_hooks
-
-let on_reset f = reset_hooks := f :: !reset_hooks
-
-let taint_tbl : (int, Bits.t) Hashtbl.t = Hashtbl.create 1024
-let () = on_reset (fun () -> Hashtbl.reset taint_tbl)
-
 let rec taint_mask e =
   if not e.tainted then Bits.zero e.width
   else
-    match Hashtbl.find_opt taint_tbl e.tag with
+    match Hashtbl.find_opt e.ctx.taint_memo e.tag with
     | Some m -> m
     | None ->
         let m = compute_taint e in
-        Hashtbl.add taint_tbl e.tag m;
+        Hashtbl.add e.ctx.taint_memo e.tag m;
         m
 
 and compute_taint e =

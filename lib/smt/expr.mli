@@ -5,14 +5,25 @@
     simplification, including the taint-elimination rewrites of the
     paper (§5.3), e.g. [mul taint zero = zero].
 
-    Terms are hash-consed in a module-global context: structurally
-    equal terms are physically equal and share a [tag].  [Taint] nodes
-    are the exception — every call to {!fresh_taint} yields a distinct
-    unknown. *)
+    Terms are hash-consed in an explicit {!ctx}: within one context,
+    structurally equal terms are physically equal and share a [tag].
+    [Taint] nodes are the exception — every call to {!fresh_taint}
+    yields a distinct unknown.  Contexts are independent: creating one
+    never invalidates another, so multiple symbolic-execution runs can
+    coexist or run on different domains (one context must only be used
+    by one domain at a time; the context itself is not thread-safe).
+    Leaf constructors take the context explicitly; compound
+    constructors inherit it from their operands and raise
+    [Invalid_argument] when operands come from different contexts. *)
+
+type ctx
+(** A hash-consing arena plus variable registry, taint-id supply, and
+    simplifier memo tables.  Cheap to create; dropped wholesale by the
+    GC when the last term referencing it dies. *)
 
 type var = private { vname : string; vwidth : int; vid : int }
 
-type t = private { node : node; tag : int; width : int; tainted : bool }
+type t = private { node : node; tag : int; width : int; tainted : bool; ctx : ctx }
 
 and node =
   | Const of Bitv.Bits.t
@@ -37,41 +48,44 @@ and node =
   | Lshr of t * t
   | Ashr of t * t
 
+val create_ctx : unit -> ctx
+(** A fresh, empty term context.  Safe to call from any domain. *)
+
+val ctx_of : t -> ctx
+(** The context a term was interned in. *)
+
+val ctx_id : ctx -> int
+(** A process-unique id (diagnostics only). *)
+
+val same_ctx : t -> t -> bool
+
 val width : t -> int
 val tainted : t -> bool
 
 (** {1 Variables} *)
 
-val reset : unit -> unit
-(** Clears the hash-consing context (all terms, variables, taint ids).
-    Only safe between independent runs: terms and solvers created
-    before the reset must not be used afterwards. *)
-
-val on_reset : (unit -> unit) -> unit
-(** Registers a callback invoked by {!reset} (used by caches keyed on
-    term tags). *)
-
-val var : string -> int -> t
-(** [var name w] returns the (unique) variable [name] of width [w].
+val var : ctx -> string -> int -> t
+(** [var ctx name w] returns the (unique) variable [name] of width [w].
     Raises [Invalid_argument] if [name] exists with another width. *)
 
 val var_of : t -> var
 (** The variable underlying a [Var] term.  Raises otherwise. *)
 
-val fresh_var : string -> int -> t
-(** [fresh_var prefix w] mints a variable with a unique suffixed name. *)
+val fresh_var : ctx -> string -> int -> t
+(** [fresh_var ctx prefix w] mints a variable with a unique suffixed
+    name. *)
 
-val fresh_taint : int -> t
+val fresh_taint : ctx -> int -> t
 
 (** {1 Constructors} *)
 
-val const : Bitv.Bits.t -> t
-val of_int : width:int -> int -> t
-val zero : int -> t
-val ones : int -> t
-val tru : t
-val fls : t
-val of_bool : bool -> t
+val const : ctx -> Bitv.Bits.t -> t
+val of_int : ctx -> width:int -> int -> t
+val zero : ctx -> int -> t
+val ones : ctx -> int -> t
+val tru : ctx -> t
+val fls : ctx -> t
+val of_bool : ctx -> bool -> t
 
 val lognot : t -> t
 val logand : t -> t -> t
@@ -107,8 +121,8 @@ val ashr : t -> t -> t
 val band : t -> t -> t
 val bor : t -> t -> t
 val bnot : t -> t
-val conj : t list -> t
-val disj : t list -> t
+val conj : ctx -> t list -> t
+val disj : ctx -> t list -> t
 val implies : t -> t -> t
 
 (** {1 Observation} *)

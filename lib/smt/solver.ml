@@ -3,6 +3,7 @@ module Bits = Bitv.Bits
 type result = Sat | Unsat
 
 type t = {
+  ectx : Expr.ctx;
   sat : Sat.t;
   blast : Blast.t;
   mutable scopes : int list; (* activation literals, innermost first *)
@@ -18,10 +19,11 @@ type t = {
   mutable time : float;
 }
 
-let create () =
+let create ectx =
   let sat = Sat.create () in
-  let blast = Blast.create sat in
+  let blast = Blast.create ectx sat in
   {
+    ectx;
     sat;
     blast;
     scopes = [];
@@ -47,8 +49,12 @@ let pop s =
       Sat.add_clause s.sat [ Sat.negate g ];
       s.scopes <- rest
 
+let ctx s = s.ectx
+
 let assert_ s e =
   if Expr.width e <> 1 then invalid_arg "Solver.assert_: width-1 term expected";
+  if Expr.ctx_of e != s.ectx then
+    invalid_arg "Solver.assert_: term from a different Expr context";
   Sat.backtrack s.sat;
   let l = Blast.lit s.blast e in
   match s.scopes with

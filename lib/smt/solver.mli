@@ -11,7 +11,13 @@ type t
 
 type result = Sat | Unsat
 
-val create : unit -> t
+val create : Expr.ctx -> t
+(** A fresh solver bound to one {!Expr.ctx}; terms from other contexts
+    are rejected.  Independent solvers over independent contexts may
+    run on different domains concurrently. *)
+
+val ctx : t -> Expr.ctx
+(** The term context this solver was created for. *)
 
 val push : t -> unit
 val pop : t -> unit

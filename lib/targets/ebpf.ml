@@ -85,15 +85,15 @@ let implicit_deparse ctx (htyp : Ast.typ) st : branch list =
   match Step.emit_one ctx fr hdr_p htyp st with
   | branches -> branches
 
-let finalize _ctx st : branch list =
+let finalize ctx st : branch list =
   let st = flush_emit st in
   let accept = read_leaf st accept_p in
-  let deliver = add_output ~note:"pass" ~port:(Expr.zero port_width) ~data:st.live st in
+  let deliver = add_output ~note:"pass" ~port:(Expr.zero ctx.ectx port_width) ~data:st.live st in
   let dropped = { st with dropped = true } in
   if Expr.is_true accept then continue_ deliver
   else if Expr.is_false accept then continue_ dropped
   else
-    Step.fork_cond _ctx
+    Step.fork_cond ctx
       { fr_scopes = []; fr_ctrl = None; fr_parser = None }
       accept
       ~then_:("ebpf:pass", deliver)
@@ -107,8 +107,8 @@ let init ctx st =
     | [ _; h ] -> h.par_typ
     | _ -> fail "ebpf: parser must have 2 parameters"
   in
-  let st = declare ctx ~init:init_taint htyp hdr_p st in
-  let st = declare ctx ~init:init_zero Ast.TBool accept_p st in
+  let st = declare ctx ~init:(init_taint ctx) htyp hdr_p st in
+  let st = declare ctx ~init:(init_zero ctx) Ast.TBool accept_p st in
   push_work
     [
       WOp

@@ -243,7 +243,7 @@ let extern : extern_hook =
   | ("sizeInBytes" | "sizeInBits"), [ arg ] ->
       let st, v = eval_st st arg in
       let factor = if fname = "sizeInBytes" then 8 else 1 in
-      RVal (st, Expr.of_int ~width:32 (Expr.width v / factor))
+      RVal (st, Expr.of_int ctx.ectx ~width:32 (Expr.width v / factor))
   | _, _ -> (
       match String.index_opt fname '.' with
       | Some i -> (
@@ -259,8 +259,8 @@ let extern : extern_hook =
                   | Some b -> (
                       match read_register st key (Bits.to_int b) with
                       | Some v -> RVal (st, v)
-                      | None -> RVal (st, Expr.fresh_taint 32))
-                  | None -> RVal (st, Expr.fresh_taint 32))
+                      | None -> RVal (st, Expr.fresh_taint ctx.ectx 32))
+                  | None -> RVal (st, Expr.fresh_taint ctx.ectx 32))
               | None -> fail "tofino: unknown register %s" obj)
           | "write", [ idx; v ] -> (
               match find_register_path st fr obj with
@@ -292,17 +292,17 @@ let extern : extern_hook =
                       ~width:16 [ vdata ] st
                   in
                   RVal (st, r)
-              | _ -> RVal (st, Expr.fresh_taint 16))
-          | "verify", _ -> RVal (st, Expr.fresh_taint 1)
+              | _ -> RVal (st, Expr.fresh_taint ctx.ectx 16))
+          | "verify", _ -> RVal (st, Expr.fresh_taint ctx.ectx 1)
           (* counters / meters / lpf / wred: rapid prototyping via
              taint (§5.3) *)
           | "count", _ -> RUnit st
           | ("execute" | "execute_log"), _ ->
               (* unconfigured meters return GREEN (0) *)
-              RVal (st, Expr.zero 8)
-          | ("dequeue" | "enqueue"), _ -> RVal (st, Expr.fresh_taint 8)
+              RVal (st, Expr.zero ctx.ectx 8)
+          | ("dequeue" | "enqueue"), _ -> RVal (st, Expr.fresh_taint ctx.ectx 8)
           (* RegisterAction-style apply *)
-          | "apply", _ -> RVal (st, Expr.fresh_taint 32)
+          | "apply", _ -> RVal (st, Expr.fresh_taint ctx.ectx 32)
           | "emit", _ -> RUnit st  (* Mirror/Resubmit/Digest .emit *)
           | _ -> fail "tofino: unsupported extern %s" fname)
       | None -> fail "tofino: unsupported extern %s" fname)
@@ -316,24 +316,26 @@ let setl p v st = write_leaf p v st
 (* the intrinsic metadata Tofino prepends to the wire packet: all
    tainted except the ingress port *)
 let prepend_ingress_metadata st =
+  let ectx = state_ectx st in
   let md =
     Expr.concat
-      (Expr.fresh_taint 7) (* resubmit_flag .. _pad2 *)
-      (Expr.concat (Expr.zext st.in_port 9) (Expr.fresh_taint 48))
+      (Expr.fresh_taint ectx 7) (* resubmit_flag .. _pad2 *)
+      (Expr.concat (Expr.zext st.in_port 9) (Expr.fresh_taint ectx 48))
   in
   prepend_live md st
 
 let prepend_egress_metadata port st =
+  let ectx = Expr.ctx_of port in
   (* egress intrinsic metadata, parsed by the egress parser; width must
      match egress_intrinsic_metadata_t *)
   let fields =
     [
-      Expr.fresh_taint 7 (* _pad0 *);
+      Expr.fresh_taint ectx 7 (* _pad0 *);
       port;
-      Expr.fresh_taint (19 + 2 + 18 + 19 + 2 + 8 + 18 + 16 + 1 + 7 + 3 + 1 + 16);
+      Expr.fresh_taint ectx (19 + 2 + 18 + 19 + 2 + 8 + 18 + 16 + 1 + 7 + 3 + 1 + 16);
     ]
   in
-  let md = List.fold_left Expr.concat (Expr.zero 0) fields in
+  let md = List.fold_left Expr.concat (Expr.zero ectx 0) fields in
   prepend_live md st
 
 let rec pipeline_ops (b : blocks) : work list =
@@ -421,7 +423,7 @@ and deliver ctx ~note:n ~port st : branch list =
 (* Traffic manager: drop_ctl, unwritten egress port, bypass_egress. *)
 and traffic_manager (b : blocks) ctx st : branch list =
   let st = flush_emit st in
-  let drop = Expr.neq (leaf st (ig_dprsr ^ ".drop_ctl")) (Expr.zero 3) in
+  let drop = Expr.neq (leaf st (ig_dprsr ^ ".drop_ctl")) (Expr.zero ctx.ectx 3) in
   let dropped reason st =
     let st = if st.sealed then st else pad_to_bytes ctx 64 st in
     { (note ("TM: " ^ reason) st) with dropped = true; work = [] }
@@ -431,7 +433,7 @@ and traffic_manager (b : blocks) ctx st : branch list =
       ( "tofino:tm-bypass?",
         fun ctx st ->
           let port = leaf st (ig_tm ^ ".ucast_egress_port") in
-          let bypass = Expr.eq (leaf st (ig_tm ^ ".bypass_egress")) (Expr.ones 1) in
+          let bypass = Expr.eq (leaf st (ig_tm ^ ".bypass_egress")) (Expr.ones ctx.ectx 1) in
           let to_egress =
             let st = setl (eg_intr ^ ".egress_port") port st in
             let st = prepend_egress_metadata port st in
@@ -479,7 +481,7 @@ and traffic_manager (b : blocks) ctx st : branch list =
 
 and finalize ctx st : branch list =
   let st = flush_emit st in
-  let drop = Expr.neq (leaf st (eg_dprsr ^ ".drop_ctl")) (Expr.zero 3) in
+  let drop = Expr.neq (leaf st (eg_dprsr ^ ".drop_ctl")) (Expr.zero ctx.ectx 3) in
   let port = leaf st (eg_intr ^ ".egress_port") in
   match
     Step.fork_cond ctx dummy_fr drop
@@ -524,31 +526,31 @@ let make_init family ctx st =
         | _ -> false)
       ctx.prog
   in
-  let md_init = if auto_init then init_zero else init_taint in
-  let st = declare ctx ~init:init_taint ihtyp ig_hdr st in
+  let md_init = if auto_init then init_zero ctx else init_taint ctx in
+  let st = declare ctx ~init:(init_taint ctx) ihtyp ig_hdr st in
   let st = declare ctx ~init:md_init imtyp ig_md st in
   let st = declare ctx ~init:md_init (Ast.TName "ingress_intrinsic_metadata_t") ig_intr st in
   let st =
     declare ctx ~init:md_init (Ast.TName "ingress_intrinsic_metadata_from_parser_t") ig_prsr st
   in
   let st =
-    declare ctx ~init:init_zero (Ast.TName "ingress_intrinsic_metadata_for_deparser_t") ig_dprsr
+    declare ctx ~init:(init_zero ctx) (Ast.TName "ingress_intrinsic_metadata_for_deparser_t") ig_dprsr
       st
   in
-  let st = declare ctx ~init:init_zero (Ast.TName "ingress_intrinsic_metadata_for_tm_t") ig_tm st in
+  let st = declare ctx ~init:(init_zero ctx) (Ast.TName "ingress_intrinsic_metadata_for_tm_t") ig_tm st in
   (* the egress port starts "unwritten" (Tbl. 6) *)
-  let st = setl (ig_tm ^ ".ucast_egress_port") (Expr.of_int ~width:9 invalid_port) st in
-  let st = declare ctx ~init:init_taint ehtyp eg_hdr st in
+  let st = setl (ig_tm ^ ".ucast_egress_port") (Expr.of_int ctx.ectx ~width:9 invalid_port) st in
+  let st = declare ctx ~init:(init_taint ctx) ehtyp eg_hdr st in
   let st = declare ctx ~init:md_init emtyp eg_md st in
   let st = declare ctx ~init:md_init (Ast.TName "egress_intrinsic_metadata_t") eg_intr st in
   let st =
     declare ctx ~init:md_init (Ast.TName "egress_intrinsic_metadata_from_parser_t") eg_prsr st
   in
   let st =
-    declare ctx ~init:init_zero (Ast.TName "egress_intrinsic_metadata_for_deparser_t") eg_dprsr st
+    declare ctx ~init:(init_zero ctx) (Ast.TName "egress_intrinsic_metadata_for_deparser_t") eg_dprsr st
   in
   let st =
-    declare ctx ~init:init_zero (Ast.TName "egress_intrinsic_metadata_for_output_port_t") eg_oport
+    declare ctx ~init:(init_zero ctx) (Ast.TName "egress_intrinsic_metadata_for_output_port_t") eg_oport
       st
   in
   push_work (pipeline_ops b) st

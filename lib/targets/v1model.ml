@@ -140,7 +140,7 @@ let parser_sm_path (fr : frame) =
 
 let on_reject : reject_hook =
  fun ctx fr err st ->
-  let code = Expr.of_int ~width:Typing.error_width (Typing.error_code ctx.tctx err) in
+  let code = Expr.of_int ctx.ectx ~width:Typing.error_width (Typing.error_code ctx.tctx err) in
   let st =
     match parser_sm_path fr with
     | Some smp when Env.mem (smp ^ ".parser_error") st.env ->
@@ -168,7 +168,7 @@ let find_register_path st (fr : frame) obj =
 let taint_register st key =
   match find_register st key with
   | Some arr ->
-      let arr' = Array.map (fun c -> Expr.fresh_taint (Expr.width c)) arr in
+      let arr' = Array.map (fun c -> Expr.fresh_taint (Expr.ctx_of c) (Expr.width c)) arr in
       { st with registers = (key, arr') :: List.remove_assoc key st.registers }
   | None -> st
 
@@ -183,9 +183,9 @@ let extern : extern_hook =
   match (fname, args) with
   | "mark_to_drop", [ smarg ] ->
       let lv = Eval.lvalue_of ctx fr st smarg in
-      RUnit (write_leaf (lv.lv_path ^ ".egress_spec") (Expr.of_int ~width:9 drop_port) st)
+      RUnit (write_leaf (lv.lv_path ^ ".egress_spec") (Expr.of_int ctx.ectx ~width:9 drop_port) st)
   | "mark_to_drop", [] ->
-      RUnit (set_sm "egress_spec" (Expr.of_int ~width:9 drop_port) st)
+      RUnit (set_sm "egress_spec" (Expr.of_int ctx.ectx ~width:9 drop_port) st)
   | ("verify_checksum" | "verify_checksum_with_payload"), [ cond; data; given; algo ] ->
       let st, vcond = eval_st st cond in
       let st, vdata = eval_st st data in
@@ -232,21 +232,21 @@ let extern : extern_hook =
       let vbase = Expr.zext vbase w and vmax = Expr.zext vmax w in
       (* result = base + (hash mod max); max = 0 means full range *)
       let modded =
-        Expr.ite (Expr.eq vmax (Expr.zero w)) r (Expr.add vbase (Expr.urem r vmax))
+        Expr.ite (Expr.eq vmax (Expr.zero ctx.ectx w)) r (Expr.add vbase (Expr.urem r vmax))
       in
       RUnit (Eval.write_lvalue ctx fr st dst modded)
   | "random", [ dst; _lo; _hi ] ->
       (* pseudo-random generator: nondeterministic output (§2.3) *)
       let dlv = Eval.lvalue_of ctx fr st dst in
       let w = Typing.width_of ctx.tctx dlv.lv_typ in
-      RUnit (Eval.write_lvalue ctx fr st dst (Expr.fresh_taint w))
+      RUnit (Eval.write_lvalue ctx fr st dst (Expr.fresh_taint ctx.ectx w))
   | ("clone" | "clone3" | "clone_preserving_field_list"), (_ :: session :: _) ->
       let v = eval ~hint:32 session in
       RUnit (write_leaf clone_p (Expr.zext v 32) st)
   | ("recirculate" | "recirculate_preserving_field_list"), _ ->
-      RUnit (write_leaf recirc_p Expr.tru st)
+      RUnit (write_leaf recirc_p (Expr.tru ctx.ectx) st)
   | ("resubmit" | "resubmit_preserving_field_list"), _ ->
-      RUnit (write_leaf resubmit_p Expr.tru st)
+      RUnit (write_leaf resubmit_p (Expr.tru ctx.ectx) st)
   | "truncate", [ len ] ->
       let v = eval ~hint:32 len in
       RUnit (write_leaf truncate_p (Expr.zext v 32) st)
@@ -273,10 +273,10 @@ let extern : extern_hook =
                   | Some b -> (
                       match read_register st key (Bits.to_int b) with
                       | Some v -> RUnit (Eval.write_lvalue ctx fr st dst (Expr.zext v w))
-                      | None -> RUnit (Eval.write_lvalue ctx fr st dst (Expr.zero w)))
+                      | None -> RUnit (Eval.write_lvalue ctx fr st dst (Expr.zero ctx.ectx w)))
                   | None ->
                       (* symbolic index: prototype with taint (§5.3) *)
-                      RUnit (Eval.write_lvalue ctx fr st dst (Expr.fresh_taint w)))
+                      RUnit (Eval.write_lvalue ctx fr st dst (Expr.fresh_taint ctx.ectx w)))
               | None -> fail "v1model: unknown register %s" obj)
           | "write", [ idx; v ] -> (
               match find_register_path st fr obj with
@@ -294,7 +294,7 @@ let extern : extern_hook =
                  frameworks lack (§7, up4.p4 coverage) *)
               let dlv = Eval.lvalue_of ctx fr st dst in
               let w = Typing.width_of ctx.tctx dlv.lv_typ in
-              RUnit (Eval.write_lvalue ctx fr st dst (Expr.zero w))
+              RUnit (Eval.write_lvalue ctx fr st dst (Expr.zero ctx.ectx w))
           | _ -> fail "v1model: unsupported extern %s" fname)
       | None -> fail "v1model: unsupported extern %s" fname)
 
@@ -302,13 +302,14 @@ let extern : extern_hook =
 (* Pipeline template *)
 
 let reset_intrinsic ~instance_type st =
-  let st = set_sm "egress_spec" (Expr.zero 9) st in
-  let st = set_sm "egress_port" (Expr.zero 9) st in
-  let st = set_sm "instance_type" (Expr.of_int ~width:32 instance_type) st in
-  let st = write_leaf clone_p (Expr.zero 32) st in
-  let st = write_leaf recirc_p Expr.fls st in
-  let st = write_leaf resubmit_p Expr.fls st in
-  write_leaf truncate_p (Expr.zero 32) st
+  let ectx = state_ectx st in
+  let st = set_sm "egress_spec" (Expr.zero ectx 9) st in
+  let st = set_sm "egress_port" (Expr.zero ectx 9) st in
+  let st = set_sm "instance_type" (Expr.of_int ectx ~width:32 instance_type) st in
+  let st = write_leaf clone_p (Expr.zero ectx 32) st in
+  let st = write_leaf recirc_p (Expr.fls ectx) st in
+  let st = write_leaf resubmit_p (Expr.fls ectx) st in
+  write_leaf truncate_p (Expr.zero ectx 32) st
 
 let rec pipeline_ops ctx (b : blocks) : work list =
   ignore ctx;
@@ -370,7 +371,7 @@ and traffic_manager ctx (b : blocks) st : branch list =
   else if Expr.is_true resub then []
   else begin
     let es = sm_leaf st "egress_spec" in
-    let drop_cond = Expr.eq es (Expr.of_int ~width:9 drop_port) in
+    let drop_cond = Expr.eq es (Expr.of_int ctx.ectx ~width:9 drop_port) in
     let dropped = { (note "TM: drop" st) with dropped = true; work = [] } in
     let forward =
       let st = set_sm "egress_port" es (note "TM: forward" st) in
@@ -397,12 +398,12 @@ and traffic_manager ctx (b : blocks) st : branch list =
       let st = set_sm "egress_port" p1 st in
       let st = write_leaf "$pipe.$mcast_p2" p2 st in
       {
-        br_cond = Some (Expr.band (Expr.neq mg (Expr.zero 16)) (Expr.eq mg gid));
+        br_cond = Some (Expr.band (Expr.neq mg (Expr.zero ctx.ectx 16)) (Expr.eq mg gid));
         br_state = push_work (egress_ops b) st;
         br_label = "tm:multicast";
       }
     in
-    if Expr.is_false (Expr.neq mg (Expr.zero 16)) then
+    if Expr.is_false (Expr.neq mg (Expr.zero ctx.ectx 16)) then
       (* mcast_grp is never written: unicast only *)
       Step.fork_cond ctx
         { fr_scopes = []; fr_ctrl = None; fr_parser = None }
@@ -417,8 +418,8 @@ and traffic_manager ctx (b : blocks) st : branch list =
               br_cond =
                 Some
                   (Expr.band
-                     (Expr.eq mg (Expr.zero 16))
-                     (Option.value br.br_cond ~default:Expr.tru)) })
+                     (Expr.eq mg (Expr.zero ctx.ectx 16))
+                     (Option.value br.br_cond ~default:(Expr.tru ctx.ectx))) })
           (Step.fork_cond ctx
              { fr_scopes = []; fr_ctrl = None; fr_parser = None }
              drop_cond
@@ -457,7 +458,7 @@ and finalize (b : blocks) ctx st : branch list =
   else begin
     let port = sm_leaf st "egress_port" in
     let es = sm_leaf st "egress_spec" in
-    let drop_cond = Expr.eq es (Expr.of_int ~width:9 drop_port) in
+    let drop_cond = Expr.eq es (Expr.of_int ctx.ectx ~width:9 drop_port) in
     let deliver st =
       let st = add_output ~note:"normal" ~port ~data:st.live st in
       let st =
@@ -494,16 +495,16 @@ let init ctx st =
     | [ _; h; m; _ ] -> (h.par_typ, m.par_typ)
     | _ -> fail "v1model: parser must have 4 parameters"
   in
-  let st = declare ctx ~init:init_taint htyp hdr_p st in
-  let st = declare ctx ~init:init_zero mtyp meta_p st in
-  let st = declare ctx ~init:init_zero (Ast.TName "standard_metadata_t") sm_p st in
-  let st = declare ctx ~init:init_zero (Ast.TBit 32) clone_p st in
-  let st = declare ctx ~init:init_zero (Ast.TBit 1) recirc_p st in
-  let st = declare ctx ~init:init_zero (Ast.TBit 1) resubmit_p st in
-  let st = declare ctx ~init:init_zero (Ast.TBit 32) truncate_p st in
+  let st = declare ctx ~init:(init_taint ctx) htyp hdr_p st in
+  let st = declare ctx ~init:(init_zero ctx) mtyp meta_p st in
+  let st = declare ctx ~init:(init_zero ctx) (Ast.TName "standard_metadata_t") sm_p st in
+  let st = declare ctx ~init:(init_zero ctx) (Ast.TBit 32) clone_p st in
+  let st = declare ctx ~init:(init_zero ctx) (Ast.TBit 1) recirc_p st in
+  let st = declare ctx ~init:(init_zero ctx) (Ast.TBit 1) resubmit_p st in
+  let st = declare ctx ~init:(init_zero ctx) (Ast.TBit 32) truncate_p st in
   let st = set_sm "ingress_port" st.in_port st in
   (* the packet length is unknown until the path is complete: taint *)
-  let st = set_sm "packet_length" (Expr.fresh_taint 32) st in
+  let st = set_sm "packet_length" (Expr.fresh_taint ctx.ectx 32) st in
   push_work (pipeline_ops ctx b) st
 
 let target : (module Target_intf.S) =

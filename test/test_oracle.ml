@@ -298,6 +298,73 @@ let test_tna () =
   (* the drop-by-default-action test exists *)
   Alcotest.(check bool) "has drop test" true (List.exists Testspec.is_drop tests)
 
+(* ------------------------------------------------------------------ *)
+(* Re-entrancy: every [prepare] owns its term context, so prepared
+   runs can interleave and even execute on different domains. *)
+
+let tests_of (run : Oracle.run) =
+  List.map Testspec.to_string run.Oracle.result.Explore.tests
+
+let test_interleaved_prepare () =
+  (* reference: sequential, non-interleaved runs *)
+  let ref_a = tests_of (generate fig1a) in
+  let ref_b = tests_of (generate fig1b) in
+  (* interleaved: prepare both runs up front, then explore B before A.
+     A's terms and solver state must stay valid while B explores. *)
+  let pa = Oracle.prepare Targets.V1model.target fig1a in
+  let pb = Oracle.prepare Targets.V1model.target fig1b in
+  let sta = Oracle.initial_state pa in
+  let stb = Oracle.initial_state pb in
+  let rb = Explore.run pb.Oracle.ctx stb in
+  let ra = Explore.run pa.Oracle.ctx sta in
+  let got_a = List.map Testspec.to_string ra.Explore.tests in
+  let got_b = List.map Testspec.to_string rb.Explore.tests in
+  Alcotest.(check (list string)) "run A unaffected by interleaving" ref_a got_a;
+  Alcotest.(check (list string)) "run B unaffected by interleaving" ref_b got_b
+
+let test_concurrent_domains () =
+  (* two generate runs on different domains at once; each must match
+     its sequential reference (seed-deterministic) *)
+  let ref_a = tests_of (generate fig1a) in
+  let ref_b = tests_of (Oracle.generate Targets.Ebpf.target ebpf_filter) in
+  let da = Domain.spawn (fun () -> tests_of (generate fig1a)) in
+  let db =
+    Domain.spawn (fun () -> tests_of (Oracle.generate Targets.Ebpf.target ebpf_filter))
+  in
+  Alcotest.(check (list string)) "domain A deterministic" ref_a (Domain.join da);
+  Alcotest.(check (list string)) "domain B deterministic" ref_b (Domain.join db)
+
+let batch_jobs () =
+  [
+    Oracle.job ~label:"fig1a" Targets.V1model.target fig1a;
+    Oracle.job ~label:"fig1b" Targets.V1model.target fig1b;
+    Oracle.job ~label:"ebpf" Targets.Ebpf.target ebpf_filter;
+    Oracle.job ~label:"tna" Targets.Tna.target tna_program;
+  ]
+
+let batch_tests (b : Oracle.batch) =
+  List.map
+    (fun (label, o) ->
+      match o with
+      | Oracle.Finished r -> (label, tests_of r)
+      | Oracle.Failed msg -> Alcotest.fail (label ^ " failed: " ^ msg))
+    b.Oracle.outcomes
+
+let test_batch_determinism () =
+  let b1 = Oracle.generate_batch ~jobs:1 (batch_jobs ()) in
+  let b4 = Oracle.generate_batch ~jobs:4 (batch_jobs ()) in
+  let t1 = batch_tests b1 and t4 = batch_tests b4 in
+  List.iter2
+    (fun (l1, ts1) (l4, ts4) ->
+      Alcotest.(check string) "label order" l1 l4;
+      Alcotest.(check (list string)) (l1 ^ " identical across jobs") ts1 ts4)
+    t1 t4;
+  (* merged stats cover every job regardless of scheduling *)
+  Alcotest.(check int) "merged paths equal"
+    b1.Oracle.merged_stats.Explore.paths b4.Oracle.merged_stats.Explore.paths;
+  Alcotest.(check int) "merged tests equal"
+    b1.Oracle.merged_stats.Explore.tests b4.Oracle.merged_stats.Explore.tests
+
 let () =
   Alcotest.run "oracle"
     [
@@ -308,4 +375,10 @@ let () =
         ] );
       ("ebpf", [ Alcotest.test_case "filter" `Quick test_ebpf ]);
       ("tna", [ Alcotest.test_case "two-pipe" `Quick test_tna ]);
+      ( "reentrancy",
+        [
+          Alcotest.test_case "interleaved prepares" `Quick test_interleaved_prepare;
+          Alcotest.test_case "concurrent domains" `Quick test_concurrent_domains;
+          Alcotest.test_case "batch jobs=1 = jobs=4" `Quick test_batch_determinism;
+        ] );
     ]

@@ -12,11 +12,15 @@ module Sat = Smt.Sat
 
 let check_bits = Alcotest.testable Bits.pp Bits.equal
 
+(* one term context for the whole test binary; interleaving of
+   independent contexts is exercised in test_oracle.ml *)
+let ctx = Expr.create_ctx ()
+
 let fresh =
   let n = ref 0 in
   fun w ->
     incr n;
-    Expr.var (Printf.sprintf "tv%d_%d" !n w) w
+    Expr.var ctx (Printf.sprintf "tv%d_%d" !n w) w
 
 (* ------------------------------------------------------------------ *)
 (* Plain SAT-level tests *)
@@ -94,24 +98,24 @@ let test_sat_graph_coloring () =
 
 let test_expr_fold () =
   let open Expr in
-  let a = of_int ~width:8 10 and b = of_int ~width:8 3 in
+  let a = of_int ctx ~width:8 10 and b = of_int ctx ~width:8 3 in
   Alcotest.(check check_bits) "fold add" (Bits.of_int ~width:8 13)
     (Option.get (is_const (add a b)));
   Alcotest.(check bool) "x & 0 = 0" true
-    (is_const (logand (fresh 8) (zero 8)) = Some (Bits.zero 8));
+    (is_const (logand (fresh 8) (zero ctx 8)) = Some (Bits.zero 8));
   let x = fresh 8 in
-  Alcotest.(check bool) "x | 0 = x" true (logor x (zero 8) == x);
+  Alcotest.(check bool) "x | 0 = x" true (logor x (zero ctx 8) == x);
   Alcotest.(check bool) "x ^ x = 0" true (is_const (logxor x x) = Some (Bits.zero 8));
   Alcotest.(check bool) "eq self" true (is_true (eq x x));
-  Alcotest.(check bool) "ite folds" true (ite tru x (zero 8) == x)
+  Alcotest.(check bool) "ite folds" true (ite (tru ctx) x (zero ctx 8) == x)
 
 let test_expr_taint_rules () =
   let open Expr in
-  let t = fresh_taint 8 in
+  let t = fresh_taint ctx 8 in
   Alcotest.(check bool) "taint is tainted" true (tainted t);
   Alcotest.(check bool) "taint * 0 = 0 kills taint" false
-    (tainted (mul t (zero 8)));
-  Alcotest.(check bool) "taint & 0 kills taint" false (tainted (logand t (zero 8)));
+    (tainted (mul t (zero ctx 8)));
+  Alcotest.(check bool) "taint & 0 kills taint" false (tainted (logand t (zero ctx 8)));
   Alcotest.(check bool) "taint ^ taint stays tainted" true (tainted (logxor t t));
   Alcotest.(check bool) "eq t t stays tainted" true (tainted (eq t t));
   let x = fresh 8 in
@@ -126,11 +130,11 @@ let test_expr_taint_rules () =
   Alcotest.(check check_bits) "slice hi tainted" (Bits.ones 8)
     (taint_mask (slice c ~hi:15 ~lo:8));
   (* arithmetic spreads upward only *)
-  let sum = add (concat x t) (zero 16) in
+  let sum = add (concat x t) (zero ctx 16) in
   ignore sum;
   let low_taint = concat x t in
   Alcotest.(check check_bits) "add taints upward" (Bits.ones 16)
-    (taint_mask (add low_taint (Expr.var "tm_one" 16)))
+    (taint_mask (add low_taint (Expr.var ctx "tm_one" 16)))
 
 let test_expr_slice_concat () =
   let open Expr in
@@ -147,38 +151,38 @@ let test_expr_eval () =
   let open Expr in
   let x = fresh 8 in
   let env v = if v == var_of x then Bits.of_int ~width:8 7 else Bits.zero v.vwidth in
-  let e = add (mul x (of_int ~width:8 3)) (of_int ~width:8 1) in
+  let e = add (mul x (of_int ctx ~width:8 3)) (of_int ctx ~width:8 1) in
   Alcotest.(check check_bits) "eval" (Bits.of_int ~width:8 22) (eval env e)
 
 (* ------------------------------------------------------------------ *)
 (* Solver end-to-end *)
 
 let test_solver_simple () =
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let x = fresh 8 in
-  Solver.assert_ s (Expr.eq (Expr.add x (Expr.of_int ~width:8 1)) (Expr.of_int ~width:8 0));
+  Solver.assert_ s (Expr.eq (Expr.add x (Expr.of_int ctx ~width:8 1)) (Expr.of_int ctx ~width:8 0));
   Alcotest.(check bool) "sat" true (Solver.check s = Solver.Sat);
   Alcotest.(check check_bits) "x = 255" (Bits.of_int ~width:8 255)
     (Solver.model_var s (Expr.var_of x))
 
 let test_solver_unsat () =
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let x = fresh 8 in
-  Solver.assert_ s (Expr.ult x (Expr.of_int ~width:8 5));
-  Solver.assert_ s (Expr.ugt x (Expr.of_int ~width:8 10));
+  Solver.assert_ s (Expr.ult x (Expr.of_int ctx ~width:8 5));
+  Solver.assert_ s (Expr.ugt x (Expr.of_int ctx ~width:8 10));
   Alcotest.(check bool) "unsat" true (Solver.check s = Solver.Unsat)
 
 let test_solver_push_pop () =
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let x = fresh 8 in
-  Solver.assert_ s (Expr.ult x (Expr.of_int ~width:8 100));
+  Solver.assert_ s (Expr.ult x (Expr.of_int ctx ~width:8 100));
   Solver.push s;
-  Solver.assert_ s (Expr.ugt x (Expr.of_int ~width:8 200));
+  Solver.assert_ s (Expr.ugt x (Expr.of_int ctx ~width:8 200));
   Alcotest.(check bool) "inner unsat" true (Solver.check s = Solver.Unsat);
   Solver.pop s;
   Alcotest.(check bool) "outer sat" true (Solver.check s = Solver.Sat);
   Solver.push s;
-  Solver.assert_ s (Expr.eq x (Expr.of_int ~width:8 42));
+  Solver.assert_ s (Expr.eq x (Expr.of_int ctx ~width:8 42));
   Alcotest.(check bool) "refined sat" true (Solver.check s = Solver.Sat);
   Alcotest.(check check_bits) "model respects scope" (Bits.of_int ~width:8 42)
     (Solver.model_var s (Expr.var_of x));
@@ -186,47 +190,47 @@ let test_solver_push_pop () =
 
 let test_solver_mul_inverse () =
   (* find x with x * 3 = 33 (mod 256): x = 11 + k*256/gcd... unique since 3 is odd *)
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let x = fresh 8 in
-  Solver.assert_ s (Expr.eq (Expr.mul x (Expr.of_int ~width:8 3)) (Expr.of_int ~width:8 33));
+  Solver.assert_ s (Expr.eq (Expr.mul x (Expr.of_int ctx ~width:8 3)) (Expr.of_int ctx ~width:8 33));
   Alcotest.(check bool) "sat" true (Solver.check s = Solver.Sat);
   Alcotest.(check check_bits) "x = 11" (Bits.of_int ~width:8 11)
     (Solver.model_var s (Expr.var_of x))
 
 let test_solver_div () =
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let x = fresh 8 in
-  Solver.assert_ s (Expr.eq (Expr.udiv x (Expr.of_int ~width:8 10)) (Expr.of_int ~width:8 5));
-  Solver.assert_ s (Expr.eq (Expr.urem x (Expr.of_int ~width:8 10)) (Expr.of_int ~width:8 7));
+  Solver.assert_ s (Expr.eq (Expr.udiv x (Expr.of_int ctx ~width:8 10)) (Expr.of_int ctx ~width:8 5));
+  Solver.assert_ s (Expr.eq (Expr.urem x (Expr.of_int ctx ~width:8 10)) (Expr.of_int ctx ~width:8 7));
   Alcotest.(check bool) "sat" true (Solver.check s = Solver.Sat);
   Alcotest.(check check_bits) "x = 57" (Bits.of_int ~width:8 57)
     (Solver.model_var s (Expr.var_of x))
 
 let test_solver_shift () =
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let x = fresh 8 and k = fresh 8 in
-  Solver.assert_ s (Expr.eq (Expr.shl x k) (Expr.of_int ~width:8 0xA0));
-  Solver.assert_ s (Expr.eq k (Expr.of_int ~width:8 4));
+  Solver.assert_ s (Expr.eq (Expr.shl x k) (Expr.of_int ctx ~width:8 0xA0));
+  Solver.assert_ s (Expr.eq k (Expr.of_int ctx ~width:8 4));
   Alcotest.(check bool) "sat" true (Solver.check s = Solver.Sat);
   let xv = Solver.model_var s (Expr.var_of x) in
   Alcotest.(check check_bits) "x << 4 = 0xA0" (Bits.of_int ~width:8 0xA0)
     (Bits.shift_left xv 4)
 
 let test_solver_assuming () =
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let x = fresh 8 in
-  Solver.assert_ s (Expr.ult x (Expr.of_int ~width:8 50));
-  let lt10 = Expr.ult x (Expr.of_int ~width:8 10) in
+  Solver.assert_ s (Expr.ult x (Expr.of_int ctx ~width:8 50));
+  let lt10 = Expr.ult x (Expr.of_int ctx ~width:8 10) in
   Alcotest.(check bool) "assume sat" true (Solver.check_assuming s [ lt10 ] = Solver.Sat);
   Alcotest.(check bool) "assume contradiction" true
-    (Solver.check_assuming s [ lt10; Expr.uge x (Expr.of_int ~width:8 20) ] = Solver.Unsat);
+    (Solver.check_assuming s [ lt10; Expr.uge x (Expr.of_int ctx ~width:8 20) ] = Solver.Unsat);
   (* assumptions are not retained *)
   Alcotest.(check bool) "still sat" true (Solver.check s = Solver.Sat)
 
 let test_solver_concat_model () =
-  let s = Solver.create () in
+  let s = Solver.create ctx in
   let hi = fresh 8 and lo = fresh 8 in
-  Solver.assert_ s (Expr.eq (Expr.concat hi lo) (Expr.of_int ~width:16 0xBEEF));
+  Solver.assert_ s (Expr.eq (Expr.concat hi lo) (Expr.of_int ctx ~width:16 0xBEEF));
   Alcotest.(check bool) "sat" true (Solver.check s = Solver.Sat);
   Alcotest.(check check_bits) "hi" (Bits.of_int ~width:8 0xBE) (Solver.model_var s (Expr.var_of hi));
   Alcotest.(check check_bits) "lo" (Bits.of_int ~width:8 0xEF) (Solver.model_var s (Expr.var_of lo))
@@ -242,9 +246,9 @@ let gen_term =
       let leaf =
         oneof
           [
-            (int_range 0 255 >|= fun n -> Expr.of_int ~width n);
+            (int_range 0 255 >|= fun n -> Expr.of_int ctx ~width n);
             oneofl
-              [ Expr.var "gx" width; Expr.var "gy" width; Expr.var "gz" width ];
+              [ Expr.var ctx "gx" width; Expr.var ctx "gy" width; Expr.var ctx "gz" width ];
           ]
       in
       if depth = 0 then leaf
@@ -298,8 +302,8 @@ let diff_props =
       (QCheck.Test.make ~count:150 ~name:"solver agrees with eval" arb_term_env
          (fun (e, env3) ->
            let expect = Expr.eval (env_of env3) e in
-           let s = Solver.create () in
-           Solver.assert_ s (Expr.eq e (Expr.const expect));
+           let s = Solver.create ctx in
+           Solver.assert_ s (Expr.eq e (Expr.const ctx expect));
            (* the concrete env is a witness, so this must be SAT *)
            if Solver.check s <> Solver.Sat then false
            else
@@ -311,18 +315,18 @@ let diff_props =
       (QCheck.Test.make ~count:100 ~name:"eq with witness env is sat" arb_term_env
          (fun (e, env3) ->
            let expect = Expr.eval (env_of env3) e in
-           let s = Solver.create () in
-           let x = Expr.var "gx" 8 and y = Expr.var "gy" 8 and z = Expr.var "gz" 8 in
+           let s = Solver.create ctx in
+           let x = Expr.var ctx "gx" 8 and y = Expr.var ctx "gy" 8 and z = Expr.var ctx "gz" 8 in
            let xv, yv, zv = env3 in
-           Solver.assert_ s (Expr.eq x (Expr.const xv));
-           Solver.assert_ s (Expr.eq y (Expr.const yv));
-           Solver.assert_ s (Expr.eq z (Expr.const zv));
-           Solver.assert_ s (Expr.eq e (Expr.const expect));
+           Solver.assert_ s (Expr.eq x (Expr.const ctx xv));
+           Solver.assert_ s (Expr.eq y (Expr.const ctx yv));
+           Solver.assert_ s (Expr.eq z (Expr.const ctx zv));
+           Solver.assert_ s (Expr.eq e (Expr.const ctx expect));
            Solver.check s = Solver.Sat));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~count:60 ~name:"term != itself is unsat" arb_term
          (fun e ->
-           let s = Solver.create () in
+           let s = Solver.create ctx in
            Solver.assert_ s (Expr.neq e e);
            (* [neq e e] folds to false unless tainted; either way unsat *)
            Solver.check s = Solver.Unsat));

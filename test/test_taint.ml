@@ -11,6 +11,9 @@ module Testspec = Testgen.Testspec
 
 let v1model = Targets.V1model.target
 
+(* term context for the expression-level tests *)
+let ctx = Expr.create_ctx ()
+
 let generate ?(opts = Testgen.Runtime.default_options) src = Oracle.generate ~opts v1model src
 
 let wrap_v1 ingress_body ~meta_fields =
@@ -38,34 +41,34 @@ V1Switch(P(), V(), I(), E(), C(), D()) main;
 (* expression-level taint algebra *)
 
 let test_taint_sources () =
-  let t = Expr.fresh_taint 8 in
-  Alcotest.(check bool) "distinct" false (Expr.fresh_taint 8 == Expr.fresh_taint 8);
+  let t = Expr.fresh_taint ctx 8 in
+  Alcotest.(check bool) "distinct" false (Expr.fresh_taint ctx 8 == Expr.fresh_taint ctx 8);
   Alcotest.(check bool) "tainted flag" true (Expr.tainted t)
 
 let test_mitigation_mul_zero () =
   (* §5.3 heuristic 1: multiplying a tainted value with 0 yields 0 *)
-  let t = Expr.fresh_taint 8 in
-  Alcotest.(check bool) "t*0 untainted" false (Expr.tainted (Expr.mul t (Expr.zero 8)));
-  Alcotest.(check bool) "t&0 untainted" false (Expr.tainted (Expr.logand t (Expr.zero 8)));
+  let t = Expr.fresh_taint ctx 8 in
+  Alcotest.(check bool) "t*0 untainted" false (Expr.tainted (Expr.mul t (Expr.zero ctx 8)));
+  Alcotest.(check bool) "t&0 untainted" false (Expr.tainted (Expr.logand t (Expr.zero ctx 8)));
   (* identities that must NOT kill taint *)
-  Alcotest.(check bool) "t|0 tainted" true (Expr.tainted (Expr.logor t (Expr.zero 8)));
-  Alcotest.(check bool) "t+0 tainted" true (Expr.tainted (Expr.add t (Expr.zero 8)))
+  Alcotest.(check bool) "t|0 tainted" true (Expr.tainted (Expr.logor t (Expr.zero ctx 8)));
+  Alcotest.(check bool) "t+0 tainted" true (Expr.tainted (Expr.add t (Expr.zero ctx 8)))
 
 let test_mask_precision () =
-  let t = Expr.fresh_taint 4 and x = Expr.var "taint_prec_x" 4 in
+  let t = Expr.fresh_taint ctx 4 and x = Expr.var ctx "taint_prec_x" 4 in
   (* concat keeps per-bit placement *)
   let c = Expr.concat x t in
   Alcotest.(check string) "mask placement" "0F" (Bits.to_hex (Expr.taint_mask c));
   (* arithmetic carries spread upward from the lowest tainted bit *)
-  let sum = Expr.add c (Expr.var "taint_prec_y" 8) in
+  let sum = Expr.add c (Expr.var ctx "taint_prec_y" 8) in
   Alcotest.(check string) "carry spread" "FF" (Bits.to_hex (Expr.taint_mask sum));
-  let sum2 = Expr.add (Expr.concat t x) (Expr.var "taint_prec_z" 8) in
+  let sum2 = Expr.add (Expr.concat t x) (Expr.var ctx "taint_prec_z" 8) in
   Alcotest.(check string) "high taint spreads only up" "F0"
     (Bits.to_hex (Expr.taint_mask sum2))
 
 let test_ite_collapse () =
   (* same value in both branches kills a tainted condition's influence *)
-  let t = Expr.fresh_taint 1 and x = Expr.var "taint_ite_x" 8 in
+  let t = Expr.fresh_taint ctx 1 and x = Expr.var ctx "taint_ite_x" 8 in
   Alcotest.(check bool) "ite collapse" true (Expr.ite t x x == x)
 
 (* ------------------------------------------------------------------ *)
