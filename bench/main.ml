@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- table4a   Tbl. 4a  large-program statistics
      dune exec bench/main.exe -- table4b   Tbl. 4b  precondition effect
      dune exec bench/main.exe -- bechamel  micro-benchmarks (one per driver)
+     dune exec bench/main.exe -- json F    machine-readable results -> F (default bench.json)
 
    Absolute numbers differ from the paper (its substrate was BMv2/Tofino
    hardware and 13-hour runs); the *shape* of each result is the claim
@@ -92,9 +93,8 @@ let tables () =
 let fig7 () =
   header "Fig. 7 — average CPU time spent in P4Testgen phases";
   let sample name arch src config =
-    let t0 = Unix.gettimeofday () in
     let p = Oracle.prepare (target_of arch) src in
-    let prep = Unix.gettimeofday () -. t0 in
+    let prep = p.Oracle.prep_time in
     let st = Oracle.initial_state p in
     let result = Explore.run ~config p.Oracle.ctx st in
     let total = prep +. result.Explore.total_time in
@@ -395,6 +395,45 @@ let batch jobs =
     b.Oracle.batch_wall jobs
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: one JSON document over the standard
+   drivers, for plotting / regression tracking outside the repo *)
+
+let json out =
+  header (Printf.sprintf "JSON results -> %s" out);
+  let cap n = { Explore.default_config with Explore.max_tests = Some n } in
+  let drivers =
+    [
+      ("fig1a", "v1model", Progzoo.Corpus.fig1a, Explore.default_config);
+      ("fig1b", "v1model", Progzoo.Corpus.fig1b, Explore.default_config);
+      ( "middleblock_2acl",
+        "v1model",
+        Progzoo.Generators.middleblock ~acl_stages:2 (),
+        cap 400 );
+      ("up4", "v1model", Progzoo.Generators.up4 (), Explore.default_config);
+      ("switch6_tna", "tna", Progzoo.Generators.switch_tna ~stages:6 (), cap 400);
+    ]
+  in
+  let row (name, arch, src, config) =
+    let run = generate ~config arch src in
+    let r = run.Oracle.result in
+    Printf.printf "%-20s %5d tests  %6.2fs\n" name (List.length r.Explore.tests)
+      r.Explore.total_time;
+    Printf.sprintf
+      "  {\"name\": %S, \"arch\": %S, \"tests\": %d, \"paths\": %d, \
+       \"coverage_pct\": %.2f, \"prep_time\": %.6f, \"total_time\": %.6f, \
+       \"solve_time\": %.6f,\n   \"metrics\": %s}"
+      name arch
+      (List.length r.Explore.tests)
+      r.Explore.stats.Explore.paths (Explore.coverage_pct r)
+      run.Oracle.prepared.Oracle.prep_time r.Explore.total_time r.Explore.solve_time
+      (Obs.Snapshot.to_json (Obs.Registry.snapshot (Oracle.registry run)))
+  in
+  let rows = List.map row drivers in
+  Out_channel.with_open_text out (fun oc ->
+      Printf.fprintf oc "{\"results\": [\n%s\n]}\n" (String.concat ",\n" rows));
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig1 ();
@@ -422,9 +461,12 @@ let () =
         if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
       in
       batch jobs
+  | Some "json" ->
+      let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench.json" in
+      json out
   | Some other ->
       Printf.eprintf
         "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
-         batch [jobs])\n"
+         batch [jobs], json [out.json])\n"
         other;
       exit 1

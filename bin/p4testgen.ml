@@ -18,8 +18,30 @@ let list_targets () =
         (String.concat ", " backends))
     Targets.Registry.capabilities
 
+(* shared by generate and batch: print a registry/merged snapshot and
+   write the Chrome trace file *)
+let report_obs ~metrics ~trace (tracks : (string * Obs.Registry.t) list) =
+  if metrics then begin
+    print_endline "metrics:";
+    List.iter
+      (fun (label, reg) ->
+        if List.length tracks > 1 then Printf.printf "-- %s\n" label;
+        Format.printf "%a@?" Obs.Snapshot.pp (Obs.Registry.snapshot reg))
+      tracks
+  end;
+  match trace with
+  | None -> 0
+  | Some f -> (
+      try
+        Out_channel.with_open_text f (fun oc -> Obs.Trace.write_chrome oc tracks);
+        Printf.printf "wrote trace %s (load in about:tracing or ui.perfetto.dev)\n" f;
+        0
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write trace: %s\n" msg;
+        1)
+
 let run_generate file target backend max_tests max_paths seed strategy fixed_size
-    no_constraints no_random unroll out_file validate print_tests verbose =
+    no_constraints no_random unroll out_file validate print_tests metrics trace verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -55,6 +77,7 @@ let run_generate file target backend max_tests max_paths seed strategy fixed_siz
                 pos.P4.Ast.col msg;
               1
           | run ->
+              let reg = Testgen.Oracle.registry run in
               let result = run.Testgen.Oracle.result in
               let tests = result.Testgen.Explore.tests in
               let stats = result.Testgen.Explore.stats in
@@ -74,25 +97,31 @@ let run_generate file target backend max_tests max_paths seed strategy fixed_siz
                 | None -> Filename.remove_extension file ^ be.Backends.Registry.extension
               in
               Out_channel.with_open_text out (fun oc ->
-                  Out_channel.output_string oc (be.Backends.Registry.emit tests));
+                  Out_channel.output_string oc
+                    (Backends.Registry.emit_observed ~obs:reg be tests));
               Printf.printf "wrote %s\n" out;
-              if validate then begin
-                let sim = Sim.Harness.prepare ~arch:target source in
-                let summary, results = Sim.Harness.run_suite sim tests in
-                Printf.printf "validation on the %s software model: %d/%d pass\n" target
-                  summary.Sim.Harness.passed summary.Sim.Harness.total;
-                List.iter
-                  (fun (t, v) ->
-                    match v with
-                    | Sim.Harness.Pass -> ()
-                    | Sim.Harness.Wrong_output m ->
-                        Printf.printf "  WRONG: %s\n    %s\n" m
-                          (Testgen.Testspec.to_string t)
-                    | Sim.Harness.Crash m -> Printf.printf "  CRASH: %s\n" m)
-                  results;
-                if summary.Sim.Harness.passed <> summary.Sim.Harness.total then 2 else 0
-              end
-              else 0))
+              let rc =
+                if validate then
+                  Obs.Span.with_ reg "validate" (fun () ->
+                      let sim = Sim.Harness.prepare ~arch:target source in
+                      let summary, results = Sim.Harness.run_suite sim tests in
+                      Printf.printf "validation on the %s software model: %d/%d pass\n"
+                        target summary.Sim.Harness.passed summary.Sim.Harness.total;
+                      List.iter
+                        (fun (t, v) ->
+                          match v with
+                          | Sim.Harness.Pass -> ()
+                          | Sim.Harness.Wrong_output m ->
+                              Printf.printf "  WRONG: %s\n    %s\n" m
+                                (Testgen.Testspec.to_string t)
+                          | Sim.Harness.Crash m -> Printf.printf "  CRASH: %s\n" m)
+                        results;
+                      if summary.Sim.Harness.passed <> summary.Sim.Harness.total then 2
+                      else 0)
+                else 0
+              in
+              let obs_rc = report_obs ~metrics ~trace [ (file, reg) ] in
+              if rc <> 0 then rc else obs_rc))
 
 let file =
   Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"PROGRAM.p4" ~doc:"P4 program")
@@ -153,19 +182,33 @@ let validate =
 let print_tests =
   Arg.(value & flag & info [ "print-tests" ] ~doc:"Print the abstract test specifications")
 
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the run's metric registry (counters, gauges, timers) after the run")
+
+let trace =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's spans and counters as a Chrome $(b,trace_event) JSON file, \
+           loadable in about:tracing or ui.perfetto.dev")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging")
 
 let generate_t =
   Term.(
     const run_generate $ file $ target $ backend $ max_tests $ max_paths $ seed $ strategy
     $ fixed_size $ no_constraints $ no_random $ unroll $ out_file $ validate $ print_tests
-    $ verbose)
+    $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* batch: many programs across domains *)
 
 let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_constraints
-    no_random unroll verbose =
+    no_random unroll metrics trace verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -210,7 +253,21 @@ let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_
       Printf.printf "batch: %d programs, %d paths, %d tests; wall-clock %.3fs on %d job(s)\n"
         (List.length files) stats.Testgen.Explore.paths stats.Testgen.Explore.tests
         b.Testgen.Oracle.batch_wall jobs;
-      if !failed > 0 then 1 else 0
+      if metrics then begin
+        print_endline "metrics (merged over jobs):";
+        Format.printf "%a@?" Obs.Snapshot.pp b.Testgen.Oracle.merged_obs
+      end;
+      (* the trace gets one track (tid) per finished job *)
+      let tracks =
+        List.filter_map
+          (fun (label, o) ->
+            match o with
+            | Testgen.Oracle.Finished r -> Some (label, Testgen.Oracle.registry r)
+            | Testgen.Oracle.Failed _ -> None)
+          b.Testgen.Oracle.outcomes
+      in
+      let obs_rc = report_obs ~metrics:false ~trace tracks in
+      if !failed > 0 then 1 else obs_rc
 
 let batch_files =
   Arg.(
@@ -226,7 +283,7 @@ let jobs =
 let batch_t =
   Term.(
     const run_batch $ batch_files $ target $ jobs $ max_tests $ max_paths $ seed $ strategy
-    $ fixed_size $ no_constraints $ no_random $ unroll $ verbose)
+    $ fixed_size $ no_constraints $ no_random $ unroll $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

@@ -11,3 +11,17 @@ let all =
   ]
 
 let find name = List.find_opt (fun b -> b.name = name) all
+
+(* [emit_observed ~obs b tests] is [b.emit tests] reported into the
+   run's registry: an [emit] span, the [backend.emit_time] timer and
+   the [backend.tests_emitted] counter *)
+let emit_observed ?obs (b : t) tests =
+  match obs with
+  | None -> b.emit tests
+  | Some reg ->
+      Obs.Counter.add
+        (Obs.Registry.counter reg "backend.tests_emitted")
+        (List.length tests);
+      Obs.Span.with_ reg ~args:[ ("backend", b.name) ] "emit" (fun () ->
+          Obs.Timer.time (Obs.Registry.timer reg "backend.emit_time") (fun () ->
+              b.emit tests))

@@ -19,11 +19,29 @@ type config = {
   max_paths : int option;
   strategy : strategy;
   stop_at_full_coverage : bool;
+  rebuild_size_threshold : int;
+      (** SAT variables a solver may accumulate before it is eligible
+          for a rebuild (dead variables from popped scopes dominate
+          past this point) *)
+  rebuild_max_spine : int;
+      (** rebuild only when the DFS spine is at most this deep, so the
+          fresh solver re-asserts few scopes *)
 }
 
 let default_config =
-  { max_tests = None; max_paths = None; strategy = Dfs; stop_at_full_coverage = false }
+  {
+    max_tests = None;
+    max_paths = None;
+    strategy = Dfs;
+    stop_at_full_coverage = false;
+    rebuild_size_threshold = 300_000;
+    rebuild_max_spine = 4;
+  }
 
+(* A read-out of the run's metrics.  The source of truth is the
+   [Obs] registry threaded through [Runtime.ctx]; this record is a
+   façade computed from a registry snapshot so existing consumers
+   (CLI summary lines, the bench tables) keep working. *)
 type stats = {
   mutable paths : int;  (** completed feasible paths *)
   mutable tests : int;
@@ -35,6 +53,8 @@ type stats = {
   mutable t_emit : float;  (** test-construction time (includes its solver calls) *)
   mutable t_emit_solve : float;  (** solver time spent inside test construction *)
   mutable solver_checks : int;
+      (** all solver checks of the run — branch feasibility plus the
+          ones issued during test construction *)
 }
 
 type result = {
@@ -60,8 +80,25 @@ let empty_stats () =
     solver_checks = 0;
   }
 
-(* accumulate [s] into [acc] (used by the batch driver to merge
-   per-run statistics) *)
+(* the façade: project a (delta) snapshot of the run's registry onto
+   the historical stats record *)
+let stats_of_snapshot (d : Obs.Snapshot.t) : stats =
+  let i = Obs.Snapshot.get_int d and f = Obs.Snapshot.get_float d in
+  {
+    paths = i "explore.paths";
+    tests = i "explore.tests";
+    infeasible = i "explore.infeasible";
+    abandoned = i "explore.abandoned";
+    discarded_taint = i "explore.discarded_taint";
+    discarded_concolic = i "explore.discarded_concolic";
+    t_step = f "explore.t_step";
+    t_emit = f "explore.t_emit";
+    t_emit_solve = f "explore.t_emit_solve";
+    solver_checks = i "solver.checks";
+  }
+
+(* accumulate [s] into [acc] (kept for callers that merge stats
+   records directly; the batch driver merges registry snapshots) *)
 let add_stats acc (s : stats) =
   acc.paths <- acc.paths + s.paths;
   acc.tests <- acc.tests + s.tests;
@@ -159,15 +196,43 @@ let port_tainted st =
 (* DFS driver *)
 
 let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
-  let t_start = Unix.gettimeofday () in
-  let solver = ref (Solver.create ctx.ectx) in
+  let reg = ctx.obs in
+  (* the run reports deltas against this baseline, so a registry that
+     already carries earlier runs (same prepared context) stays sound *)
+  let snap0 = Obs.Registry.snapshot reg in
+  let t_start = Obs.Clock.now () in
+  let c_paths = Obs.Registry.counter reg "explore.paths" in
+  let c_tests = Obs.Registry.counter reg "explore.tests" in
+  let c_infeasible = Obs.Registry.counter reg "explore.infeasible" in
+  let c_abandoned = Obs.Registry.counter reg "explore.abandoned" in
+  let c_disc_taint = Obs.Registry.counter reg "explore.discarded_taint" in
+  let c_disc_concolic = Obs.Registry.counter reg "explore.discarded_concolic" in
+  let c_branch_checks = Obs.Registry.counter reg "explore.branch_checks" in
+  let c_rebuilds = Obs.Registry.counter reg "solver.rebuilds" in
+  let tm_step = Obs.Registry.timer reg "explore.t_step" in
+  let tm_emit = Obs.Registry.timer reg "explore.t_emit" in
+  let tm_emit_solve = Obs.Registry.timer reg "explore.t_emit_solve" in
+  let tm_total = Obs.Registry.timer reg "explore.total_time" in
+  (* solver time lives in the registry and therefore accumulates
+     across solver rebuilds (every solver of this run shares [reg]) *)
+  let tm_solve = Obs.Registry.timer reg "solver.time" in
+  let paths0 = Obs.Counter.value c_paths in
+  let tests0 = Obs.Counter.value c_tests in
+  let solver = ref (Solver.create ~obs:reg ctx.ectx) in
   (* the DFS spine's active assertions, innermost first, mirroring the
      solver's scope stack; lets us rebuild a fresh solver when the old
      one has accumulated too many dead variables from popped scopes *)
   let spine : Expr.t list ref = ref [] in
   let maybe_rebuild () =
-    if Solver.size !solver > 300_000 && List.length !spine <= 4 then begin
-      let s = Solver.create ctx.ectx in
+    if
+      Solver.size !solver > config.rebuild_size_threshold
+      && List.length !spine <= config.rebuild_max_spine
+    then begin
+      (* retire the old solver: push its residual counter activity
+         into the registry before it becomes unreachable *)
+      Solver.flush_stats !solver;
+      Obs.Counter.incr c_rebuilds;
+      let s = Solver.create ~obs:reg ctx.ectx in
       List.iter
         (fun c ->
           Solver.push s;
@@ -176,34 +241,42 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
       solver := s
     end
   in
-  let stats = empty_stats () in
+  let sp_explore = Obs.Span.enter reg "explore" in
   let tests = ref [] in
   let covered = ref IntSet.empty in
   let check_budget () =
-    (match config.max_tests with Some n when stats.tests >= n -> raise Stop | _ -> ());
-    (match config.max_paths with Some n when stats.paths >= n -> raise Stop | _ -> ());
+    (match config.max_tests with
+    | Some n when Obs.Counter.value c_tests - tests0 >= n -> raise Stop
+    | _ -> ());
+    (match config.max_paths with
+    | Some n when Obs.Counter.value c_paths - paths0 >= n -> raise Stop
+    | _ -> ());
     if
       config.stop_at_full_coverage && ctx.nstmts > 0
       && IntSet.cardinal !covered >= ctx.nstmts
     then raise Stop
   in
   let finish st =
-    stats.paths <- stats.paths + 1;
-    let t0 = Unix.gettimeofday () in
-    let solve0 = Solver.solve_time !solver in
-    (if port_tainted st then stats.discarded_taint <- stats.discarded_taint + 1
-     else
-       match build_test ctx !solver st with
-       | None -> stats.discarded_concolic <- stats.discarded_concolic + 1
-       | Some t ->
-           let is_new = not (IntSet.subset st.covered !covered) in
-           covered := IntSet.union st.covered !covered;
-           if config.strategy <> Cov || is_new then begin
-             stats.tests <- stats.tests + 1;
-             tests := t :: !tests
-           end);
-    stats.t_emit <- stats.t_emit +. (Unix.gettimeofday () -. t0);
-    stats.t_emit_solve <- stats.t_emit_solve +. (Solver.solve_time !solver -. solve0);
+    Obs.Counter.incr c_paths;
+    Obs.Span.with_ reg
+      ~args:[ ("path", string_of_int (Obs.Counter.value c_paths - paths0)) ]
+      "path"
+      (fun () ->
+        let t0 = Obs.Clock.now () in
+        let solve0 = Obs.Timer.value tm_solve in
+        (if port_tainted st then Obs.Counter.incr c_disc_taint
+         else
+           match build_test ctx !solver st with
+           | None -> Obs.Counter.incr c_disc_concolic
+           | Some t ->
+               let is_new = not (IntSet.subset st.covered !covered) in
+               covered := IntSet.union st.covered !covered;
+               if config.strategy <> Cov || is_new then begin
+                 Obs.Counter.incr c_tests;
+                 tests := t :: !tests
+               end);
+        Obs.Timer.add tm_emit (Obs.Clock.now () -. t0);
+        Obs.Timer.add tm_emit_solve (Obs.Timer.value tm_solve -. solve0));
     check_budget ()
   in
   let order branches =
@@ -216,7 +289,7 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
     | Dfs | Cov -> branches
   in
   let rec explore st =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let stepped =
       try Step.step ctx st
       with Exec_error msg ->
@@ -225,10 +298,10 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
         Logs.warn (fun m -> m "path abandoned: %s" msg);
         Some []
     in
-    stats.t_step <- stats.t_step +. (Unix.gettimeofday () -. t0);
+    Obs.Timer.add tm_step (Obs.Clock.now () -. t0);
     match stepped with
     | None -> finish st
-    | Some [] -> stats.abandoned <- stats.abandoned + 1
+    | Some [] -> Obs.Counter.incr c_abandoned
     | Some [ { br_cond = None; br_state; _ } ] -> explore br_state
     | Some branches ->
         List.iter
@@ -236,7 +309,7 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
             match b.br_cond with
             | None -> explore b.br_state
             | Some c when Expr.is_true c -> explore b.br_state
-            | Some c when Expr.is_false c -> stats.infeasible <- stats.infeasible + 1
+            | Some c when Expr.is_false c -> Obs.Counter.incr c_infeasible
             | Some c ->
                 Solver.push !solver;
                 (* model reuse: if the last model already satisfies the
@@ -248,13 +321,13 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
                 let feasible =
                   holds
                   || begin
-                       stats.solver_checks <- stats.solver_checks + 1;
+                       Obs.Counter.incr c_branch_checks;
                        Solver.check !solver = Solver.Sat
                      end
                 in
                 (try
                    if feasible then explore (add_cond c b.br_state)
-                   else stats.infeasible <- stats.infeasible + 1
+                   else Obs.Counter.incr c_infeasible
                  with Stop ->
                    Solver.pop !solver;
                    raise Stop);
@@ -264,11 +337,16 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
           (order branches)
   in
   (try explore st0 with Stop -> ());
+  Solver.flush_stats !solver;
+  Obs.Span.exit reg sp_explore;
+  let total = Obs.Clock.now () -. t_start in
+  Obs.Timer.add tm_total total;
+  let d = Obs.Snapshot.diff (Obs.Registry.snapshot reg) snap0 in
   {
     tests = List.rev !tests;
     covered = !covered;
     total_stmts = ctx.nstmts;
-    stats;
-    solve_time = Solver.solve_time !solver;
-    total_time = Unix.gettimeofday () -. t_start;
+    stats = stats_of_snapshot d;
+    solve_time = Obs.Snapshot.get_float d "solver.time";
+    total_time = total;
   }

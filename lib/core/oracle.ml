@@ -16,24 +16,37 @@ type prepared = {
   prep_time : float;
 }
 
-let prepare ?(opts = Runtime.default_options) (target : (module Target_intf.S)) (source : string)
-    : prepared =
+let prepare ?(opts = Runtime.default_options) ?obs (target : (module Target_intf.S))
+    (source : string) : prepared =
   let module T = (val target) in
-  let t0 = Unix.gettimeofday () in
+  (* the run's registry exists before its term context: the front-end
+     phases below are already observed *)
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+  let t0 = Obs.Clock.now () in
+  let sp = Obs.Span.enter obs "prepare" in
   (* [Runtime.make_ctx] below allocates a fresh term context for this
      run, so two prepared values coexist: terms and solvers of one run
      stay valid while another run explores *)
-  let prelude = P4.Parser.parse_program T.prelude in
-  let user = P4.Parser.parse_program source in
-  let prog = prelude @ user in
-  let prog = P4.Passes.fold prog in
-  let tctx = P4.Typing.build prog in
-  let prog = P4.Passes.elim_stack_indices tctx prog in
-  let prog, nstmts = P4.Passes.number_statements prog in
-  let ctx = Runtime.make_ctx ~opts prog ~nstmts tctx in
+  let prelude, user =
+    Obs.Span.with_ obs "parse" (fun () ->
+        (P4.Parser.parse_program T.prelude, P4.Parser.parse_program source))
+  in
+  let prog, nstmts, tctx =
+    Obs.Span.with_ obs "passes" (fun () ->
+        let prog = prelude @ user in
+        let prog = P4.Passes.fold prog in
+        let tctx = P4.Typing.build prog in
+        let prog = P4.Passes.elim_stack_indices tctx prog in
+        let prog, nstmts = P4.Passes.number_statements prog in
+        (prog, nstmts, tctx))
+  in
+  let ctx = Runtime.make_ctx ~opts ~obs prog ~nstmts tctx in
   ctx.extern_hook <- T.extern;
   ctx.reject_hook <- T.on_reject;
-  { ctx; prog; target; prep_time = Unix.gettimeofday () -. t0 }
+  Obs.Span.exit obs sp;
+  let prep_time = Obs.Clock.now () -. t0 in
+  Obs.Timer.add (Obs.Registry.timer obs "oracle.prep_time") prep_time;
+  { ctx; prog; target; prep_time }
 
 let initial_state (p : prepared) : Runtime.state =
   let module T = (val p.target) in
@@ -41,6 +54,8 @@ let initial_state (p : prepared) : Runtime.state =
   T.init p.ctx st
 
 type run = { result : Explore.result; prepared : prepared }
+
+let registry (r : run) = r.prepared.ctx.Runtime.obs
 
 let generate ?(opts = Runtime.default_options) ?(config = Explore.default_config)
     (target : (module Target_intf.S)) (source : string) : run =
@@ -82,6 +97,7 @@ type outcome = Finished of run | Failed of string
 type batch = {
   outcomes : (string * outcome) list;  (* in submission order *)
   merged_stats : Explore.stats;
+  merged_obs : Obs.Snapshot.t;
   batch_wall : float;
 }
 
@@ -90,7 +106,7 @@ let run_job j =
   with e -> Failed (Printexc.to_string e)
 
 let generate_batch ?(jobs = 1) (js : job list) : batch =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let arr = Array.of_list js in
   let n = Array.length arr in
   let out = Array.make n (Failed "not run") in
@@ -112,16 +128,22 @@ let generate_batch ?(jobs = 1) (js : job list) : batch =
     worker ();
     List.iter Domain.join domains
   end;
-  let merged = Explore.empty_stats () in
-  Array.iter
-    (function
-      | Finished r -> Explore.add_stats merged r.result.Explore.stats
-      | Failed _ -> ())
-    out;
+  (* every job owns its registry (created by its [prepare]), so the
+     per-domain snapshots merge associatively with no synchronization;
+     the stats record is the same façade projected from the merge *)
+  let merged_obs =
+    Array.fold_left
+      (fun acc o ->
+        match o with
+        | Finished r -> Obs.Snapshot.merge acc (Obs.Registry.snapshot (registry r))
+        | Failed _ -> acc)
+      Obs.Snapshot.empty out
+  in
   {
     outcomes = Array.to_list (Array.map2 (fun j o -> (j.job_label, o)) arr out);
-    merged_stats = merged;
-    batch_wall = Unix.gettimeofday () -. t0;
+    merged_stats = Explore.stats_of_snapshot merged_obs;
+    merged_obs;
+    batch_wall = Obs.Clock.now () -. t0;
   }
 
 (* ------------------------------------------------------------------ *)

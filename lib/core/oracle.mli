@@ -19,18 +19,35 @@ type prepared = {
 }
 
 val prepare :
-  ?opts:Runtime.options -> (module Target_intf.S) -> string -> prepared
+  ?opts:Runtime.options ->
+  ?obs:Obs.Registry.t ->
+  (module Target_intf.S) ->
+  string ->
+  prepared
 (** [prepare target source] runs phase 1.  Raises
     {!P4.Parser.Error} on syntax errors and {!Runtime.Exec_error} when
     the program does not fit the architecture.  Allocates a fresh
     {!Smt.Expr.ctx} for the run, so any number of prepared values can
-    coexist and interleave; terms and solvers never cross runs. *)
+    coexist and interleave; terms and solvers never cross runs.
+
+    [obs] is the run's metrics registry (a fresh one is allocated when
+    omitted, reachable as [ctx.Runtime.obs] or via {!registry}).  The
+    whole stack reports into it: [prepare] records the [prepare] /
+    [parse] / [passes] spans and the [oracle.prep_time] timer, and the
+    explorer, solver, SAT core and concolic resolver add their own
+    metrics during {!Explore.run}. *)
 
 val initial_state : prepared -> Runtime.state
 (** Pipeline-template instantiation (phase 2): the returned state has
     the target's block sequence and glue continuations queued. *)
 
 type run = { result : Explore.result; prepared : prepared }
+
+val registry : run -> Obs.Registry.t
+(** The run's metrics registry — counters, timers and spans recorded
+    by every layer during the run ([= run.prepared.ctx.Runtime.obs]).
+    Export it with {!Obs.Trace.write_chrome} or print a
+    {!Obs.Registry.snapshot}. *)
 
 val generate :
   ?opts:Runtime.options ->
@@ -68,7 +85,12 @@ type outcome =
 type batch = {
   outcomes : (string * outcome) list;
       (** (label, outcome) in submission order *)
-  merged_stats : Explore.stats;  (** per-run statistics, summed *)
+  merged_stats : Explore.stats;
+      (** the {!Explore.stats} façade projected from [merged_obs] *)
+  merged_obs : Obs.Snapshot.t;
+      (** per-domain metric registries, merged: counters and timers
+          sum, gauges high-water.  Counter totals are scheduling
+          independent — [jobs = 1] and [jobs = N] merge equal. *)
   batch_wall : float;  (** wall-clock seconds for the whole batch *)
 }
 

@@ -42,6 +42,9 @@ let default_options =
 type ctx = {
   ectx : Expr.ctx;
       (** the run's term context; all terms of a run live here *)
+  obs : Obs.Registry.t;
+      (** the run's metrics registry; owned, like [ectx], by one
+          domain at a time — the batch driver merges snapshots *)
   prog : Ast.program;
   tctx : Typing.ctx;
   parsers : (string, Ast.parser_decl) Hashtbl.t;
@@ -144,7 +147,7 @@ let fresh_name ctx prefix =
 
 let fresh_var ctx prefix w = Expr.var ctx.ectx (fresh_name ctx prefix) w
 
-let rec make_ctx ?(opts = default_options) (prog : Ast.program) ~nstmts tctx =
+let rec make_ctx ?(opts = default_options) ?obs (prog : Ast.program) ~nstmts tctx =
   let parsers = Hashtbl.create 8 and controls = Hashtbl.create 8 in
   List.iter
     (function
@@ -156,6 +159,7 @@ let rec make_ctx ?(opts = default_options) (prog : Ast.program) ~nstmts tctx =
     (* each run context owns a fresh term context: two prepared runs
        can coexist and interleave, or run on different domains *)
     ectx = Expr.create_ctx ();
+    obs = (match obs with Some r -> r | None -> Obs.Registry.create ());
     prog;
     tctx;
     parsers;

@@ -8,6 +8,9 @@ type t = {
   var_cache : (int, int array) Hashtbl.t; (* var id -> bit literals *)
   taint_cache : (int, int array) Hashtbl.t; (* taint id -> bit literals *)
   gate_cache : (string * int * int * int, int) Hashtbl.t;
+  (* term-level cache traffic, read by the solver's metrics flush *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let create ectx sat =
@@ -21,6 +24,8 @@ let create ectx sat =
     var_cache = Hashtbl.create 256;
     taint_cache = Hashtbl.create 64;
     gate_cache = Hashtbl.create 4096;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let lit_true b = b.tt
@@ -221,8 +226,11 @@ let rec bits b (e : Expr.t) =
   if Expr.ctx_of e != b.ectx then
     invalid_arg "Blast.bits: term from a different Expr context";
   match Hashtbl.find_opt b.expr_cache e.Expr.tag with
-  | Some ls -> ls
+  | Some ls ->
+      b.cache_hits <- b.cache_hits + 1;
+      ls
   | None ->
+      b.cache_misses <- b.cache_misses + 1;
       let ls = translate b e in
       assert (Array.length ls = e.Expr.width);
       Hashtbl.add b.expr_cache e.Expr.tag ls;
@@ -292,3 +300,4 @@ let lit b e =
 
 let var_bits b (v : Expr.var) = Hashtbl.find_opt b.var_cache v.Expr.vid
 let taint_bits b id = Hashtbl.find_opt b.taint_cache id
+let cache_stats b = (b.cache_hits, b.cache_misses)

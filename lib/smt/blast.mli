@@ -27,3 +27,7 @@ val var_bits : t -> Expr.var -> int array option
 
 val taint_bits : t -> int -> int array option
 (** The literals backing taint node [id] if it has been blasted. *)
+
+val cache_stats : t -> int * int
+(** (hits, misses) of the blasted-term cache since creation — a hit is
+    a {!bits} call answered without translating the term again. *)

@@ -59,8 +59,20 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable conflicts : int;
+  mutable restarts : int;
+  mutable learnt_clauses : int;
+  mutable learnt_literals : int;
   (* scratch *)
   mutable seen : bool array;
+}
+
+type counters = {
+  c_decisions : int;
+  c_propagations : int;
+  c_conflicts : int;
+  c_restarts : int;
+  c_learnt_clauses : int;
+  c_learnt_literals : int;
 }
 
 let dummy_clause = { lits = [||]; learnt = false; deleted = false }
@@ -88,6 +100,9 @@ let create () =
     decisions = 0;
     propagations = 0;
     conflicts = 0;
+    restarts = 0;
+    learnt_clauses = 0;
+    learnt_literals = 0;
     seen = Array.make 1 false;
   }
 
@@ -100,6 +115,16 @@ let sign l = l land 1 = 1
 let nvars s = s.nvars
 let nclauses s = s.clause_count
 let stats s = (s.decisions, s.propagations, s.conflicts)
+
+let counters s =
+  {
+    c_decisions = s.decisions;
+    c_propagations = s.propagations;
+    c_conflicts = s.conflicts;
+    c_restarts = s.restarts;
+    c_learnt_clauses = s.learnt_clauses;
+    c_learnt_literals = s.learnt_literals;
+  }
 
 (* value of literal: 0 undef, 1 true, 2 false *)
 let lit_val s l =
@@ -398,6 +423,11 @@ let analyze s confl =
       (first :: rest, s.level.(var_of max_lit))
 
 let record_learnt s lits =
+  (match lits with
+  | [] -> ()
+  | ls ->
+      s.learnt_clauses <- s.learnt_clauses + 1;
+      s.learnt_literals <- s.learnt_literals + List.length ls);
   match lits with
   | [] -> s.ok <- false
   | [ l ] ->
@@ -490,6 +520,7 @@ let solve ?(assumptions = []) s =
             decr conflicts_budget;
             if !conflicts_budget <= 0 then begin
               incr restart_count;
+              s.restarts <- s.restarts + 1;
               conflicts_budget := 100 * luby (!restart_count + 1);
               cancel_until s (min (Array.length assumptions) (decision_level s))
             end;

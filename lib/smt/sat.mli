@@ -56,3 +56,16 @@ val lit_value : t -> int -> bool
 
 val stats : t -> int * int * int
 (** (decisions, propagations, conflicts) since creation. *)
+
+type counters = {
+  c_decisions : int;
+  c_propagations : int;
+  c_conflicts : int;
+  c_restarts : int;  (** Luby restarts performed *)
+  c_learnt_clauses : int;  (** clauses learned (unit learnts included) *)
+  c_learnt_literals : int;  (** total literals across learned clauses *)
+}
+
+val counters : t -> counters
+(** All search counters since creation (monotone; the {!Solver} flushes
+    deltas of these into its metrics registry). *)

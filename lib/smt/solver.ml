@@ -2,10 +2,33 @@ module Bits = Bitv.Bits
 
 type result = Sat | Unsat
 
+(* metric cells resolved once at creation; [run] updates them and
+   flushes SAT/blaster counter deltas after every solve *)
+type metrics = {
+  m_obs : Obs.Registry.t;
+  m_checks : Obs.Counter.t;
+  m_time : Obs.Timer.t;
+  m_depth_hw : Obs.Gauge.t;
+  m_decisions : Obs.Counter.t;
+  m_propagations : Obs.Counter.t;
+  m_conflicts : Obs.Counter.t;
+  m_restarts : Obs.Counter.t;
+  m_learnt_clauses : Obs.Counter.t;
+  m_learnt_literals : Obs.Counter.t;
+  m_cache_hits : Obs.Counter.t;
+  m_cache_misses : Obs.Counter.t;
+  (* last-flushed readings, so deltas accumulate correctly even when
+     several solvers (e.g. across rebuilds) share one registry *)
+  mutable m_last_sat : Sat.counters;
+  mutable m_last_hits : int;
+  mutable m_last_misses : int;
+}
+
 type t = {
   ectx : Expr.ctx;
   sat : Sat.t;
   blast : Blast.t;
+  metrics : metrics;
   mutable scopes : int list; (* activation literals, innermost first *)
   (* snapshot of the SAT assignment after the last Sat answer; models
      are read from here so they survive backtracking, and branch
@@ -19,13 +42,35 @@ type t = {
   mutable time : float;
 }
 
-let create ectx =
+let make_metrics obs sat =
+  let c = Obs.Registry.counter obs and t = Obs.Registry.timer obs in
+  {
+    m_obs = obs;
+    m_checks = c "solver.checks";
+    m_time = t "solver.time";
+    m_depth_hw = Obs.Registry.gauge obs "solver.scope_depth_hw";
+    m_decisions = c "sat.decisions";
+    m_propagations = c "sat.propagations";
+    m_conflicts = c "sat.conflicts";
+    m_restarts = c "sat.restarts";
+    m_learnt_clauses = c "sat.learnt_clauses";
+    m_learnt_literals = c "sat.learnt_literals";
+    m_cache_hits = c "blast.cache_hits";
+    m_cache_misses = c "blast.cache_misses";
+    m_last_sat = Sat.counters sat;
+    m_last_hits = 0;
+    m_last_misses = 0;
+  }
+
+let create ?obs ectx =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   let sat = Sat.create () in
   let blast = Blast.create ectx sat in
   {
     ectx;
     sat;
     blast;
+    metrics = make_metrics obs sat;
     scopes = [];
     model_snap = [||];
     suggestions = Hashtbl.create 256;
@@ -33,12 +78,31 @@ let create ectx =
     time = 0.0;
   }
 
+let obs s = s.metrics.m_obs
+
+let flush_stats s =
+  let m = s.metrics in
+  let c = Sat.counters s.sat and last = m.m_last_sat in
+  Obs.Counter.add m.m_decisions (c.Sat.c_decisions - last.Sat.c_decisions);
+  Obs.Counter.add m.m_propagations (c.Sat.c_propagations - last.Sat.c_propagations);
+  Obs.Counter.add m.m_conflicts (c.Sat.c_conflicts - last.Sat.c_conflicts);
+  Obs.Counter.add m.m_restarts (c.Sat.c_restarts - last.Sat.c_restarts);
+  Obs.Counter.add m.m_learnt_clauses (c.Sat.c_learnt_clauses - last.Sat.c_learnt_clauses);
+  Obs.Counter.add m.m_learnt_literals (c.Sat.c_learnt_literals - last.Sat.c_learnt_literals);
+  m.m_last_sat <- c;
+  let hits, misses = Blast.cache_stats s.blast in
+  Obs.Counter.add m.m_cache_hits (hits - m.m_last_hits);
+  Obs.Counter.add m.m_cache_misses (misses - m.m_last_misses);
+  m.m_last_hits <- hits;
+  m.m_last_misses <- misses
+
 let scope_depth s = List.length s.scopes
 
 let push s =
   Sat.backtrack s.sat;
   let g = Sat.pos (Sat.new_var s.sat) in
-  s.scopes <- g :: s.scopes
+  s.scopes <- g :: s.scopes;
+  Obs.Gauge.set_max s.metrics.m_depth_hw (List.length s.scopes)
 
 let pop s =
   match s.scopes with
@@ -63,9 +127,13 @@ let assert_ s e =
 
 let run s assumptions =
   s.checks <- s.checks + 1;
-  let t0 = Unix.gettimeofday () in
+  Obs.Counter.incr s.metrics.m_checks;
+  let t0 = Obs.Clock.now () in
   let r = Sat.solve ~assumptions s.sat in
-  s.time <- s.time +. (Unix.gettimeofday () -. t0);
+  let dt = Obs.Clock.now () -. t0 in
+  s.time <- s.time +. dt;
+  Obs.Timer.add s.metrics.m_time dt;
+  flush_stats s;
   if r then begin
     s.model_snap <- Sat.snapshot s.sat;
     Sat

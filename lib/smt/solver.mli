@@ -11,13 +11,30 @@ type t
 
 type result = Sat | Unsat
 
-val create : Expr.ctx -> t
+val create : ?obs:Obs.Registry.t -> Expr.ctx -> t
 (** A fresh solver bound to one {!Expr.ctx}; terms from other contexts
     are rejected.  Independent solvers over independent contexts may
-    run on different domains concurrently. *)
+    run on different domains concurrently.
+
+    [obs] is the metrics registry the solver reports into (a private
+    one is allocated when omitted): the [solver.checks] counter and
+    [solver.time] timer, the [solver.scope_depth_hw] high-water gauge,
+    the [sat.*] search counters (decisions, propagations, conflicts,
+    restarts, learnt clauses/literals) and the [blast.cache_*]
+    term-cache counters.  Several solvers may share a registry — e.g.
+    across explorer rebuilds — and their contributions accumulate. *)
 
 val ctx : t -> Expr.ctx
 (** The term context this solver was created for. *)
+
+val obs : t -> Obs.Registry.t
+(** The metrics registry this solver reports into. *)
+
+val flush_stats : t -> unit
+(** Pushes any SAT/blaster counter activity since the last flush into
+    the registry.  Called automatically after every check; call it
+    before reading the registry if terms were asserted (blasted) after
+    the last check, or before retiring the solver. *)
 
 val push : t -> unit
 val pop : t -> unit

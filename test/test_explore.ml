@@ -149,6 +149,37 @@ let test_seed_changes_values_not_paths () =
   in
   Alcotest.(check bool) "different random choices" true (ports r1 <> ports r2)
 
+let test_rebuild_threshold () =
+  (* force a solver rebuild on nearly every path by making the term
+     threshold tiny; results must not change, and no solver time may be
+     lost across the swaps *)
+  let config =
+    { Explore.default_config with Explore.rebuild_size_threshold = 1 }
+  in
+  let forced = generate ~config Progzoo.Corpus.lpm_router in
+  let normal = generate Progzoo.Corpus.lpm_router in
+  let snap run = Obs.Registry.snapshot (Oracle.registry run) in
+  Alcotest.(check bool) "rebuilds happened" true
+    (Obs.Snapshot.get_int (snap forced) "solver.rebuilds" > 0);
+  Alcotest.(check int) "default config never rebuilds here" 0
+    (Obs.Snapshot.get_int (snap normal) "solver.rebuilds");
+  (* a fresh solver may complete don't-care bits differently, but the
+     path space and coverage are solver-state independent *)
+  let paths run =
+    List.map (fun (t : Testspec.t) -> t.comment) run.Oracle.result.Explore.tests
+  in
+  Alcotest.(check (list string)) "identical paths" (paths normal) (paths forced);
+  Alcotest.(check bool) "identical coverage" true
+    (Testgen.Runtime.IntSet.equal normal.Oracle.result.Explore.covered
+       forced.Oracle.result.Explore.covered);
+  (* the lost-time regression: solve_time aggregates over every solver
+     of the run, so emission's solver share can never exceed it *)
+  let r = forced.Oracle.result in
+  Alcotest.(check bool) "solver time survives rebuilds" true
+    (r.Explore.solve_time >= r.Explore.stats.Explore.t_emit_solve
+    && r.Explore.stats.Explore.t_emit_solve >= 0.0
+    && r.Explore.solve_time > 0.0)
+
 let () =
   Alcotest.run "explore"
     [
@@ -170,5 +201,6 @@ let () =
           Alcotest.test_case "recirculation" `Quick test_recirculation_bounded;
           Alcotest.test_case "unroll depth" `Quick test_unroll_bound_controls_depth;
           Alcotest.test_case "seed variation" `Quick test_seed_changes_values_not_paths;
+          Alcotest.test_case "solver rebuild threshold" `Quick test_rebuild_threshold;
         ] );
     ]

@@ -1,0 +1,228 @@
+(* Telemetry subsystem tests: metric-cell semantics, span recording,
+   snapshot algebra (merge associativity, diff deltas), the Chrome
+   trace exporter, and the batch driver's scheduling-independent
+   counter merge. *)
+
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+
+let test_counter_and_gauge () =
+  let reg = Obs.Registry.create () in
+  let c = Obs.Registry.counter reg "c" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (Obs.Counter.value c);
+  (* interning: the same name resolves to the same cell *)
+  Obs.Counter.incr (Obs.Registry.counter reg "c");
+  Alcotest.(check int) "interned by name" 6 (Obs.Counter.value c);
+  let g = Obs.Registry.gauge reg "g" in
+  Obs.Gauge.set g 7;
+  Obs.Gauge.set_max g 3;
+  Alcotest.(check int) "set_max below keeps" 7 (Obs.Gauge.value g);
+  Obs.Gauge.set_max g 11;
+  Alcotest.(check int) "set_max above raises" 11 (Obs.Gauge.value g)
+
+let test_timer () =
+  let reg = Obs.Registry.create () in
+  let t = Obs.Registry.timer reg "t" in
+  Obs.Timer.add t 0.25;
+  let x = Obs.Timer.time t (fun () -> 42) in
+  Alcotest.(check int) "thunk result" 42 x;
+  Alcotest.(check bool) "duration accumulated" true (Obs.Timer.value t >= 0.25);
+  Alcotest.check_raises "negative addition rejected"
+    (Invalid_argument "Obs.Timer.add: negative duration") (fun () ->
+      Obs.Timer.add t (-1.0));
+  (* timing a raising thunk still records and re-raises *)
+  let before = Obs.Timer.value t in
+  (try Obs.Timer.time t (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "recorded on exception" true (Obs.Timer.value t >= before)
+
+let test_kind_mismatch () =
+  let reg = Obs.Registry.create () in
+  ignore (Obs.Registry.counter reg "m");
+  Alcotest.(check bool) "re-registering as timer raises" true
+    (try
+       ignore (Obs.Registry.timer reg "m");
+       false
+     with Invalid_argument _ -> true)
+
+let test_spans () =
+  let reg = Obs.Registry.create () in
+  Obs.Span.with_ reg "outer" (fun () ->
+      Obs.Span.with_ reg ~args:[ ("k", "v") ] "inner" (fun () -> ()));
+  (match Obs.Registry.spans reg with
+  | [ ("outer", d_out, 0); ("inner", d_in, 1) ]
+  | [ ("inner", d_in, 1); ("outer", d_out, 0) ] ->
+      Alcotest.(check bool) "nested duration fits" true
+        (d_in >= 0.0 && d_out >= d_in)
+  | spans ->
+      Alcotest.failf "unexpected spans: %s"
+        (String.concat ";" (List.map (fun (n, _, d) -> Printf.sprintf "%s@%d" n d) spans)));
+  (* a raising body still closes the span *)
+  (try Obs.Span.with_ reg "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on exception" 3
+    (List.length (Obs.Registry.spans reg))
+
+let snap metrics =
+  let reg = Obs.Registry.create () in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | `C n -> Obs.Counter.add (Obs.Registry.counter reg name) n
+      | `G n -> Obs.Gauge.set (Obs.Registry.gauge reg name) n
+      | `T s -> Obs.Timer.add (Obs.Registry.timer reg name) s)
+    metrics;
+  Obs.Registry.snapshot reg
+
+let test_merge () =
+  let a = snap [ ("c", `C 2); ("g", `G 5); ("t", `T 1.0) ] in
+  let b = snap [ ("c", `C 3); ("g", `G 4); ("x", `C 7) ] in
+  let m = Obs.Snapshot.merge a b in
+  Alcotest.(check int) "counters sum" 5 (Obs.Snapshot.get_int m "c");
+  Alcotest.(check int) "gauges max" 5 (Obs.Snapshot.get_int m "g");
+  Alcotest.(check int) "one-sided kept" 7 (Obs.Snapshot.get_int m "x");
+  Alcotest.(check (float 1e-9)) "timers sum" 1.0 (Obs.Snapshot.get_float m "t");
+  Alcotest.(check bool) "kind mismatch raises" true
+    (try
+       ignore (Obs.Snapshot.merge (snap [ ("m", `C 1) ]) (snap [ ("m", `T 1.0) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_merge_associative_commutative () =
+  let a = snap [ ("c", `C 1); ("g", `G 9) ]
+  and b = snap [ ("c", `C 2); ("t", `T 0.5) ]
+  and c = snap [ ("g", `G 3); ("t", `T 0.25); ("c", `C 4) ] in
+  let l = Obs.Snapshot.to_list in
+  let ( + ) = Obs.Snapshot.merge in
+  Alcotest.(check bool) "associative" true (l ((a + b) + c) = l (a + (b + c)));
+  Alcotest.(check bool) "commutative" true (l (a + b) = l (b + a));
+  Alcotest.(check bool) "empty is neutral" true
+    (l (a + Obs.Snapshot.empty) = l a)
+
+let test_diff () =
+  let before = snap [ ("c", `C 2); ("g", `G 5); ("t", `T 1.0) ] in
+  let after = snap [ ("c", `C 9); ("g", `G 4); ("t", `T 2.5); ("new", `C 3) ] in
+  let d = Obs.Snapshot.diff after before in
+  Alcotest.(check int) "counter delta" 7 (Obs.Snapshot.get_int d "c");
+  Alcotest.(check int) "gauge keeps after" 4 (Obs.Snapshot.get_int d "g");
+  Alcotest.(check (float 1e-9)) "timer delta" 1.5 (Obs.Snapshot.get_float d "t");
+  Alcotest.(check int) "absent-before counts from zero" 3
+    (Obs.Snapshot.get_int d "new")
+
+let test_counters_and_json () =
+  let s = snap [ ("b", `C 2); ("a", `T 0.5); ("c", `G 1) ] in
+  Alcotest.(check (list (pair string int))) "only counters, sorted"
+    [ ("b", 2) ] (Obs.Snapshot.counters s);
+  let j = Obs.Snapshot.to_json s in
+  Alcotest.(check bool) "json has names" true
+    (String.length j > 0 && j.[0] = '{'
+    && List.for_all
+         (fun sub ->
+           let rec has i =
+             i + String.length sub <= String.length j
+             && (String.sub j i (String.length sub) = sub || has (i + 1))
+           in
+           has 0)
+         [ "\"a\""; "\"b\""; "\"c\"" ])
+
+let contains s sub =
+  let rec go i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || go (i + 1))
+  in
+  go 0
+
+let test_chrome_trace () =
+  let reg = Obs.Registry.create () in
+  Obs.Span.with_ reg "prepare" (fun () -> Obs.Span.with_ reg "parse" (fun () -> ()));
+  Obs.Counter.add (Obs.Registry.counter reg "sat.decisions") 12;
+  let file = Filename.temp_file "obs_trace" ".json" in
+  Out_channel.with_open_text file (fun oc ->
+      Obs.Trace.write_chrome oc [ ("prog.p4", reg) ]);
+  let body = In_channel.with_open_text file In_channel.input_all in
+  Sys.remove file;
+  List.iter
+    (fun sub -> Alcotest.(check bool) (sub ^ " present") true (contains body sub))
+    [
+      "\"traceEvents\"";
+      "\"prepare\"";
+      "\"parse\"";
+      "\"sat.decisions\"";
+      "\"ph\":\"X\"";
+      "\"ph\":\"C\"";
+      "\"prog.p4\"";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* end to end: a run's registry carries every layer's metrics, and the
+   batch merge is scheduling independent *)
+
+let test_run_registry_populated () =
+  let run = Oracle.generate Targets.V1model.target Progzoo.Corpus.fig1a in
+  let s = Obs.Registry.snapshot (Oracle.registry run) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " > 0") true (Obs.Snapshot.get_int s name > 0))
+    [ "explore.paths"; "explore.tests"; "solver.checks"; "sat.decisions"; "sat.propagations" ];
+  Alcotest.(check bool) "solver time recorded" true
+    (Obs.Snapshot.get_float s "solver.time" > 0.0);
+  let span_names = List.map (fun (n, _, _) -> n) (Obs.Registry.spans (Oracle.registry run)) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("span " ^ n) true (List.mem n span_names))
+    [ "prepare"; "parse"; "passes"; "explore"; "path" ]
+
+let batch_counters jobs =
+  let job src label =
+    Oracle.job ~label Targets.V1model.target src
+  in
+  let js =
+    [
+      job Progzoo.Corpus.fig1a "fig1a";
+      job Progzoo.Corpus.fig1b "fig1b";
+      job Progzoo.Corpus.lpm_router "lpm";
+      job Progzoo.Corpus.mpls_stack "mpls";
+    ]
+  in
+  let b = Oracle.generate_batch ~jobs js in
+  List.iter
+    (fun (label, o) ->
+      match o with
+      | Oracle.Finished _ -> ()
+      | Oracle.Failed m -> Alcotest.failf "%s failed: %s" label m)
+    b.Oracle.outcomes;
+  Obs.Snapshot.counters b.Oracle.merged_obs
+
+let test_batch_merge_scheduling_independent () =
+  let c1 = batch_counters 1 and c4 = batch_counters 4 in
+  Alcotest.(check (list (pair string int))) "jobs=1 = jobs=4 counter totals" c1 c4;
+  Alcotest.(check bool) "counters non-trivial" true
+    (List.exists (fun (n, v) -> n = "sat.decisions" && v > 0) c1)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "counter + gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "timer" `Quick test_timer;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "spans" `Quick test_spans;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "merge algebra" `Quick test_merge_associative_commutative;
+          Alcotest.test_case "diff" `Quick test_diff;
+          Alcotest.test_case "counters + json" `Quick test_counters_and_json;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace" `Quick test_chrome_trace ] );
+      ( "integration",
+        [
+          Alcotest.test_case "run registry populated" `Quick test_run_registry_populated;
+          Alcotest.test_case "batch merge independent of jobs" `Quick
+            test_batch_merge_scheduling_independent;
+        ] );
+    ]
