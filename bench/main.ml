@@ -10,7 +10,10 @@
      dune exec bench/main.exe -- table4a   Tbl. 4a  large-program statistics
      dune exec bench/main.exe -- table4b   Tbl. 4b  precondition effect
      dune exec bench/main.exe -- bechamel  micro-benchmarks (one per driver)
-     dune exec bench/main.exe -- json F    machine-readable results -> F (default bench.json)
+     dune exec bench/main.exe -- json F [D..]   machine-readable results -> F
+                                           (default bench.json; optional driver filter)
+     dune exec bench/main.exe -- compare B [F]  diff two json files; exit 1 on a
+                                           >10% wall-clock regression vs baseline B
 
    Absolute numbers differ from the paper (its substrate was BMv2/Tofino
    hardware and 13-hour runs); the *shape* of each result is the claim
@@ -398,7 +401,7 @@ let batch jobs =
 (* Machine-readable results: one JSON document over the standard
    drivers, for plotting / regression tracking outside the repo *)
 
-let json out =
+let json ?(only = []) out =
   header (Printf.sprintf "JSON results -> %s" out);
   let cap n = { Explore.default_config with Explore.max_tests = Some n } in
   let drivers =
@@ -412,6 +415,20 @@ let json out =
       ("up4", "v1model", Progzoo.Generators.up4 (), Explore.default_config);
       ("switch6_tna", "tna", Progzoo.Generators.switch_tna ~stages:6 (), cap 400);
     ]
+  in
+  let drivers =
+    match only with
+    | [] -> drivers
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.exists (fun (d, _, _, _) -> d = n) drivers) then begin
+              Printf.eprintf "unknown driver %s (have: %s)\n" n
+                (String.concat ", " (List.map (fun (d, _, _, _) -> d) drivers));
+              exit 1
+            end)
+          names;
+        List.filter (fun (d, _, _, _) -> List.mem d names) drivers
   in
   let row (name, arch, src, config) =
     let run = generate ~config arch src in
@@ -432,6 +449,248 @@ let json out =
   Out_channel.with_open_text out (fun oc ->
       Printf.fprintf oc "{\"results\": [\n%s\n]}\n" (String.concat ",\n" rows));
   Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
+(* compare: diff two bench JSON documents (as written by [json]) and
+   fail on wall-clock regressions, for use as a CI gate *)
+
+(* minimal recursive-descent JSON reader — enough for the documents
+   this harness itself writes, so no external dependency is needed *)
+module Json_read = struct
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  exception Bad of string
+
+  let parse (s : string) : v =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = c then incr pos
+      else raise (Bad (Printf.sprintf "expected %c at offset %d" c !pos))
+    in
+    let lit word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else raise (Bad (Printf.sprintf "bad literal at offset %d" !pos))
+    in
+    let string_ () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Bad "unterminated string");
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (match peek () with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'u' ->
+                (* the writer only emits \u for control chars; decode
+                   the low byte and drop the high one *)
+                let h = String.sub s (!pos + 1) 4 in
+                Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ h) land 0xff));
+                pos := !pos + 4
+            | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      do
+        incr pos
+      done;
+      float_of_string (String.sub s start (!pos - start))
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = '}' then begin incr pos; Obj [] end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = string_ () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | c -> raise (Bad (Printf.sprintf "expected , or } but saw %c" c))
+            in
+            members []
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = ']' then begin incr pos; Arr [] end
+          else
+            let rec elements acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  incr pos;
+                  elements (v :: acc)
+              | ']' ->
+                  incr pos;
+                  Arr (List.rev (v :: acc))
+              | c -> raise (Bad (Printf.sprintf "expected , or ] but saw %c" c))
+            in
+            elements []
+      | '"' -> Str (string_ ())
+      | 't' -> lit "true" (Bool true)
+      | 'f' -> lit "false" (Bool false)
+      | 'n' -> lit "null" Null
+      | _ -> Num (number ())
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad (Printf.sprintf "trailing garbage at offset %d" !pos));
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  let num = function Some (Num f) -> Some f | _ -> None
+
+  let str = function Some (Str s) -> Some s | _ -> None
+end
+
+(* one bench-result row, reduced to what the gate compares *)
+type bench_row = {
+  br_name : string;
+  br_total : float; (* total_time, seconds *)
+  br_solve : float; (* solve_time, seconds *)
+  br_conflicts : float; (* sat.conflicts counter *)
+}
+
+let load_bench file : bench_row list =
+  let doc =
+    try Json_read.parse (In_channel.with_open_text file In_channel.input_all) with
+    | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Json_read.Bad msg ->
+        Printf.eprintf "error: %s: malformed JSON (%s)\n" file msg;
+        exit 2
+  in
+  match Json_read.member "results" doc with
+  | Some (Json_read.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match Json_read.(str (member "name" row)) with
+          | None -> None
+          | Some name ->
+              let f k = Option.value ~default:0.0 Json_read.(num (member k row)) in
+              let conflicts =
+                match Json_read.member "metrics" row with
+                | Some m ->
+                    Option.value ~default:0.0 Json_read.(num (member "sat.conflicts" m))
+                | None -> 0.0
+              in
+              Some
+                {
+                  br_name = name;
+                  br_total = f "total_time";
+                  br_solve = f "solve_time";
+                  br_conflicts = conflicts;
+                })
+        rows
+  | _ ->
+      Printf.eprintf "error: %s has no \"results\" array\n" file;
+      exit 2
+
+let compare_benches baseline current =
+  header (Printf.sprintf "Compare — %s (baseline) vs %s" baseline current);
+  let base = load_bench baseline and cur = load_bench current in
+  let pct old now = if old > 0.0 then 100.0 *. (now -. old) /. old else 0.0 in
+  let regression_limit = 10.0 in
+  (* percentages on sub-millisecond drivers are timer noise; only gate a
+     driver when it also lost a perceptible amount of absolute time *)
+  let noise_floor = 0.05 in
+  let regressed = ref [] in
+  Printf.printf "%-20s %10s %10s %8s   %10s %10s %8s\n" "driver" "base s" "cur s" "Δtime"
+    "base cfl" "cur cfl" "Δcfl";
+  let matched =
+    List.filter_map
+      (fun b ->
+        match List.find_opt (fun c -> c.br_name = b.br_name) cur with
+        | None ->
+            Printf.printf "%-20s %10.3f %10s (driver missing from %s)\n" b.br_name
+              b.br_total "-" current;
+            None
+        | Some c -> Some (b, c))
+      base
+  in
+  List.iter
+    (fun (b, c) ->
+      let dt = pct b.br_total c.br_total in
+      let dc = pct b.br_conflicts c.br_conflicts in
+      let bad = dt > regression_limit && c.br_total -. b.br_total > noise_floor in
+      if bad then regressed := b.br_name :: !regressed;
+      Printf.printf "%-20s %10.3f %10.3f %+7.1f%%   %10.0f %10.0f %+7.1f%%%s\n" b.br_name
+        b.br_total c.br_total dt b.br_conflicts c.br_conflicts dc
+        (if bad then "  REGRESSION" else ""))
+    matched;
+  List.iter
+    (fun c ->
+      if not (List.exists (fun b -> b.br_name = c.br_name) base) then
+        Printf.printf "%-20s %10s %10.3f (driver new since baseline)\n" c.br_name "-"
+          c.br_total)
+    cur;
+  let sum f rows = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let bt = sum (fun (b, _) -> b.br_total) matched
+  and ct = sum (fun (_, c) -> c.br_total) matched in
+  let bs = sum (fun (b, _) -> b.br_solve) matched
+  and cs = sum (fun (_, c) -> c.br_solve) matched in
+  hr ();
+  Printf.printf "total wall-clock  %10.3f -> %10.3f  (%+.1f%%)\n" bt ct (pct bt ct);
+  Printf.printf "total solve time  %10.3f -> %10.3f  (%+.1f%%)\n" bs cs (pct bs cs);
+  let total_regressed = pct bt ct > regression_limit in
+  if total_regressed && not (List.mem "TOTAL" !regressed) then
+    regressed := "TOTAL" :: !regressed;
+  if !regressed <> [] then begin
+    Printf.printf "\nFAIL: wall-clock regression > %.0f%% in: %s\n" regression_limit
+      (String.concat ", " (List.rev !regressed));
+    exit 1
+  end
+  else Printf.printf "\nOK: no driver regressed more than %.0f%%\n" regression_limit
 
 (* ------------------------------------------------------------------ *)
 
@@ -463,10 +722,21 @@ let () =
       batch jobs
   | Some "json" ->
       let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench.json" in
-      json out
+      let only =
+        Array.to_list (Array.sub Sys.argv 3 (max 0 (Array.length Sys.argv - 3)))
+      in
+      json ~only out
+  | Some "compare" ->
+      if Array.length Sys.argv < 3 then begin
+        Printf.eprintf "usage: compare baseline.json [current.json]\n";
+        exit 2
+      end;
+      let baseline = Sys.argv.(2) in
+      let current = if Array.length Sys.argv > 3 then Sys.argv.(3) else "bench.json" in
+      compare_benches baseline current
   | Some other ->
       Printf.eprintf
         "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
-         batch [jobs], json [out.json])\n"
+         batch [jobs], json [out.json] [drivers...], compare baseline.json [current.json])\n"
         other;
       exit 1

@@ -41,7 +41,8 @@ let report_obs ~metrics ~trace (tracks : (string * Obs.Registry.t) list) =
         1)
 
 let run_generate file target backend max_tests max_paths seed strategy fixed_size
-    no_constraints no_random unroll out_file validate print_tests metrics trace verbose =
+    no_constraints no_random unroll solver_knobs out_file validate print_tests metrics trace
+    verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -66,7 +67,8 @@ let run_generate file target backend max_tests max_paths seed strategy fixed_siz
             }
           in
           let config =
-            { Testgen.Explore.default_config with max_tests; max_paths; strategy }
+            solver_knobs
+              { Testgen.Explore.default_config with max_tests; max_paths; strategy }
           in
           match Testgen.Oracle.generate ~opts ~config tgt source with
           | exception Testgen.Runtime.Exec_error msg ->
@@ -198,17 +200,79 @@ let trace =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging")
 
+(* solver tuning knobs, folded into the exploration config as a
+   transformer so both subcommands share them *)
+let solver_knobs =
+  let no_phase_saving =
+    Arg.(
+      value & flag
+      & info [ "no-phase-saving" ]
+          ~doc:"SAT: do not reuse the last assigned polarity when branching")
+  in
+  let no_target_phase =
+    Arg.(
+      value & flag
+      & info [ "no-target-phase" ]
+          ~doc:"SAT: do not replay the last model's polarities in later solves")
+  in
+  let no_reduce_db =
+    Arg.(
+      value & flag
+      & info [ "no-reduce-db" ] ~doc:"SAT: never delete learnt clauses (keep them all)")
+  in
+  let no_minimise =
+    Arg.(
+      value & flag
+      & info [ "no-minimise" ]
+          ~doc:"SAT: skip recursive self-subsumption minimisation of learnt clauses")
+  in
+  let no_rewrite =
+    Arg.(
+      value & flag
+      & info [ "no-rewrite" ]
+          ~doc:"Skip the word-level rewrite pass applied to terms before bit-blasting")
+  in
+  let rebuild_threshold =
+    Arg.(
+      value & opt (some int) None
+      & info [ "rebuild-threshold" ] ~docv:"VARS"
+          ~doc:
+            "Rebuild the incremental solver once it holds more than $(docv) SAT \
+             variables (dead circuits from popped scopes dominate past this point)")
+  in
+  let apply nps ntp nrdb nmin nrw rth config =
+    let sat_options =
+      {
+        Smt.Sat.default_options with
+        Smt.Sat.o_phase_saving = not nps;
+        o_target_phase = not ntp;
+        o_reduce_db = not nrdb;
+        o_minimise = not nmin;
+      }
+    in
+    {
+      config with
+      Testgen.Explore.sat_options;
+      word_rewrite = not nrw;
+      rebuild_size_threshold =
+        Option.value rth ~default:config.Testgen.Explore.rebuild_size_threshold;
+    }
+  in
+  Term.(
+    const apply $ no_phase_saving $ no_target_phase $ no_reduce_db $ no_minimise
+    $ no_rewrite $ rebuild_threshold)
+
 let generate_t =
   Term.(
     const run_generate $ file $ target $ backend $ max_tests $ max_paths $ seed $ strategy
-    $ fixed_size $ no_constraints $ no_random $ unroll $ out_file $ validate $ print_tests
-    $ metrics $ trace $ verbose)
+    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ out_file $ validate
+    $ print_tests $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* batch: many programs across domains *)
 
 let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_constraints
-    no_random unroll metrics trace verbose =
+    no_random unroll solver_knobs metrics trace verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -226,7 +290,10 @@ let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_
           unroll_bound = unroll;
         }
       in
-      let config = { Testgen.Explore.default_config with max_tests; max_paths; strategy } in
+      let config =
+        solver_knobs
+          { Testgen.Explore.default_config with max_tests; max_paths; strategy }
+      in
       let js =
         List.map
           (fun f ->
@@ -283,7 +350,8 @@ let jobs =
 let batch_t =
   Term.(
     const run_batch $ batch_files $ target $ jobs $ max_tests $ max_paths $ seed $ strategy
-    $ fixed_size $ no_constraints $ no_random $ unroll $ metrics $ trace $ verbose)
+    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ metrics $ trace
+    $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

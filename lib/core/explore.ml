@@ -26,6 +26,11 @@ type config = {
   rebuild_max_spine : int;
       (** rebuild only when the DFS spine is at most this deep, so the
           fresh solver re-asserts few scopes *)
+  sat_options : Smt.Sat.options;
+      (** CDCL tuning (phase saving, target phases, learnt-database
+          reduction, clause minimisation) for every solver of the run *)
+  word_rewrite : bool;
+      (** run {!Smt.Expr.simplify} on asserted terms before blasting *)
 }
 
 let default_config =
@@ -34,8 +39,10 @@ let default_config =
     max_paths = None;
     strategy = Dfs;
     stop_at_full_coverage = false;
-    rebuild_size_threshold = 300_000;
-    rebuild_max_spine = 4;
+    rebuild_size_threshold = 4000;
+    rebuild_max_spine = 8;
+    sat_options = Smt.Sat.default_options;
+    word_rewrite = true;
   }
 
 (* A read-out of the run's metrics.  The source of truth is the
@@ -218,7 +225,11 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
   let tm_solve = Obs.Registry.timer reg "solver.time" in
   let paths0 = Obs.Counter.value c_paths in
   let tests0 = Obs.Counter.value c_tests in
-  let solver = ref (Solver.create ~obs:reg ctx.ectx) in
+  let mk_solver () =
+    Solver.create ~obs:reg ~sat_options:config.sat_options
+      ~simplify:config.word_rewrite ctx.ectx
+  in
+  let solver = ref (mk_solver ()) in
   (* the DFS spine's active assertions, innermost first, mirroring the
      solver's scope stack; lets us rebuild a fresh solver when the old
      one has accumulated too many dead variables from popped scopes *)
@@ -232,7 +243,7 @@ let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
          into the registry before it becomes unreachable *)
       Solver.flush_stats !solver;
       Obs.Counter.incr c_rebuilds;
-      let s = Solver.create ~obs:reg ctx.ectx in
+      let s = mk_solver () in
       List.iter
         (fun c ->
           Solver.push s;

@@ -7,7 +7,7 @@ type t = {
   expr_cache : (int, int array) Hashtbl.t; (* Expr tag -> bit literals *)
   var_cache : (int, int array) Hashtbl.t; (* var id -> bit literals *)
   taint_cache : (int, int array) Hashtbl.t; (* taint id -> bit literals *)
-  gate_cache : (string * int * int * int, int) Hashtbl.t;
+  gate_cache : (int, int) Hashtbl.t; (* packed gate key -> output literal *)
   (* term-level cache traffic, read by the solver's metrics flush *)
   mutable cache_hits : int;
   mutable cache_misses : int;
@@ -38,13 +38,30 @@ let lit_false b = Sat.negate b.tt
 let is_tt b l = l = b.tt
 let is_ff b l = l = Sat.negate b.tt
 
+(* Gate keys are packed into a single immediate int: the gate kind in
+   the low 2 bits (and=0, xor=1, mux=2) and the operand literals in
+   fixed-width fields above it — 30 bits each for the binary gates,
+   20 bits each for mux.  Literals that overflow a field (hundreds of
+   millions of SAT variables) fall back to building the gate uncached:
+   correctness is unaffected, only sharing is lost. *)
+
+let pack2 kind x y =
+  if x < 0x4000_0000 && y < 0x4000_0000 then kind lor (x lsl 2) lor (y lsl 32) else -1
+
+let pack_mux c t f =
+  if c < 0x10_0000 && t < 0x10_0000 && f < 0x10_0000 then
+    2 lor (c lsl 2) lor (t lsl 22) lor (f lsl 42)
+  else -1
+
 let gate b key build =
-  match Hashtbl.find_opt b.gate_cache key with
-  | Some l -> l
-  | None ->
-      let l = build () in
-      Hashtbl.add b.gate_cache key l;
-      l
+  if key < 0 then build ()
+  else
+    match Hashtbl.find_opt b.gate_cache key with
+    | Some l -> l
+    | None ->
+        let l = build () in
+        Hashtbl.add b.gate_cache key l;
+        l
 
 let and2 b a c =
   if is_ff b a || is_ff b c then lit_false b
@@ -54,7 +71,7 @@ let and2 b a c =
   else if a = Sat.negate c then lit_false b
   else
     let x, y = if a < c then (a, c) else (c, a) in
-    gate b ("and", x, y, 0) (fun () ->
+    gate b (pack2 0 x y) (fun () ->
         let g = Sat.pos (Sat.new_var b.sat) in
         Sat.add_clause b.sat [ Sat.negate g; x ];
         Sat.add_clause b.sat [ Sat.negate g; y ];
@@ -76,7 +93,7 @@ let xor2 b a c =
     let a' = a land lnot 1 and c' = c land lnot 1 in
     let x, y = if a' < c' then (a', c') else (c', a') in
     let g =
-      gate b ("xor", x, y, 0) (fun () ->
+      gate b (pack2 1 x y) (fun () ->
           let g = Sat.pos (Sat.new_var b.sat) in
           Sat.add_clause b.sat [ Sat.negate g; x; y ];
           Sat.add_clause b.sat [ Sat.negate g; Sat.negate x; Sat.negate y ];
@@ -94,7 +111,7 @@ let mux b c t f =
   else if is_tt b t && is_ff b f then c
   else if is_ff b t && is_tt b f then Sat.negate c
   else
-    gate b ("mux", c, t, f) (fun () ->
+    gate b (pack_mux c t f) (fun () ->
         let g = Sat.pos (Sat.new_var b.sat) in
         Sat.add_clause b.sat [ Sat.negate c; Sat.negate t; g ];
         Sat.add_clause b.sat [ Sat.negate c; t; Sat.negate g ];

@@ -1,9 +1,45 @@
 (* CDCL SAT solver in the MiniSat tradition.
 
    Value encoding per variable: 0 = unassigned, 1 = true, 2 = false.
-   A literal l is "lit of var (l lsr 1)", negated iff (l land 1) = 1. *)
+   A literal l is "lit of var (l lsr 1)", negated iff (l land 1) = 1.
 
-type clause = { lits : int array; learnt : bool; mutable deleted : bool }
+   Hot-path design notes:
+   - Watch lists carry a blocking literal per watcher; a satisfied
+     blocker skips the watcher without touching the clause at all.
+   - Binary clauses live in a dedicated watch layer that stores the
+     implied literal inline, so propagating them reads one int.
+   - Learnt clauses are scored by LBD ("glue": distinct decision
+     levels at learning time); the database is periodically halved,
+     keeping glue <= 2, binary, and locked clauses.
+   - 1UIP clauses are shrunk by recursive self-subsumption before
+     being recorded.
+   - Phase saving keeps the last assigned polarity per variable, and
+     the full assignment of the last satisfying model is replayed as
+     the preferred phase of later solves (target phases). *)
+
+type clause = {
+  lits : int array;
+  learnt : bool;
+  mutable deleted : bool;
+  mutable lbd : int; (* glue at learning time; 0 for problem clauses *)
+}
+
+type options = {
+  o_phase_saving : bool;  (** save assigned polarities on backtrack *)
+  o_target_phase : bool;  (** replay the last model as preferred phases *)
+  o_reduce_db : bool;  (** periodically halve the learnt database *)
+  o_minimise : bool;  (** recursive self-subsumption on 1UIP clauses *)
+  o_reduce_init : int;  (** learnt clauses tolerated before the first reduction *)
+}
+
+let default_options =
+  {
+    o_phase_saving = true;
+    o_target_phase = true;
+    o_reduce_db = true;
+    o_minimise = true;
+    o_reduce_init = 4000;
+  }
 
 (* Growable array *)
 module Vec = struct
@@ -20,25 +56,54 @@ module Vec = struct
     v.data.(v.len) <- x;
     v.len <- v.len + 1
 
-  let get v i = v.data.(i)
-  let set v i x = v.data.(i) <- x
+  (* indices are always < len by construction *)
+  let get v i = Array.unsafe_get v.data i
+  let set v i x = Array.unsafe_set v.data i x
   let len v = v.len
   let shrink v n = v.len <- n
-  let pop v = v.len <- v.len - 1; v.data.(v.len)
+  let pop v = v.len <- v.len - 1; Array.unsafe_get v.data v.len
+end
+
+let dummy_clause = { lits = [||]; learnt = false; deleted = false; lbd = 0 }
+
+(* Watch list: parallel arrays of clause and companion literal, scanned
+   and compacted in place.  For long clauses the companion is a
+   blocking literal (any other literal of the clause); for the binary
+   layer it is the implied literal. *)
+module Wl = struct
+  type t = { mutable cls : clause array; mutable lit : int array; mutable len : int }
+
+  let create () = { cls = [||]; lit = [||]; len = 0 }
+
+  let push w c l =
+    if w.len = Array.length w.cls then begin
+      let n = if w.len = 0 then 4 else 2 * w.len in
+      let cls = Array.make n dummy_clause and lit = Array.make n 0 in
+      Array.blit w.cls 0 cls 0 w.len;
+      Array.blit w.lit 0 lit 0 w.len;
+      w.cls <- cls;
+      w.lit <- lit
+    end;
+    w.cls.(w.len) <- c;
+    w.lit.(w.len) <- l;
+    w.len <- w.len + 1
 end
 
 type t = {
   mutable nvars : int;
   mutable ok : bool;
   mutable clause_count : int;
-  (* per-literal watch lists *)
-  mutable watches : clause Vec.t array;
+  opts : options;
+  (* per-literal watch lists: long clauses and a binary layer *)
+  mutable watches : Wl.t array;
+  mutable bin_watches : Wl.t array;
   (* per-variable state *)
   mutable assign : int array; (* 0/1/2 *)
   mutable level : int array;
   mutable reason : clause option array;
   mutable activity : float array;
   mutable polarity : bool array; (* saved phase *)
+  mutable target : int array; (* phase of the last model: 0 none / 1 / 2 *)
   mutable heap_pos : int array; (* -1 when absent *)
   (* VSIDS heap of variables ordered by activity *)
   heap : int Vec.t;
@@ -55,6 +120,9 @@ type t = {
   (* learned clauses, for periodic database reduction *)
   learnts : clause Vec.t;
   mutable reduce_limit : int;
+  (* LBD computation scratch: per-level stamps *)
+  mutable lbd_stamp : int array;
+  mutable lbd_stamp_n : int;
   (* stats *)
   mutable decisions : int;
   mutable propagations : int;
@@ -62,6 +130,9 @@ type t = {
   mutable restarts : int;
   mutable learnt_clauses : int;
   mutable learnt_literals : int;
+  mutable db_reductions : int;
+  mutable kept_glue : int;
+  mutable minimised_literals : int;
   (* scratch *)
   mutable seen : bool array;
 }
@@ -73,21 +144,25 @@ type counters = {
   c_restarts : int;
   c_learnt_clauses : int;
   c_learnt_literals : int;
+  c_db_reductions : int;
+  c_kept_glue : int;
+  c_minimised_literals : int;
 }
 
-let dummy_clause = { lits = [||]; learnt = false; deleted = false }
-
-let create () =
+let create ?(options = default_options) () =
   {
     nvars = 0;
     ok = true;
     clause_count = 0;
-    watches = Array.init 2 (fun _ -> Vec.create dummy_clause);
+    opts = options;
+    watches = Array.init 2 (fun _ -> Wl.create ());
+    bin_watches = Array.init 2 (fun _ -> Wl.create ());
     assign = Array.make 1 0;
     level = Array.make 1 0;
     reason = Array.make 1 None;
     activity = Array.make 1 0.0;
     polarity = Array.make 1 false;
+    target = Array.make 1 0;
     heap_pos = Array.make 1 (-1);
     heap = Vec.create 0;
     var_inc = 1.0;
@@ -96,13 +171,18 @@ let create () =
     qhead = 0;
     constrained = Array.make 1 false;
     learnts = Vec.create dummy_clause;
-    reduce_limit = 4000;
+    reduce_limit = options.o_reduce_init;
+    lbd_stamp = Array.make 1 0;
+    lbd_stamp_n = 0;
     decisions = 0;
     propagations = 0;
     conflicts = 0;
     restarts = 0;
     learnt_clauses = 0;
     learnt_literals = 0;
+    db_reductions = 0;
+    kept_glue = 0;
+    minimised_literals = 0;
     seen = Array.make 1 false;
   }
 
@@ -124,12 +204,15 @@ let counters s =
     c_restarts = s.restarts;
     c_learnt_clauses = s.learnt_clauses;
     c_learnt_literals = s.learnt_literals;
+    c_db_reductions = s.db_reductions;
+    c_kept_glue = s.kept_glue;
+    c_minimised_literals = s.minimised_literals;
   }
 
 (* value of literal: 0 undef, 1 true, 2 false *)
 let lit_val s l =
-  let a = s.assign.(var_of l) in
-  if a = 0 then 0 else if sign l then 3 - a else a
+  let a = Array.unsafe_get s.assign (l lsr 1) in
+  if a = 0 then 0 else if l land 1 = 1 then 3 - a else a
 
 let grow_array a n dummy =
   let len = Array.length a in
@@ -201,21 +284,27 @@ let new_var s =
   s.reason <- grow_array s.reason (v + 1) None;
   s.activity <- grow_array s.activity (v + 1) 0.0;
   s.polarity <- grow_array s.polarity (v + 1) false;
+  s.target <- grow_array s.target (v + 1) 0;
   s.heap_pos <- grow_array s.heap_pos (v + 1) (-1);
   s.seen <- grow_array s.seen (v + 1) false;
   s.constrained <- grow_array s.constrained (v + 1) false;
+  (* decision levels are bounded by the number of variables *)
+  s.lbd_stamp <- grow_array s.lbd_stamp (v + 2) 0;
   let nlits = 2 * (v + 1) in
   if Array.length s.watches < nlits then begin
-    let w = Array.init (max nlits (2 * Array.length s.watches)) (fun i ->
-        if i < Array.length s.watches then s.watches.(i) else Vec.create dummy_clause)
+    let grow w =
+      Array.init (max nlits (2 * Array.length w)) (fun i ->
+          if i < Array.length w then w.(i) else Wl.create ())
     in
-    s.watches <- w
+    s.watches <- grow s.watches;
+    s.bin_watches <- grow s.bin_watches
   end;
   s.assign.(v) <- 0;
   s.level.(v) <- 0;
   s.reason.(v) <- None;
   s.activity.(v) <- 0.0;
   s.polarity.(v) <- false;
+  s.target.(v) <- 0;
   s.heap_pos.(v) <- -1;
   s.seen.(v) <- false;
   s.constrained.(v) <- false;
@@ -254,11 +343,12 @@ let mark_constrained s v =
 let cancel_until s lvl =
   if decision_level s > lvl then begin
     let bound = Vec.get s.trail_lim lvl in
+    let save = s.opts.o_phase_saving in
     for i = Vec.len s.trail - 1 downto bound do
       let l = Vec.get s.trail i in
       let v = var_of l in
       s.assign.(v) <- 0;
-      s.polarity.(v) <- not (sign l);
+      if save then s.polarity.(v) <- not (sign l);
       s.reason.(v) <- None;
       heap_insert s v
     done;
@@ -269,12 +359,19 @@ let cancel_until s lvl =
 
 (* -------------------- clauses -------------------------------------- *)
 
-let watch s l c = Vec.push s.watches.(l) c
+let watch s l c blocker = Wl.push s.watches.(l) c blocker
 
 let attach s c =
-  (* watch the negations of the first two literals *)
-  watch s (negate c.lits.(0)) c;
-  watch s (negate c.lits.(1)) c
+  (* watch the negations of the first two literals; binary clauses go
+     to the dedicated layer that stores the implied literal inline *)
+  if Array.length c.lits = 2 then begin
+    Wl.push s.bin_watches.(negate c.lits.(0)) c c.lits.(1);
+    Wl.push s.bin_watches.(negate c.lits.(1)) c c.lits.(0)
+  end
+  else begin
+    watch s (negate c.lits.(0)) c c.lits.(1);
+    watch s (negate c.lits.(1)) c c.lits.(0)
+  end
 
 exception Conflict of clause
 
@@ -284,62 +381,99 @@ let propagate s =
       let p = Vec.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
       s.propagations <- s.propagations + 1;
-      let ws = s.watches.(p) in
-      let n = Vec.len ws in
+      (* binary layer: one value read per clause, no clause access on
+         the common satisfied/undecided path *)
+      let bw = Array.unsafe_get s.bin_watches p in
+      let bn = bw.Wl.len in
+      for i = 0 to bn - 1 do
+        let o = Array.unsafe_get bw.Wl.lit i in
+        let v = lit_val s o in
+        if v = 2 then begin
+          let c = Array.unsafe_get bw.Wl.cls i in
+          s.qhead <- Vec.len s.trail;
+          raise (Conflict c)
+        end
+        else if v = 0 then begin
+          let c = Array.unsafe_get bw.Wl.cls i in
+          (* conflict analysis expects the propagated literal first *)
+          if c.lits.(0) <> o then begin
+            c.lits.(0) <- o;
+            c.lits.(1) <- negate p
+          end;
+          enqueue s o (Some c)
+        end
+      done;
+      (* long clauses *)
+      let ws = Array.unsafe_get s.watches p in
+      let n = ws.Wl.len in
       let j = ref 0 in
       (* i scans, j writes back retained watches *)
       let i = ref 0 in
       while !i < n do
-        let c = Vec.get ws !i in
-        incr i;
-        if c.deleted then ()  (* lazily drop deleted clauses *)
-        else begin
-        (* make sure the false literal is lits.(1) *)
-        let falsel = negate p in
-        if c.lits.(0) = falsel then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- falsel
-        end;
-        if lit_val s c.lits.(0) = 1 then begin
-          (* clause satisfied; keep watch *)
-          Vec.set ws !j c;
+        let blocker = Array.unsafe_get ws.Wl.lit !i in
+        if lit_val s blocker = 1 then begin
+          (* blocking literal satisfied: clause untouched *)
+          Array.unsafe_set ws.Wl.cls !j (Array.unsafe_get ws.Wl.cls !i);
+          Array.unsafe_set ws.Wl.lit !j blocker;
+          incr i;
           incr j
         end
         else begin
-          (* look for a new literal to watch *)
-          let len = Array.length c.lits in
-          let k = ref 2 in
-          let found = ref false in
-          while (not !found) && !k < len do
-            if lit_val s c.lits.(!k) <> 2 then begin
-              c.lits.(1) <- c.lits.(!k);
-              c.lits.(!k) <- falsel;
-              watch s (negate c.lits.(1)) c;
-              found := true
+          let c = Array.unsafe_get ws.Wl.cls !i in
+          incr i;
+          if c.deleted then ()  (* lazily drop deleted clauses *)
+          else begin
+            (* make sure the false literal is lits.(1) *)
+            let falsel = negate p in
+            if c.lits.(0) = falsel then begin
+              c.lits.(0) <- c.lits.(1);
+              c.lits.(1) <- falsel
             end;
-            incr k
-          done;
-          if not !found then begin
-            (* unit or conflicting *)
-            Vec.set ws !j c;
-            incr j;
-            if lit_val s c.lits.(0) = 2 then begin
-              (* conflict: copy remaining watches and raise *)
-              while !i < n do
-                Vec.set ws !j (Vec.get ws !i);
-                incr i;
-                incr j
-              done;
-              Vec.shrink ws !j;
-              s.qhead <- Vec.len s.trail;
-              raise (Conflict c)
+            let first = c.lits.(0) in
+            if first <> blocker && lit_val s first = 1 then begin
+              (* clause satisfied; keep watch, remember the witness *)
+              Array.unsafe_set ws.Wl.cls !j c;
+              Array.unsafe_set ws.Wl.lit !j first;
+              incr j
             end
-            else enqueue s c.lits.(0) (Some c)
+            else begin
+              (* look for a new literal to watch *)
+              let len = Array.length c.lits in
+              let k = ref 2 in
+              let found = ref false in
+              while (not !found) && !k < len do
+                if lit_val s c.lits.(!k) <> 2 then begin
+                  c.lits.(1) <- c.lits.(!k);
+                  c.lits.(!k) <- falsel;
+                  watch s (negate c.lits.(1)) c first;
+                  found := true
+                end;
+                incr k
+              done;
+              if not !found then begin
+                (* unit or conflicting *)
+                Array.unsafe_set ws.Wl.cls !j c;
+                Array.unsafe_set ws.Wl.lit !j first;
+                incr j;
+                if lit_val s first = 2 then begin
+                  (* conflict: copy remaining watches and raise *)
+                  while !i < n do
+                    Array.unsafe_set ws.Wl.cls !j (Array.unsafe_get ws.Wl.cls !i);
+                    Array.unsafe_set ws.Wl.lit !j (Array.unsafe_get ws.Wl.lit !i);
+                    incr i;
+                    incr j
+                  done;
+                  ws.Wl.len <- !j;
+                  s.qhead <- Vec.len s.trail;
+                  raise (Conflict c)
+                end
+                else enqueue s first (Some c)
+              end
+            end
           end
         end
-        end
       done;
-      Vec.shrink ws !j
+      ws.Wl.len <- !j
     done;
     None
   with Conflict c -> Some c
@@ -362,13 +496,93 @@ let add_clause s lits =
           enqueue s l None;
           if propagate s <> None then s.ok <- false
       | _ ->
-          let c = { lits = Array.of_list lits; learnt = false; deleted = false } in
+          let c = { lits = Array.of_list lits; learnt = false; deleted = false; lbd = 0 } in
           s.clause_count <- s.clause_count + 1;
           attach s c
     end
   end
 
 (* -------------------- conflict analysis ---------------------------- *)
+
+(* LBD ("glue") of a clause: distinct decision levels among its
+   literals, counted with per-level stamps *)
+let compute_lbd s lits =
+  (* levels can exceed nvars when redundant assumption levels pile up *)
+  let max_lvl = decision_level s in
+  if max_lvl >= Array.length s.lbd_stamp then
+    s.lbd_stamp <- grow_array s.lbd_stamp (max_lvl + 1) 0;
+  s.lbd_stamp_n <- s.lbd_stamp_n + 1;
+  let st = s.lbd_stamp_n in
+  List.fold_left
+    (fun acc l ->
+      let lvl = s.level.(var_of l) in
+      if lvl > 0 && s.lbd_stamp.(lvl) <> st then begin
+        s.lbd_stamp.(lvl) <- st;
+        acc + 1
+      end
+      else acc)
+    0 lits
+
+let abstract_level s v = 1 lsl (s.level.(v) land 31)
+
+(* [lit_redundant s abstract_levels to_clear l] — the learnt literal
+   [l] is implied by the rest of the clause: walking its implication
+   graph upward only ever terminates in already-seen literals.
+   Newly marked vars are recorded in [to_clear] (kept marked as a
+   memo for the remaining literals) and unmarked locally on failure. *)
+let lit_redundant s abstract_levels to_clear l =
+  let marked_here = ref [] in
+  let rec go stack =
+    match stack with
+    | [] -> true
+    | q :: rest -> (
+        match s.reason.(var_of q) with
+        | None -> false
+        | Some c ->
+            let ok = ref true in
+            let stack = ref rest in
+            let len = Array.length c.lits in
+            let k = ref 1 in
+            while !ok && !k < len do
+              let l' = c.lits.(!k) in
+              let v = var_of l' in
+              if (not s.seen.(v)) && s.level.(v) > 0 then begin
+                if s.reason.(v) <> None && abstract_level s v land abstract_levels <> 0
+                then begin
+                  s.seen.(v) <- true;
+                  marked_here := v :: !marked_here;
+                  to_clear := v :: !to_clear;
+                  stack := l' :: !stack
+                end
+                else ok := false
+              end;
+              incr k
+            done;
+            if !ok then go !stack
+            else begin
+              List.iter (fun v -> s.seen.(v) <- false) !marked_here;
+              false
+            end)
+  in
+  go [ l ]
+
+(* shrink the learnt tail by recursive self-subsumption (the literals
+   all carry seen marks at this point) *)
+let minimise s tail =
+  let abstract_levels =
+    List.fold_left (fun acc l -> acc lor abstract_level s (var_of l)) 0 tail
+  in
+  let to_clear = ref [] in
+  let tail' =
+    List.filter
+      (fun l ->
+        match s.reason.(var_of l) with
+        | None -> true
+        | Some _ -> not (lit_redundant s abstract_levels to_clear l))
+      tail
+  in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  (tail', List.length tail - List.length tail')
 
 let analyze s confl =
   (* first-UIP learning *)
@@ -405,13 +619,25 @@ let analyze s confl =
     decr path_count;
     if !path_count <= 0 then continue := false
   done;
-  let learnt = negate !p :: !learnt in
-  (* clear seen *)
-  List.iter (fun l -> s.seen.(var_of l) <- false) learnt;
+  let tail0 = !learnt in
+  let tail =
+    if s.opts.o_minimise && tail0 <> [] then begin
+      let tail, removed = minimise s tail0 in
+      s.minimised_literals <- s.minimised_literals + removed;
+      tail
+    end
+    else tail0
+  in
+  let learnt = negate !p :: tail in
+  (* glue is measured before backjumping invalidates the levels *)
+  let lbd = compute_lbd s learnt in
+  (* clear seen (removed literals stay marked in tail0) *)
+  List.iter (fun l -> s.seen.(var_of l) <- false) tail0;
+  s.seen.(var_of !p) <- false;
   (* compute backtrack level = max level among learnt tail *)
   match learnt with
   | [] -> assert false
-  | [ _ ] -> (learnt, 0)
+  | [ _ ] -> (learnt, 0, lbd)
   | first :: rest ->
       let max_lit =
         List.fold_left
@@ -420,9 +646,9 @@ let analyze s confl =
       in
       (* move max to second position *)
       let rest = max_lit :: List.filter (fun l -> l <> max_lit) rest in
-      (first :: rest, s.level.(var_of max_lit))
+      (first :: rest, s.level.(var_of max_lit), lbd)
 
-let record_learnt s lits =
+let record_learnt s lits lbd =
   (match lits with
   | [] -> ()
   | ls ->
@@ -434,9 +660,9 @@ let record_learnt s lits =
       (* Unit learnt clause.  Give it a self-reason so that conflict
          analysis never expands a reasonless literal mid-level (the
          1-literal reason contributes nothing and terminates cleanly). *)
-      enqueue s l (Some { lits = [| l |]; learnt = true; deleted = false })
+      enqueue s l (Some { lits = [| l |]; learnt = true; deleted = false; lbd = 0 })
   | _ ->
-      let c = { lits = Array.of_list lits; learnt = true; deleted = false } in
+      let c = { lits = Array.of_list lits; learnt = true; deleted = false; lbd } in
       s.clause_count <- s.clause_count + 1;
       Vec.push s.learnts c;
       attach s c;
@@ -451,26 +677,40 @@ let locked s c =
   let v = var_of c.lits.(0) in
   s.assign.(v) <> 0 && (match s.reason.(v) with Some r -> r == c | None -> false)
 
-(* periodically drop the older half of long learned clauses; binary
-   and locked clauses are kept (MiniSat's reduceDB) *)
+(* periodically halve the learnt database, dropping high-glue clauses
+   first; glue (LBD <= 2), binary, and locked clauses always survive *)
 let reduce_db s =
-  let n = Vec.len s.learnts in
-  if n > s.reduce_limit then begin
-    let kept = ref [] in
-    let deleted = ref 0 in
-    for i = 0 to n - 1 do
-      let c = Vec.get s.learnts i in
-      if c.deleted then ()
-      else if i < n / 2 && Array.length c.lits > 2 && not (locked s c) then begin
-        c.deleted <- true;
-        incr deleted;
-        s.clause_count <- s.clause_count - 1
-      end
-      else kept := c :: !kept
-    done;
-    Vec.shrink s.learnts 0;
-    List.iter (Vec.push s.learnts) (List.rev !kept);
-    s.reduce_limit <- s.reduce_limit + (s.reduce_limit / 2)
+  if s.opts.o_reduce_db then begin
+    let n = Vec.len s.learnts in
+    if n > s.reduce_limit then begin
+      s.db_reductions <- s.db_reductions + 1;
+      let kept = ref [] in
+      let removable = ref [] in
+      for i = 0 to n - 1 do
+        let c = Vec.get s.learnts i in
+        if c.deleted then ()
+        else if Array.length c.lits <= 2 || c.lbd <= 2 || locked s c then begin
+          if c.lbd <= 2 then s.kept_glue <- s.kept_glue + 1;
+          kept := c :: !kept
+        end
+        else removable := c :: !removable
+      done;
+      (* [removable] is newest-first; a stable sort keeps recent
+         clauses ahead of old ones within each glue class *)
+      let sorted = List.stable_sort (fun a b -> compare a.lbd b.lbd) !removable in
+      let keep_n = List.length sorted / 2 in
+      List.iteri
+        (fun i c ->
+          if i < keep_n then kept := c :: !kept
+          else begin
+            c.deleted <- true;
+            s.clause_count <- s.clause_count - 1
+          end)
+        sorted;
+      Vec.shrink s.learnts 0;
+      List.iter (Vec.push s.learnts) (List.rev !kept);
+      s.reduce_limit <- s.reduce_limit + (s.reduce_limit / 2)
+    end
   end
 
 let rec luby i =
@@ -512,10 +752,10 @@ let solve ?(assumptions = []) s =
               raise Unsat
             end;
             reduce_db s;
-            let learnt, back_lvl = analyze s confl in
+            let learnt, back_lvl, lbd = analyze s confl in
             let back_lvl = max back_lvl (min (Array.length assumptions) (decision_level s - 1)) in
             cancel_until s back_lvl;
-            record_learnt s learnt;
+            record_learnt s learnt lbd;
             var_decay s;
             decr conflicts_budget;
             if !conflicts_budget <= 0 then begin
@@ -546,20 +786,34 @@ let solve ?(assumptions = []) s =
               | Some v ->
                   s.decisions <- s.decisions + 1;
                   Vec.push s.trail_lim (Vec.len s.trail);
-                  let l = if s.polarity.(v) then pos v else neg v in
-                  enqueue s l None;
+                  let ph =
+                    let t = s.target.(v) in
+                    if s.opts.o_target_phase && t <> 0 then t = 1 else s.polarity.(v)
+                  in
+                  enqueue s (if ph then pos v else neg v) None;
                   search ()
             end
       in
       search ()
     with
-    | Sat_found -> true
+    | Sat_found ->
+        if s.opts.o_target_phase then
+          (* remember the model as the preferred phases of later solves *)
+          for v = 0 to s.nvars - 1 do
+            s.target.(v) <- s.assign.(v)
+          done;
+        true
     | Unsat ->
         cancel_until s 0;
         false
   end
 
-let set_polarity s v b = if v < s.nvars then s.polarity.(v) <- b
+let set_polarity s v b =
+  if v < s.nvars then begin
+    s.polarity.(v) <- b;
+    (* a fresh suggestion outranks the stale model phase *)
+    if s.opts.o_target_phase then s.target.(v) <- (if b then 1 else 2)
+  end
 
 let backtrack s = cancel_until s 0
 

@@ -1,6 +1,9 @@
-(** A CDCL SAT solver (two-watched-literal propagation, VSIDS decision
-    heuristic, first-UIP clause learning, phase saving, Luby restarts,
-    solving under assumptions).
+(** A CDCL SAT solver (two-watched-literal propagation with blocking
+    literals and a dedicated binary-clause watch layer, VSIDS decision
+    heuristic, first-UIP clause learning with recursive self-subsumption
+    minimisation, LBD-scored learnt-clause database reduction, phase
+    saving with target-phase reuse, Luby restarts, solving under
+    assumptions).
 
     Literals are integers: variable [v]'s positive literal is [2 * v],
     its negation [2 * v + 1].  Variables must be allocated with
@@ -8,7 +11,28 @@
 
 type t
 
-val create : unit -> t
+type options = {
+  o_phase_saving : bool;
+      (** save the assigned polarity of each variable on backtrack and
+          reuse it as the branching phase (default [true]) *)
+  o_target_phase : bool;
+      (** after a satisfiable solve, replay the model's polarities as
+          the preferred phases of later solves (default [true]) *)
+  o_reduce_db : bool;
+      (** periodically halve the learnt-clause database, dropping
+          high-glue clauses first (default [true]) *)
+  o_minimise : bool;
+      (** shrink 1UIP clauses by recursive self-subsumption before
+          recording them (default [true]) *)
+  o_reduce_init : int;
+      (** learnt clauses tolerated before the first database
+          reduction; the limit then grows geometrically
+          (default [4000]) *)
+}
+
+val default_options : options
+
+val create : ?options:options -> unit -> t
 
 val new_var : t -> int
 (** Allocates a variable and returns its index. *)
@@ -36,8 +60,8 @@ val solve : ?assumptions:int list -> t -> bool
 
 val set_polarity : t -> int -> bool -> unit
 (** [set_polarity s v b] makes the solver try [v = b] first when
-    branching (phase suggestion; overwritten by phase saving after the
-    next conflict involving [v]). *)
+    branching.  Overrides both the saved phase and the target phase
+    from the last model, so fresh suggestions always win. *)
 
 val backtrack : t -> unit
 (** Undoes all decisions, returning to level 0.  Must be called before
@@ -64,6 +88,10 @@ type counters = {
   c_restarts : int;  (** Luby restarts performed *)
   c_learnt_clauses : int;  (** clauses learned (unit learnts included) *)
   c_learnt_literals : int;  (** total literals across learned clauses *)
+  c_db_reductions : int;  (** learnt-database reduction passes *)
+  c_kept_glue : int;  (** clauses kept across reductions for glue <= 2 *)
+  c_minimised_literals : int;
+      (** literals removed from 1UIP clauses by self-subsumption *)
 }
 
 val counters : t -> counters

@@ -15,19 +15,25 @@ type metrics = {
   m_restarts : Obs.Counter.t;
   m_learnt_clauses : Obs.Counter.t;
   m_learnt_literals : Obs.Counter.t;
+  m_db_reductions : Obs.Counter.t;
+  m_kept_glue : Obs.Counter.t;
+  m_minimised_literals : Obs.Counter.t;
   m_cache_hits : Obs.Counter.t;
   m_cache_misses : Obs.Counter.t;
+  m_rewrite_hits : Obs.Counter.t;
   (* last-flushed readings, so deltas accumulate correctly even when
      several solvers (e.g. across rebuilds) share one registry *)
   mutable m_last_sat : Sat.counters;
   mutable m_last_hits : int;
   mutable m_last_misses : int;
+  mutable m_last_rewrites : int;
 }
 
 type t = {
   ectx : Expr.ctx;
   sat : Sat.t;
   blast : Blast.t;
+  simplify : bool; (* word-level rewrite before blasting *)
   metrics : metrics;
   mutable scopes : int list; (* activation literals, innermost first *)
   (* snapshot of the SAT assignment after the last Sat answer; models
@@ -42,7 +48,7 @@ type t = {
   mutable time : float;
 }
 
-let make_metrics obs sat =
+let make_metrics obs ectx sat =
   let c = Obs.Registry.counter obs and t = Obs.Registry.timer obs in
   {
     m_obs = obs;
@@ -55,22 +61,30 @@ let make_metrics obs sat =
     m_restarts = c "sat.restarts";
     m_learnt_clauses = c "sat.learnt_clauses";
     m_learnt_literals = c "sat.learnt_literals";
+    m_db_reductions = c "sat.db_reductions";
+    m_kept_glue = c "sat.kept_glue";
+    m_minimised_literals = c "sat.minimised_literals";
     m_cache_hits = c "blast.cache_hits";
     m_cache_misses = c "blast.cache_misses";
+    m_rewrite_hits = c "rewrite.hits";
     m_last_sat = Sat.counters sat;
     m_last_hits = 0;
     m_last_misses = 0;
+    (* the term context may predate this solver (rebuilds): report only
+       rewrites performed from now on *)
+    m_last_rewrites = Expr.rewrite_hits ectx;
   }
 
-let create ?obs ectx =
+let create ?obs ?(sat_options = Sat.default_options) ?(simplify = true) ectx =
   let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
-  let sat = Sat.create () in
+  let sat = Sat.create ~options:sat_options () in
   let blast = Blast.create ectx sat in
   {
     ectx;
     sat;
     blast;
-    metrics = make_metrics obs sat;
+    simplify;
+    metrics = make_metrics obs ectx sat;
     scopes = [];
     model_snap = [||];
     suggestions = Hashtbl.create 256;
@@ -89,12 +103,19 @@ let flush_stats s =
   Obs.Counter.add m.m_restarts (c.Sat.c_restarts - last.Sat.c_restarts);
   Obs.Counter.add m.m_learnt_clauses (c.Sat.c_learnt_clauses - last.Sat.c_learnt_clauses);
   Obs.Counter.add m.m_learnt_literals (c.Sat.c_learnt_literals - last.Sat.c_learnt_literals);
+  Obs.Counter.add m.m_db_reductions (c.Sat.c_db_reductions - last.Sat.c_db_reductions);
+  Obs.Counter.add m.m_kept_glue (c.Sat.c_kept_glue - last.Sat.c_kept_glue);
+  Obs.Counter.add m.m_minimised_literals
+    (c.Sat.c_minimised_literals - last.Sat.c_minimised_literals);
   m.m_last_sat <- c;
   let hits, misses = Blast.cache_stats s.blast in
   Obs.Counter.add m.m_cache_hits (hits - m.m_last_hits);
   Obs.Counter.add m.m_cache_misses (misses - m.m_last_misses);
   m.m_last_hits <- hits;
-  m.m_last_misses <- misses
+  m.m_last_misses <- misses;
+  let rw = Expr.rewrite_hits s.ectx in
+  Obs.Counter.add m.m_rewrite_hits (rw - m.m_last_rewrites);
+  m.m_last_rewrites <- rw
 
 let scope_depth s = List.length s.scopes
 
@@ -115,12 +136,16 @@ let pop s =
 
 let ctx s = s.ectx
 
+(* word-level rewrite at assert time: what the pass discharges never
+   reaches the CNF layer *)
+let prepare_term s e = if s.simplify then Expr.simplify e else e
+
 let assert_ s e =
   if Expr.width e <> 1 then invalid_arg "Solver.assert_: width-1 term expected";
   if Expr.ctx_of e != s.ectx then
     invalid_arg "Solver.assert_: term from a different Expr context";
   Sat.backtrack s.sat;
-  let l = Blast.lit s.blast e in
+  let l = Blast.lit s.blast (prepare_term s e) in
   match s.scopes with
   | [] -> Sat.add_clause s.sat [ l ]
   | g :: _ -> Sat.add_clause s.sat [ Sat.negate g; l ]
@@ -149,7 +174,7 @@ let check_assuming s es =
       (fun e ->
         if Expr.width e <> 1 then
           invalid_arg "Solver.check_assuming: width-1 term expected";
-        Blast.lit s.blast e)
+        Blast.lit s.blast (prepare_term s e))
       es
   in
   run s (s.scopes @ ls)

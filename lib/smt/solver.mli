@@ -11,7 +11,8 @@ type t
 
 type result = Sat | Unsat
 
-val create : ?obs:Obs.Registry.t -> Expr.ctx -> t
+val create :
+  ?obs:Obs.Registry.t -> ?sat_options:Sat.options -> ?simplify:bool -> Expr.ctx -> t
 (** A fresh solver bound to one {!Expr.ctx}; terms from other contexts
     are rejected.  Independent solvers over independent contexts may
     run on different domains concurrently.
@@ -20,9 +21,15 @@ val create : ?obs:Obs.Registry.t -> Expr.ctx -> t
     one is allocated when omitted): the [solver.checks] counter and
     [solver.time] timer, the [solver.scope_depth_hw] high-water gauge,
     the [sat.*] search counters (decisions, propagations, conflicts,
-    restarts, learnt clauses/literals) and the [blast.cache_*]
-    term-cache counters.  Several solvers may share a registry — e.g.
-    across explorer rebuilds — and their contributions accumulate. *)
+    restarts, learnt clauses/literals, db_reductions, kept_glue,
+    minimised_literals), the [blast.cache_*] term-cache counters and
+    the [rewrite.hits] word-level-rewrite counter.  Several solvers may
+    share a registry — e.g. across explorer rebuilds — and their
+    contributions accumulate.
+
+    [sat_options] tunes the CDCL core (see {!Sat.options}); [simplify]
+    (default [true]) runs {!Expr.simplify} on every asserted or assumed
+    term before bit-blasting. *)
 
 val ctx : t -> Expr.ctx
 (** The term context this solver was created for. *)

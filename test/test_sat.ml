@@ -1,0 +1,250 @@
+(* Differential fuzzing of the CDCL SAT core.
+
+   A tiny reference DPLL (unit propagation + chronological backtracking
+   over the same literal encoding) decides each random CNF instance
+   independently; the CDCL solver — running with database reduction,
+   clause minimisation, and phase saving enabled, and with a reduction
+   limit small enough that [reduce_db] actually fires on these tiny
+   instances — must agree on satisfiability, and every Sat answer must
+   come with a model that satisfies all original clauses.  Random
+   instances are drawn near the 3-SAT phase transition so both answers
+   and real conflict/learning activity occur. *)
+
+module Sat = Smt.Sat
+
+(* ------------------------------------------------------------------ *)
+(* Reference solver: plain recursive DPLL over clauses as literal
+   lists.  Exponential, but instances stay <= 14 variables. *)
+
+module Dpll = struct
+  (* assignment: 0 unassigned / 1 true / 2 false, indexed by variable *)
+  let lit_status assign l =
+    let v = assign.(l lsr 1) in
+    if v = 0 then 0 else if l land 1 = 0 then v else 3 - v
+
+  (* None = conflict; Some remaining = simplified clause set *)
+  let simplify assign clauses =
+    let rec clause_status acc = function
+      | [] -> if acc = [] then `Conflict else `Clause acc
+      | l :: rest -> (
+          match lit_status assign l with
+          | 1 -> `Satisfied
+          | 2 -> clause_status acc rest
+          | _ -> clause_status (l :: acc) rest)
+    in
+    let rec go acc = function
+      | [] -> Some acc
+      | c :: rest -> (
+          match clause_status [] c with
+          | `Conflict -> None
+          | `Satisfied -> go acc rest
+          | `Clause c' -> go (c' :: acc) rest)
+    in
+    go [] clauses
+
+  let rec search assign clauses =
+    match simplify assign clauses with
+    | None -> false
+    | Some [] -> true
+    | Some cs -> (
+        (* unit propagation first *)
+        match List.find_opt (fun c -> List.length c = 1) cs with
+        | Some [ l ] ->
+            assign.(l lsr 1) <- (if l land 1 = 0 then 1 else 2);
+            let r = search assign cs in
+            assign.(l lsr 1) <- 0;
+            r
+        | _ ->
+            let l = List.hd (List.hd cs) in
+            let v = l lsr 1 in
+            assign.(v) <- 1;
+            let r = search assign cs in
+            assign.(v) <- 0;
+            r
+            ||
+            (assign.(v) <- 2;
+             let r = search assign cs in
+             assign.(v) <- 0;
+             r))
+
+  let solve ~nvars clauses =
+    if List.exists (fun c -> c = []) clauses then false
+    else search (Array.make nvars 0) clauses
+end
+
+(* ------------------------------------------------------------------ *)
+(* Random instances *)
+
+let random_clause st nvars =
+  (* mostly ternary (near the 3-SAT transition), with enough binary
+     clauses to keep the dedicated binary watch layer busy and an
+     occasional wide or unit clause *)
+  let width =
+    match Random.State.int st 20 with
+    | 0 -> 1
+    | 1 | 2 | 3 | 4 -> 2
+    | 19 -> 4
+    | _ -> 3
+  in
+  (* distinct variables within a clause, random polarity each *)
+  let vars = Array.init nvars Fun.id in
+  for i = nvars - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = vars.(i) in
+    vars.(i) <- vars.(j);
+    vars.(j) <- t
+  done;
+  List.init (min width nvars) (fun i ->
+      if Random.State.bool st then Sat.pos vars.(i) else Sat.neg vars.(i))
+
+let random_instance st =
+  let nvars = 5 + Random.State.int st 11 in
+  (* clause/variable ratio spread across the sat/unsat transition;
+     enough clauses that sat instances still conflict and learn *)
+  let ratio = 1.5 +. Random.State.float st 4.5 in
+  let nclauses = max 3 (int_of_float (float_of_int nvars *. ratio)) in
+  (nvars, List.init nclauses (fun _ -> random_clause st nvars))
+
+(* options that exercise every new mechanism on tiny instances *)
+let fuzz_options = { Sat.default_options with Sat.o_reduce_init = 2 }
+
+let model_satisfies s clauses =
+  List.for_all (fun c -> List.exists (fun l -> Sat.lit_value s l) c) clauses
+
+let cdcl_solve ~options ~nvars clauses =
+  let s = Sat.create ~options () in
+  for _ = 1 to nvars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) clauses;
+  (s, Sat.solve s)
+
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_vs_dpll () =
+  let st = Random.State.make [| 0x5a7b3 |] in
+  let sat_n = ref 0 and unsat_n = ref 0 and reductions = ref 0 in
+  for i = 1 to 500 do
+    let nvars, clauses = random_instance st in
+    let expected = Dpll.solve ~nvars clauses in
+    let s, got = cdcl_solve ~options:fuzz_options ~nvars clauses in
+    if got <> expected then
+      Alcotest.failf "instance %d (%d vars, %d clauses): cdcl=%b dpll=%b" i nvars
+        (List.length clauses) got expected;
+    if got then begin
+      incr sat_n;
+      if not (model_satisfies s clauses) then
+        Alcotest.failf "instance %d: model violates a clause" i;
+      (* an incremental re-solve must agree and still carry a model *)
+      Sat.backtrack s;
+      if not (Sat.solve s) then Alcotest.failf "instance %d: re-solve flipped to unsat" i;
+      if not (model_satisfies s clauses) then
+        Alcotest.failf "instance %d: re-solve model violates a clause" i
+    end
+    else incr unsat_n;
+    reductions := !reductions + (Sat.counters s).Sat.c_db_reductions
+  done;
+  (* the corpus must actually exercise both answers and the reducer *)
+  Alcotest.(check bool) "found sat instances" true (!sat_n > 100);
+  Alcotest.(check bool) "found unsat instances" true (!unsat_n > 100);
+  Alcotest.(check bool) "db reductions fired" true (!reductions > 0)
+
+(* same corpus, every optimisation disabled — localizes a fuzz failure
+   to the new mechanisms if only one of the two tests breaks *)
+let test_fuzz_plain () =
+  let st = Random.State.make [| 0x5a7b3 |] in
+  let plain =
+    {
+      Sat.o_phase_saving = false;
+      o_target_phase = false;
+      o_reduce_db = false;
+      o_minimise = false;
+      o_reduce_init = max_int;
+    }
+  in
+  for i = 1 to 200 do
+    let nvars, clauses = random_instance st in
+    let expected = Dpll.solve ~nvars clauses in
+    let s, got = cdcl_solve ~options:plain ~nvars clauses in
+    if got <> expected then
+      Alcotest.failf "instance %d: plain cdcl=%b dpll=%b" i got expected;
+    if got && not (model_satisfies s clauses) then
+      Alcotest.failf "instance %d: plain model violates a clause" i
+  done
+
+(* Regression: models read after [reduce_db] has deleted learnt
+   clauses must still satisfy every original clause.  Satisfiable
+   random instances rarely conflict enough on their own for the
+   reducer to fire before the first model, so models are enumerated on
+   a persistent solver (blocking each one over a fixed variable
+   window) — the accumulating learnt database then crosses the tiny
+   reduction limit while later models must remain sound. *)
+let test_model_survives_reduction () =
+  let st = Random.State.make [| 0xbeef1 |] in
+  let exercised = ref 0 and attempts = ref 0 in
+  while !exercised < 20 && !attempts < 600 do
+    incr attempts;
+    let nvars = 14 + Random.State.int st 8 in
+    let nclauses = int_of_float (float_of_int nvars *. 3.5) in
+    let clauses = List.init nclauses (fun _ -> random_clause st nvars) in
+    let s, got = cdcl_solve ~options:fuzz_options ~nvars clauses in
+    if got then begin
+      (* enumerate models, blocking each over the first 8 variables *)
+      let window = min 8 nvars in
+      let models = ref 0 and more = ref true in
+      while !more && !models < 300 do
+        incr models;
+        if not (model_satisfies s clauses) then
+          Alcotest.failf
+            "attempt %d, model %d: violates a clause (after %d reductions)" !attempts
+            !models (Sat.counters s).Sat.c_db_reductions;
+        let blocking =
+          List.init window (fun v -> if Sat.value s v then Sat.neg v else Sat.pos v)
+        in
+        Sat.backtrack s;
+        Sat.add_clause s blocking;
+        more := Sat.solve s
+      done;
+      if (Sat.counters s).Sat.c_db_reductions > 0 then incr exercised
+    end
+  done;
+  if !exercised < 20 then
+    Alcotest.failf "reduce_db rarely exercised: %d/%d attempts" !exercised !attempts
+
+(* Deterministic pigeonhole instance (n+1 pigeons, n holes): unsat,
+   conflict-heavy, and with o_reduce_init = 2 it guarantees reductions
+   and minimisation activity on a fixed input. *)
+let test_pigeonhole () =
+  let pigeons = 6 and holes = 5 in
+  let s = Sat.create ~options:fuzz_options () in
+  let var = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Sat.add_clause s (List.init holes (fun h -> Sat.pos var.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        Sat.add_clause s [ Sat.neg var.(p).(h); Sat.neg var.(q).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php unsat" false (Sat.solve s);
+  let c = Sat.counters s in
+  Alcotest.(check bool) "conflicts occurred" true (c.Sat.c_conflicts > 0);
+  Alcotest.(check bool) "reductions occurred" true (c.Sat.c_db_reductions > 0)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "cdcl-vs-dpll-500" `Quick test_fuzz_vs_dpll;
+          Alcotest.test_case "cdcl-plain-vs-dpll" `Quick test_fuzz_plain;
+        ] );
+      ( "reduce_db",
+        [
+          Alcotest.test_case "model-survives-reduction" `Quick
+            test_model_survives_reduction;
+          Alcotest.test_case "pigeonhole-reduces" `Quick test_pigeonhole;
+        ] );
+    ]
