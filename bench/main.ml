@@ -10,10 +10,15 @@
      dune exec bench/main.exe -- table4a   Tbl. 4a  large-program statistics
      dune exec bench/main.exe -- table4b   Tbl. 4b  precondition effect
      dune exec bench/main.exe -- bechamel  micro-benchmarks (one per driver)
-     dune exec bench/main.exe -- json F [D..]   machine-readable results -> F
-                                           (default bench.json; optional driver filter)
+     dune exec bench/main.exe -- json F [N] [D..]   machine-readable results -> F
+                                           (default bench.json; a bare integer N
+                                           sets --path-jobs, other args filter
+                                           the driver list)
      dune exec bench/main.exe -- compare B [F]  diff two json files; exit 1 on a
                                            >10% wall-clock regression vs baseline B
+     dune exec bench/main.exe -- scaling [D] [F]  wall-clock + speedup per
+                                           path-jobs in {1,2,4,8} on driver D
+                                           (default middleblock_2acl -> BENCH_pr4.json)
 
    Absolute numbers differ from the paper (its substrate was BMv2/Tofino
    hardware and 13-hour runs); the *shape* of each result is the claim
@@ -401,21 +406,48 @@ let batch jobs =
 (* Machine-readable results: one JSON document over the standard
    drivers, for plotting / regression tracking outside the repo *)
 
-let json ?(only = []) out =
-  header (Printf.sprintf "JSON results -> %s" out);
+let std_drivers () =
   let cap n = { Explore.default_config with Explore.max_tests = Some n } in
-  let drivers =
-    [
-      ("fig1a", "v1model", Progzoo.Corpus.fig1a, Explore.default_config);
-      ("fig1b", "v1model", Progzoo.Corpus.fig1b, Explore.default_config);
-      ( "middleblock_2acl",
-        "v1model",
-        Progzoo.Generators.middleblock ~acl_stages:2 (),
-        cap 400 );
-      ("up4", "v1model", Progzoo.Generators.up4 (), Explore.default_config);
-      ("switch6_tna", "tna", Progzoo.Generators.switch_tna ~stages:6 (), cap 400);
-    ]
-  in
+  [
+    ("fig1a", "v1model", Progzoo.Corpus.fig1a, Explore.default_config);
+    ("fig1b", "v1model", Progzoo.Corpus.fig1b, Explore.default_config);
+    ( "middleblock_2acl",
+      "v1model",
+      Progzoo.Generators.middleblock ~acl_stages:2 (),
+      cap 400 );
+    ("up4", "v1model", Progzoo.Generators.up4 (), Explore.default_config);
+    ("switch6_tna", "tna", Progzoo.Generators.switch_tna ~stages:6 (), cap 400);
+  ]
+
+(* one measured oracle run, printed and rendered as a JSON object;
+   shared by [json] and [scaling] *)
+let json_row name arch src config =
+  let run = generate ~config arch src in
+  let r = run.Oracle.result in
+  Printf.printf "%-20s %5d tests  %6.2fs\n" name (List.length r.Explore.tests)
+    r.Explore.total_time;
+  ( Printf.sprintf
+      "  {\"name\": %S, \"arch\": %S, \"tests\": %d, \"paths\": %d, \
+       \"coverage_pct\": %.2f, \"prep_time\": %.6f, \"total_time\": %.6f, \
+       \"solve_time\": %.6f,\n   \"metrics\": %s}"
+      name arch
+      (List.length r.Explore.tests)
+      r.Explore.stats.Explore.paths (Explore.coverage_pct r)
+      run.Oracle.prepared.Oracle.prep_time r.Explore.total_time r.Explore.solve_time
+      (Obs.Snapshot.to_json (Obs.Registry.snapshot (Oracle.registry run))),
+    r.Explore.total_time )
+
+let write_bench_doc out rows =
+  Out_channel.with_open_text out (fun oc ->
+      Printf.fprintf oc "{\"results\": [\n%s\n]}\n" (String.concat ",\n" rows));
+  Printf.printf "wrote %s\n" out
+
+let json ?(only = []) ?(path_jobs = 0) out =
+  header
+    (if path_jobs > 0 then
+       Printf.sprintf "JSON results (path-jobs %d) -> %s" path_jobs out
+     else Printf.sprintf "JSON results -> %s" out);
+  let drivers = std_drivers () in
   let drivers =
     match only with
     | [] -> drivers
@@ -431,24 +463,44 @@ let json ?(only = []) out =
         List.filter (fun (d, _, _, _) -> List.mem d names) drivers
   in
   let row (name, arch, src, config) =
-    let run = generate ~config arch src in
-    let r = run.Oracle.result in
-    Printf.printf "%-20s %5d tests  %6.2fs\n" name (List.length r.Explore.tests)
-      r.Explore.total_time;
-    Printf.sprintf
-      "  {\"name\": %S, \"arch\": %S, \"tests\": %d, \"paths\": %d, \
-       \"coverage_pct\": %.2f, \"prep_time\": %.6f, \"total_time\": %.6f, \
-       \"solve_time\": %.6f,\n   \"metrics\": %s}"
-      name arch
-      (List.length r.Explore.tests)
-      r.Explore.stats.Explore.paths (Explore.coverage_pct r)
-      run.Oracle.prepared.Oracle.prep_time r.Explore.total_time r.Explore.solve_time
-      (Obs.Snapshot.to_json (Obs.Registry.snapshot (Oracle.registry run)))
+    fst (json_row name arch src { config with Explore.path_jobs })
   in
-  let rows = List.map row drivers in
-  Out_channel.with_open_text out (fun oc ->
-      Printf.fprintf oc "{\"results\": [\n%s\n]}\n" (String.concat ",\n" rows));
-  Printf.printf "wrote %s\n" out
+  write_bench_doc out (List.map row drivers)
+
+(* ------------------------------------------------------------------ *)
+(* scaling: wall-clock per path-jobs value on one driver, written in
+   the same JSON document shape so [compare] can gate it *)
+
+let scaling driver out =
+  header (Printf.sprintf "Scaling — %s at path-jobs {1,2,4,8} -> %s" driver out);
+  match List.find_opt (fun (d, _, _, _) -> d = driver) (std_drivers ()) with
+  | None ->
+      Printf.eprintf "unknown driver %s (have: %s)\n" driver
+        (String.concat ", " (List.map (fun (d, _, _, _) -> d) (std_drivers ())));
+      exit 1
+  | Some (name, arch, src, config) ->
+      let measured =
+        List.map
+          (fun pj ->
+            let row, total =
+              json_row
+                (Printf.sprintf "%s@pj%d" name pj)
+                arch src
+                { config with Explore.path_jobs = pj }
+            in
+            (pj, row, total))
+          [ 1; 2; 4; 8 ]
+      in
+      hr ();
+      let base = match measured with (_, _, t) :: _ -> t | [] -> 1.0 in
+      List.iter
+        (fun (pj, _, t) ->
+          Printf.printf "path-jobs %d: %8.3fs   speedup x%.2f\n" pj t (base /. t))
+        measured;
+      Printf.printf
+        "(host reports %d usable core(s); speedup saturates at the hardware)\n"
+        (Domain.recommended_domain_count ());
+      write_bench_doc out (List.map (fun (_, row, _) -> row) measured)
 
 (* ------------------------------------------------------------------ *)
 (* compare: diff two bench JSON documents (as written by [json]) and
@@ -682,7 +734,7 @@ let compare_benches baseline current =
   hr ();
   Printf.printf "total wall-clock  %10.3f -> %10.3f  (%+.1f%%)\n" bt ct (pct bt ct);
   Printf.printf "total solve time  %10.3f -> %10.3f  (%+.1f%%)\n" bs cs (pct bs cs);
-  let total_regressed = pct bt ct > regression_limit in
+  let total_regressed = pct bt ct > regression_limit && ct -. bt > noise_floor in
   if total_regressed && not (List.mem "TOTAL" !regressed) then
     regressed := "TOTAL" :: !regressed;
   if !regressed <> [] then begin
@@ -722,10 +774,17 @@ let () =
       batch jobs
   | Some "json" ->
       let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench.json" in
-      let only =
+      (* among the trailing args, a bare integer sets path-jobs and
+         everything else filters the driver list *)
+      let rest =
         Array.to_list (Array.sub Sys.argv 3 (max 0 (Array.length Sys.argv - 3)))
       in
-      json ~only out
+      let is_int a = a <> "" && String.for_all (fun c -> c >= '0' && c <= '9') a in
+      let path_jobs =
+        List.fold_left (fun acc a -> if is_int a then int_of_string a else acc) 0 rest
+      in
+      let only = List.filter (fun a -> not (is_int a)) rest in
+      json ~only ~path_jobs out
   | Some "compare" ->
       if Array.length Sys.argv < 3 then begin
         Printf.eprintf "usage: compare baseline.json [current.json]\n";
@@ -734,9 +793,16 @@ let () =
       let baseline = Sys.argv.(2) in
       let current = if Array.length Sys.argv > 3 then Sys.argv.(3) else "bench.json" in
       compare_benches baseline current
+  | Some "scaling" ->
+      let driver =
+        if Array.length Sys.argv > 2 then Sys.argv.(2) else "middleblock_2acl"
+      in
+      let out = if Array.length Sys.argv > 3 then Sys.argv.(3) else "BENCH_pr4.json" in
+      scaling driver out
   | Some other ->
       Printf.eprintf
         "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
-         batch [jobs], json [out.json] [drivers...], compare baseline.json [current.json])\n"
+         batch [jobs], json [out.json] [path-jobs] [drivers...], compare baseline.json \
+         [current.json], scaling [driver] [out.json])\n"
         other;
       exit 1

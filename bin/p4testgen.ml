@@ -41,8 +41,8 @@ let report_obs ~metrics ~trace (tracks : (string * Obs.Registry.t) list) =
         1)
 
 let run_generate file target backend max_tests max_paths seed strategy fixed_size
-    no_constraints no_random unroll solver_knobs out_file validate print_tests metrics trace
-    verbose =
+    no_constraints no_random unroll solver_knobs parallel_knobs out_file validate
+    print_tests metrics trace verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -67,8 +67,9 @@ let run_generate file target backend max_tests max_paths seed strategy fixed_siz
             }
           in
           let config =
-            solver_knobs
-              { Testgen.Explore.default_config with max_tests; max_paths; strategy }
+            parallel_knobs
+              (solver_knobs
+                 { Testgen.Explore.default_config with max_tests; max_paths; strategy })
           in
           match Testgen.Oracle.generate ~opts ~config tgt source with
           | exception Testgen.Runtime.Exec_error msg ->
@@ -122,7 +123,12 @@ let run_generate file target backend max_tests max_paths seed strategy fixed_siz
                       else 0)
                 else 0
               in
-              let obs_rc = report_obs ~metrics ~trace [ (file, reg) ] in
+              (* one trace track for the run plus one per path worker
+                 (frontier driver; empty for the sequential driver) *)
+              let obs_rc =
+                report_obs ~metrics ~trace
+                  ((file, reg) :: result.Testgen.Explore.workers)
+              in
               if rc <> 0 then rc else obs_rc))
 
 let file =
@@ -262,17 +268,43 @@ let solver_knobs =
     const apply $ no_phase_saving $ no_target_phase $ no_reduce_db $ no_minimise
     $ no_rewrite $ rebuild_threshold)
 
+(* intra-program parallelism knobs, same transformer pattern *)
+let parallel_knobs =
+  let path_jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "path-jobs" ] ~docv:"N"
+          ~doc:
+            "Explore path subtrees of each program on $(docv) worker domains \
+             (frontier-split driver).  0 (the default) keeps the classic \
+             sequential DFS; any N >= 1 produces bit-identical tests, so \
+             $(b,--path-jobs 1) is the reference for higher values.  Composes \
+             with $(b,--jobs) in batch mode through one shared domain budget")
+  in
+  let split_depth =
+    Arg.(
+      value & opt int 4
+      & info [ "split-depth" ] ~docv:"D"
+          ~doc:
+            "Fork depth at which the frontier splitter hands subtrees to \
+             $(b,--path-jobs) workers (deeper = more, smaller work items)")
+  in
+  let apply pj sd config =
+    { config with Testgen.Explore.path_jobs = pj; split_depth = sd }
+  in
+  Term.(const apply $ path_jobs $ split_depth)
+
 let generate_t =
   Term.(
     const run_generate $ file $ target $ backend $ max_tests $ max_paths $ seed $ strategy
-    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ out_file $ validate
-    $ print_tests $ metrics $ trace $ verbose)
+    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ parallel_knobs
+    $ out_file $ validate $ print_tests $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* batch: many programs across domains *)
 
 let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_constraints
-    no_random unroll solver_knobs metrics trace verbose =
+    no_random unroll solver_knobs parallel_knobs metrics trace verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -291,8 +323,9 @@ let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_
         }
       in
       let config =
-        solver_knobs
-          { Testgen.Explore.default_config with max_tests; max_paths; strategy }
+        parallel_knobs
+          (solver_knobs
+             { Testgen.Explore.default_config with max_tests; max_paths; strategy })
       in
       let js =
         List.map
@@ -324,13 +357,18 @@ let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_
         print_endline "metrics (merged over jobs):";
         Format.printf "%a@?" Obs.Snapshot.pp b.Testgen.Oracle.merged_obs
       end;
-      (* the trace gets one track (tid) per finished job *)
+      (* the trace gets one track (tid) per finished job, plus the
+         job's path-worker tracks when it ran with --path-jobs *)
       let tracks =
-        List.filter_map
+        List.concat_map
           (fun (label, o) ->
             match o with
-            | Testgen.Oracle.Finished r -> Some (label, Testgen.Oracle.registry r)
-            | Testgen.Oracle.Failed _ -> None)
+            | Testgen.Oracle.Finished r ->
+                (label, Testgen.Oracle.registry r)
+                :: List.map
+                     (fun (w, wr) -> (label ^ "/" ^ w, wr))
+                     r.Testgen.Oracle.result.Testgen.Explore.workers
+            | Testgen.Oracle.Failed _ -> [])
           b.Testgen.Oracle.outcomes
       in
       let obs_rc = report_obs ~metrics:false ~trace tracks in
@@ -350,8 +388,8 @@ let jobs =
 let batch_t =
   Term.(
     const run_batch $ batch_files $ target $ jobs $ max_tests $ max_paths $ seed $ strategy
-    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ metrics $ trace
-    $ verbose)
+    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ parallel_knobs
+    $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

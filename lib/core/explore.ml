@@ -5,7 +5,27 @@
    (scopes pushed and popped along the DFS spine), exactly as the
    paper configures Z3 (§6).  Alternative strategies enabled by the
    continuation design (§5.1.2): random branch ordering and a greedy
-   coverage mode that only emits coverage-increasing tests. *)
+   coverage mode that only emits coverage-increasing tests.
+
+   Two drivers share the same DFS engine:
+
+   - [path_jobs = 0] (default): the classic in-place sequential DFS
+     over the caller's context and solver.
+
+   - [path_jobs >= 1]: the frontier-split driver.  A sequential
+     splitter walks the DFS to [split_depth] fork choices and packages
+     every feasible unexplored subtree root as a *replayable prefix* —
+     the sequence of original branch indices chosen at each fork from
+     [st0].  [Step.step] is deterministic and [ctx.rng] is consumed
+     only here (branch ordering, input randomization), so replaying a
+     prefix into a fresh context reproduces the subtree root exactly.
+     Worker domains pull prefixes from work-stealing queues, replay
+     each into its own fresh [Expr.ctx]/[Solver] (one-domain-per-ctx,
+     zero shared term state), and explore the subtree with a private
+     registry.  Results merge in splitter order, so the test set,
+     coverage, and counter totals are identical for [path_jobs = 1]
+     and [path_jobs = N] (the lone exception is [explore.steals],
+     which is scheduling by definition). *)
 
 module Bits = Bitv.Bits
 module Expr = Smt.Expr
@@ -31,6 +51,12 @@ type config = {
           reduction, clause minimisation) for every solver of the run *)
   word_rewrite : bool;
       (** run {!Smt.Expr.simplify} on asserted terms before blasting *)
+  path_jobs : int;
+      (** 0 = classic sequential DFS; N >= 1 = frontier-split driver
+          with N worker domains (capped by the shared domain pool) *)
+  split_depth : int;
+      (** fork-choice depth at which the splitter hands subtrees to
+          workers (frontier driver only) *)
 }
 
 let default_config =
@@ -43,6 +69,8 @@ let default_config =
     rebuild_max_spine = 8;
     sat_options = Smt.Sat.default_options;
     word_rewrite = true;
+    path_jobs = 0;
+    split_depth = 4;
   }
 
 (* A read-out of the run's metrics.  The source of truth is the
@@ -71,6 +99,12 @@ type result = {
   stats : stats;
   solve_time : float;
   total_time : float;
+  obs : Obs.Snapshot.t;
+      (** the run's registry delta, including absorbed per-task and
+          per-worker activity under the frontier driver *)
+  workers : (string * Obs.Registry.t) list;
+      (** frontier driver only: per-worker registries (spans, steal
+          counts) for trace export; empty for the sequential driver *)
 }
 
 let empty_stats () =
@@ -123,6 +157,31 @@ let coverage_pct r =
   else 100.0 *. float_of_int (IntSet.cardinal r.covered) /. float_of_int r.total_stmts
 
 exception Stop
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool
+
+   One process-wide token budget shared by every parallelism layer
+   (batch jobs × path workers), so [--jobs 4 --path-jobs 4] spawns at
+   most the pool's worth of extra domains rather than 16.  [acquire]
+   never blocks: it grants what is available (possibly 0) and the
+   caller runs the remainder on its own domain. *)
+module Pool = struct
+  (* allow oversubscription up to 8-way even on small hosts so the
+     frontier driver exercises real concurrency everywhere *)
+  let tokens = Atomic.make (max 7 (Domain.recommended_domain_count () - 1))
+
+  let rec acquire n =
+    if n <= 0 then 0
+    else
+      let avail = Atomic.get tokens in
+      let take = min n avail in
+      if take = 0 then 0
+      else if Atomic.compare_and_set tokens avail (avail - take) then take
+      else acquire n
+
+  let release n = if n > 0 then ignore (Atomic.fetch_and_add tokens n)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Test construction *)
@@ -200,164 +259,719 @@ let port_tainted st =
   st.ctrl_taint || List.exists (fun o -> Expr.tainted o.o_port) st.outputs
 
 (* ------------------------------------------------------------------ *)
-(* DFS driver *)
+(* DFS engine
 
-let run ?(config = default_config) (ctx : ctx) (st0 : state) : result =
+   The engine is the state of one depth-first walk: a context, a
+   solver (rebuilt when it accumulates dead variables), the spine of
+   active assertions, and the accumulated tests.  The sequential
+   driver runs one engine over the whole tree; the frontier driver
+   runs one per task, seeded with the replayed prefix as [e_base]. *)
+
+type cells = {
+  c_paths : Obs.Counter.t;
+  c_tests : Obs.Counter.t;
+  c_infeasible : Obs.Counter.t;
+  c_abandoned : Obs.Counter.t;
+  c_disc_taint : Obs.Counter.t;
+  c_disc_concolic : Obs.Counter.t;
+  c_branch_checks : Obs.Counter.t;
+  c_rebuilds : Obs.Counter.t;
+  tm_step : Obs.Timer.t;
+  tm_emit : Obs.Timer.t;
+  tm_emit_solve : Obs.Timer.t;
+  tm_solve : Obs.Timer.t;
+}
+
+let make_cells reg =
+  {
+    c_paths = Obs.Registry.counter reg "explore.paths";
+    c_tests = Obs.Registry.counter reg "explore.tests";
+    c_infeasible = Obs.Registry.counter reg "explore.infeasible";
+    c_abandoned = Obs.Registry.counter reg "explore.abandoned";
+    c_disc_taint = Obs.Registry.counter reg "explore.discarded_taint";
+    c_disc_concolic = Obs.Registry.counter reg "explore.discarded_concolic";
+    c_branch_checks = Obs.Registry.counter reg "explore.branch_checks";
+    c_rebuilds = Obs.Registry.counter reg "solver.rebuilds";
+    tm_step = Obs.Registry.timer reg "explore.t_step";
+    tm_emit = Obs.Registry.timer reg "explore.t_emit";
+    tm_emit_solve = Obs.Registry.timer reg "explore.t_emit_solve";
+    (* solver time lives in the registry and therefore accumulates
+       across solver rebuilds (every solver of a run shares it) *)
+    tm_solve = Obs.Registry.timer reg "solver.time";
+  }
+
+type engine = {
+  e_ctx : ctx;
+  e_cfg : config;
+  e_cells : cells;
+  e_solver : Solver.t ref;
+  e_spine : Expr.t list ref;
+      (* the DFS spine's active assertions, innermost first, mirroring
+         the solver's scope stack; lets us rebuild a fresh solver when
+         the old one has accumulated too many dead variables *)
+  e_base : Expr.t list;
+      (* base-scope assertions (the replayed prefix conditions),
+         re-asserted into every rebuilt solver before the spine *)
+  mutable e_tests : Testspec.t list;  (* newest first *)
+  mutable e_covered : IntSet.t;
+  mutable e_emitted : int;
+  e_paths0 : int;
+  e_count_tests : bool;
+      (* frontier workers defer the [explore.tests] counter to the
+         merge, where the accepted count is scheduling independent *)
+  e_extra_check : unit -> unit;  (* frontier: global-cut abort hook *)
+}
+
+let new_solver (ctx : ctx) (cfg : config) base =
+  let s =
+    Solver.create ~obs:ctx.obs ~sat_options:cfg.sat_options
+      ~simplify:cfg.word_rewrite ctx.ectx
+  in
+  List.iter (Solver.assert_ s) base;
+  s
+
+let make_engine ?(base = []) ?(count_tests = true)
+    ?(extra_check = fun () -> ()) (ctx : ctx) (cfg : config) =
+  let cells = make_cells ctx.obs in
+  {
+    e_ctx = ctx;
+    e_cfg = cfg;
+    e_cells = cells;
+    e_solver = ref (new_solver ctx cfg base);
+    e_spine = ref [];
+    e_base = base;
+    e_tests = [];
+    e_covered = IntSet.empty;
+    e_emitted = 0;
+    e_paths0 = Obs.Counter.value cells.c_paths;
+    e_count_tests = count_tests;
+    e_extra_check = extra_check;
+  }
+
+let maybe_rebuild eng =
+  if
+    Solver.size !(eng.e_solver) > eng.e_cfg.rebuild_size_threshold
+    && List.length !(eng.e_spine) <= eng.e_cfg.rebuild_max_spine
+  then begin
+    (* retire the old solver: push its residual counter activity into
+       the registry before it becomes unreachable *)
+    Solver.flush_stats !(eng.e_solver);
+    Obs.Counter.incr eng.e_cells.c_rebuilds;
+    let s = new_solver eng.e_ctx eng.e_cfg eng.e_base in
+    List.iter
+      (fun c ->
+        Solver.push s;
+        Solver.assert_ s c)
+      (List.rev !(eng.e_spine));
+    eng.e_solver := s
+  end
+
+let check_budget eng =
+  (match eng.e_cfg.max_tests with
+  | Some n when eng.e_emitted >= n -> raise Stop
+  | _ -> ());
+  (match eng.e_cfg.max_paths with
+  | Some n when Obs.Counter.value eng.e_cells.c_paths - eng.e_paths0 >= n ->
+      raise Stop
+  | _ -> ());
+  if
+    eng.e_cfg.stop_at_full_coverage
+    && eng.e_ctx.nstmts > 0
+    && IntSet.cardinal eng.e_covered >= eng.e_ctx.nstmts
+  then raise Stop;
+  eng.e_extra_check ()
+
+let finish eng st =
+  let reg = eng.e_ctx.obs in
+  Obs.Counter.incr eng.e_cells.c_paths;
+  Obs.Span.with_ reg
+    ~args:
+      [
+        ( "path",
+          string_of_int (Obs.Counter.value eng.e_cells.c_paths - eng.e_paths0)
+        );
+      ]
+    "path"
+    (fun () ->
+      let t0 = Obs.Clock.now () in
+      let solve0 = Obs.Timer.value eng.e_cells.tm_solve in
+      (if port_tainted st then Obs.Counter.incr eng.e_cells.c_disc_taint
+       else
+         match build_test eng.e_ctx !(eng.e_solver) st with
+         | None -> Obs.Counter.incr eng.e_cells.c_disc_concolic
+         | Some t ->
+             let is_new = not (IntSet.subset st.covered eng.e_covered) in
+             eng.e_covered <- IntSet.union st.covered eng.e_covered;
+             if eng.e_cfg.strategy <> Cov || is_new then begin
+               if eng.e_count_tests then Obs.Counter.incr eng.e_cells.c_tests;
+               eng.e_emitted <- eng.e_emitted + 1;
+               eng.e_tests <- t :: eng.e_tests
+             end);
+      Obs.Timer.add eng.e_cells.tm_emit (Obs.Clock.now () -. t0);
+      Obs.Timer.add eng.e_cells.tm_emit_solve
+        (Obs.Timer.value eng.e_cells.tm_solve -. solve0));
+  check_budget eng
+
+(* branch ordering, tagged with each branch's original index so forks
+   record replayable choices.  Rnd keys are 63-bit so key collisions
+   (which would leave tie order to List.sort internals rather than the
+   seed) are out of the picture even on wide branch lists. *)
+let order eng branches =
+  let idx = List.mapi (fun i b -> (i, b)) branches in
+  match eng.e_cfg.strategy with
+  | Rnd ->
+      List.map snd
+        (List.sort
+           (fun (ka, _) (kb, _) -> Int64.compare ka kb)
+           (List.map
+              (fun ib -> (Random.State.int64 eng.e_ctx.rng Int64.max_int, ib))
+              idx))
+  | Dfs | Cov -> idx
+
+(* the DFS proper.  [depth] counts fork choices (forks = >= 2 sibling
+   branches; single conditional branches are followed implicitly and
+   consume no choice), [pref] is the reversed choice list from the
+   root.  With [split = Some (limit, emit)] the walk is the frontier
+   splitter: it emits (prefix, at_leaf, state) instead of descending
+   past [limit] fork choices, and emits completed shallow paths as
+   single-path tasks instead of building their tests — so the merge
+   alone decides test and path accounting. *)
+let rec dfs eng ~split depth pref st =
+  let t0 = Obs.Clock.now () in
+  let stepped =
+    try Step.step eng.e_ctx st
+    with Exec_error msg ->
+      (* an unsupported construct on this path: abandon the path but
+         keep exploring the rest of the program *)
+      Logs.warn (fun m -> m "path abandoned: %s" msg);
+      Some []
+  in
+  Obs.Timer.add eng.e_cells.tm_step (Obs.Clock.now () -. t0);
+  match stepped with
+  | None -> (
+      match split with
+      | Some (_, emit) -> emit (List.rev pref) true st
+      | None -> finish eng st)
+  | Some [] -> Obs.Counter.incr eng.e_cells.c_abandoned
+  | Some [ { br_cond = None; br_state; _ } ] -> dfs eng ~split depth pref br_state
+  | Some branches ->
+      let fork = List.length branches >= 2 in
+      let enter i child =
+        let depth', pref' =
+          if fork then (depth + 1, i :: pref) else (depth, pref)
+        in
+        match split with
+        | Some (limit, emit) when fork && depth' >= limit ->
+            emit (List.rev pref') false child
+        | _ -> dfs eng ~split depth' pref' child
+      in
+      List.iter
+        (fun (i, b) ->
+          match b.br_cond with
+          | None -> enter i b.br_state
+          | Some c when Expr.is_true c -> enter i b.br_state
+          | Some c when Expr.is_false c ->
+              Obs.Counter.incr eng.e_cells.c_infeasible
+          | Some c ->
+              Solver.push !(eng.e_solver);
+              (* model reuse: if the last model already satisfies the
+                 branch condition it witnesses the child's feasibility;
+                 no solver call needed *)
+              let holds = Solver.holds !(eng.e_solver) c in
+              Solver.assert_ !(eng.e_solver) c;
+              eng.e_spine := c :: !(eng.e_spine);
+              let feasible =
+                holds
+                || begin
+                     Obs.Counter.incr eng.e_cells.c_branch_checks;
+                     Solver.check !(eng.e_solver) = Solver.Sat
+                   end
+              in
+              (try
+                 if feasible then enter i (add_cond c b.br_state)
+                 else Obs.Counter.incr eng.e_cells.c_infeasible
+               with e ->
+                 (* keep spine and scope stack consistent on any exit
+                    (Stop, frontier abort): pop both, not just the
+                    solver scope *)
+                 Solver.pop !(eng.e_solver);
+                 eng.e_spine := List.tl !(eng.e_spine);
+                 raise e);
+              Solver.pop !(eng.e_solver);
+              eng.e_spine := List.tl !(eng.e_spine);
+              maybe_rebuild eng)
+        (order eng branches)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix replay
+
+   Walks [prefix] (original branch indices at forks) from [st0],
+   re-taking every implicit step; [assert_cond] receives each path
+   condition along the way (the frontier worker asserts them at the
+   solver's base scope).  Stops after the last recorded choice: the
+   chain below it is the task's subtree. *)
+
+let replay ctx cells c_rsteps ~assert_cond prefix st0 =
+  let diverged () =
+    raise (Exec_error "prefix replay diverged from the recorded path")
+  in
+  let follow pref b =
+    match b.br_cond with
+    | None -> (pref, b.br_state)
+    | Some c when Expr.is_true c -> (pref, b.br_state)
+    | Some c ->
+        assert_cond c;
+        (pref, add_cond c b.br_state)
+  in
+  let rec walk pref st =
+    match pref with
+    | [] -> st
+    | i :: rest -> (
+        let t0 = Obs.Clock.now () in
+        let stepped = Step.step ctx st in
+        Obs.Timer.add cells.tm_step (Obs.Clock.now () -. t0);
+        Obs.Counter.incr c_rsteps;
+        match stepped with
+        | None | Some [] -> diverged ()
+        | Some [ { br_cond = None; br_state; _ } ] -> walk pref br_state
+        | Some [ b ] ->
+            (* single conditional branch: implicit, not a recorded
+               choice (feasibility was proven by the splitter) *)
+            let pref, st = follow pref b in
+            walk pref st
+        | Some branches ->
+            let b = try List.nth branches i with _ -> diverged () in
+            let _, st = follow rest b in
+            walk rest st)
+  in
+  walk prefix st0
+
+(* ------------------------------------------------------------------ *)
+(* Sequential driver (path_jobs = 0) *)
+
+let run_seq (config : config) (ctx : ctx) (st0 : state) : result =
   let reg = ctx.obs in
   (* the run reports deltas against this baseline, so a registry that
      already carries earlier runs (same prepared context) stays sound *)
   let snap0 = Obs.Registry.snapshot reg in
   let t_start = Obs.Clock.now () in
-  let c_paths = Obs.Registry.counter reg "explore.paths" in
-  let c_tests = Obs.Registry.counter reg "explore.tests" in
-  let c_infeasible = Obs.Registry.counter reg "explore.infeasible" in
-  let c_abandoned = Obs.Registry.counter reg "explore.abandoned" in
-  let c_disc_taint = Obs.Registry.counter reg "explore.discarded_taint" in
-  let c_disc_concolic = Obs.Registry.counter reg "explore.discarded_concolic" in
-  let c_branch_checks = Obs.Registry.counter reg "explore.branch_checks" in
-  let c_rebuilds = Obs.Registry.counter reg "solver.rebuilds" in
-  let tm_step = Obs.Registry.timer reg "explore.t_step" in
-  let tm_emit = Obs.Registry.timer reg "explore.t_emit" in
-  let tm_emit_solve = Obs.Registry.timer reg "explore.t_emit_solve" in
   let tm_total = Obs.Registry.timer reg "explore.total_time" in
-  (* solver time lives in the registry and therefore accumulates
-     across solver rebuilds (every solver of this run shares [reg]) *)
-  let tm_solve = Obs.Registry.timer reg "solver.time" in
-  let paths0 = Obs.Counter.value c_paths in
-  let tests0 = Obs.Counter.value c_tests in
-  let mk_solver () =
-    Solver.create ~obs:reg ~sat_options:config.sat_options
-      ~simplify:config.word_rewrite ctx.ectx
-  in
-  let solver = ref (mk_solver ()) in
-  (* the DFS spine's active assertions, innermost first, mirroring the
-     solver's scope stack; lets us rebuild a fresh solver when the old
-     one has accumulated too many dead variables from popped scopes *)
-  let spine : Expr.t list ref = ref [] in
-  let maybe_rebuild () =
-    if
-      Solver.size !solver > config.rebuild_size_threshold
-      && List.length !spine <= config.rebuild_max_spine
-    then begin
-      (* retire the old solver: push its residual counter activity
-         into the registry before it becomes unreachable *)
-      Solver.flush_stats !solver;
-      Obs.Counter.incr c_rebuilds;
-      let s = mk_solver () in
-      List.iter
-        (fun c ->
-          Solver.push s;
-          Solver.assert_ s c)
-        (List.rev !spine);
-      solver := s
-    end
-  in
+  let eng = make_engine ctx config in
   let sp_explore = Obs.Span.enter reg "explore" in
-  let tests = ref [] in
-  let covered = ref IntSet.empty in
-  let check_budget () =
-    (match config.max_tests with
-    | Some n when Obs.Counter.value c_tests - tests0 >= n -> raise Stop
-    | _ -> ());
-    (match config.max_paths with
-    | Some n when Obs.Counter.value c_paths - paths0 >= n -> raise Stop
-    | _ -> ());
-    if
-      config.stop_at_full_coverage && ctx.nstmts > 0
-      && IntSet.cardinal !covered >= ctx.nstmts
-    then raise Stop
-  in
-  let finish st =
-    Obs.Counter.incr c_paths;
-    Obs.Span.with_ reg
-      ~args:[ ("path", string_of_int (Obs.Counter.value c_paths - paths0)) ]
-      "path"
-      (fun () ->
-        let t0 = Obs.Clock.now () in
-        let solve0 = Obs.Timer.value tm_solve in
-        (if port_tainted st then Obs.Counter.incr c_disc_taint
-         else
-           match build_test ctx !solver st with
-           | None -> Obs.Counter.incr c_disc_concolic
-           | Some t ->
-               let is_new = not (IntSet.subset st.covered !covered) in
-               covered := IntSet.union st.covered !covered;
-               if config.strategy <> Cov || is_new then begin
-                 Obs.Counter.incr c_tests;
-                 tests := t :: !tests
-               end);
-        Obs.Timer.add tm_emit (Obs.Clock.now () -. t0);
-        Obs.Timer.add tm_emit_solve (Obs.Timer.value tm_solve -. solve0));
-    check_budget ()
-  in
-  let order branches =
-    match config.strategy with
-    | Rnd ->
-        List.map snd
-          (List.sort
-             (fun (ka, _) (kb, _) -> Int.compare ka kb)
-             (List.map (fun b -> (Random.State.bits ctx.rng, b)) branches))
-    | Dfs | Cov -> branches
-  in
-  let rec explore st =
-    let t0 = Obs.Clock.now () in
-    let stepped =
-      try Step.step ctx st
-      with Exec_error msg ->
-        (* an unsupported construct on this path: abandon the path but
-           keep exploring the rest of the program *)
-        Logs.warn (fun m -> m "path abandoned: %s" msg);
-        Some []
-    in
-    Obs.Timer.add tm_step (Obs.Clock.now () -. t0);
-    match stepped with
-    | None -> finish st
-    | Some [] -> Obs.Counter.incr c_abandoned
-    | Some [ { br_cond = None; br_state; _ } ] -> explore br_state
-    | Some branches ->
-        List.iter
-          (fun b ->
-            match b.br_cond with
-            | None -> explore b.br_state
-            | Some c when Expr.is_true c -> explore b.br_state
-            | Some c when Expr.is_false c -> Obs.Counter.incr c_infeasible
-            | Some c ->
-                Solver.push !solver;
-                (* model reuse: if the last model already satisfies the
-                   branch condition it witnesses the child's
-                   feasibility; no solver call needed *)
-                let holds = Solver.holds !solver c in
-                Solver.assert_ !solver c;
-                spine := c :: !spine;
-                let feasible =
-                  holds
-                  || begin
-                       Obs.Counter.incr c_branch_checks;
-                       Solver.check !solver = Solver.Sat
-                     end
-                in
-                (try
-                   if feasible then explore (add_cond c b.br_state)
-                   else Obs.Counter.incr c_infeasible
-                 with Stop ->
-                   Solver.pop !solver;
-                   raise Stop);
-                Solver.pop !solver;
-                spine := List.tl !spine;
-                maybe_rebuild ())
-          (order branches)
-  in
-  (try explore st0 with Stop -> ());
-  Solver.flush_stats !solver;
+  (try dfs eng ~split:None 0 [] st0 with Stop -> ());
+  Solver.flush_stats !(eng.e_solver);
   Obs.Span.exit reg sp_explore;
   let total = Obs.Clock.now () -. t_start in
   Obs.Timer.add tm_total total;
   let d = Obs.Snapshot.diff (Obs.Registry.snapshot reg) snap0 in
   {
-    tests = List.rev !tests;
-    covered = !covered;
+    tests = List.rev eng.e_tests;
+    covered = eng.e_covered;
     total_stmts = ctx.nstmts;
     stats = stats_of_snapshot d;
     solve_time = Obs.Snapshot.get_float d "solver.time";
     total_time = total;
+    obs = d;
+    workers = [];
   }
+
+(* ------------------------------------------------------------------ *)
+(* Frontier driver (path_jobs >= 1) *)
+
+exception Abort
+(* raised inside a worker task when the global cut has passed it *)
+
+type task_result = {
+  tr_tests : Testspec.t list;  (* in subtree DFS order *)
+  tr_paths : int;
+  tr_snap : Obs.Snapshot.t;  (* the task's whole private registry *)
+}
+
+type slot = Pending | Done of task_result | Dropped
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* replays the sequential emission filter over a task's tests: in Cov
+   mode a test survives only if it adds coverage over everything
+   accepted before it (the worker's local filter can only have dropped
+   tests subsumed by earlier tests of the same task, so re-filtering
+   against the global union is exact).  Returns the kept tests and the
+   updated coverage union — which includes every buildable path's
+   coverage, kept or not, matching the sequential driver. *)
+let accept_tests strategy cov tests =
+  let cov = ref cov in
+  let keep t =
+    let tc = IntSet.of_list t.Testspec.covered in
+    let is_new = not (IntSet.subset tc !cov) in
+    cov := IntSet.union tc !cov;
+    strategy <> Cov || is_new
+  in
+  let kept = List.filter keep tests in
+  (kept, !cov)
+
+(* one step of the deterministic merge: the tests task [r] contributes
+   given the totals accumulated so far.  Shared verbatim by the
+   early-abort prefix scan and the final merge so the cut point cannot
+   diverge between them. *)
+let merge_accept config ~cov ~ntests (r : task_result) =
+  let kept, cov = accept_tests config.strategy cov r.tr_tests in
+  let kept =
+    match config.max_tests with
+    | Some m -> take (m - ntests) kept
+    | None -> kept
+  in
+  (kept, cov)
+
+let budget_reached config ~nstmts ~ntests ~npaths ~cov =
+  (match config.max_tests with Some m -> ntests >= m | None -> false)
+  || (match config.max_paths with Some m -> npaths >= m | None -> false)
+  || config.stop_at_full_coverage
+     && nstmts > 0
+     && IntSet.cardinal cov >= nstmts
+
+let prefix_to_string p = String.concat "." (List.map string_of_int p)
+
+let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
+  let reg = ctx.obs in
+  let snap0 = Obs.Registry.snapshot reg in
+  let t_start = Obs.Clock.now () in
+  let tm_total = Obs.Registry.timer reg "explore.total_time" in
+  let c_subtrees = Obs.Registry.counter reg "explore.subtrees" in
+  let split_depth = max 1 config.split_depth in
+  let sp_explore = Obs.Span.enter reg "explore" in
+
+  (* phase 1 — split: sequential DFS to [split_depth] fork choices on
+     the caller's context/solver, pruning infeasible branches as it
+     goes; every emitted prefix roots a feasible subtree (or a single
+     completed shallow path).  The splitter emits no tests, so the
+     merge alone controls test/path accounting. *)
+  let rev_tasks = ref [] in
+  let seng = make_engine ctx config in
+  Obs.Span.with_ reg "split" (fun () ->
+      try
+        dfs seng
+          ~split:
+            (Some
+               ( split_depth,
+                 fun prefix _leaf _st ->
+                   Obs.Counter.incr c_subtrees;
+                   rev_tasks := prefix :: !rev_tasks ))
+          0 [] st0
+      with Stop -> ());
+  Solver.flush_stats !(seng.e_solver);
+  let tasks = Array.of_list (List.rev !rev_tasks) in
+  let n = Array.length tasks in
+
+  (* shared scheduling state.  [slots] is written once per index by
+     whichever worker runs the task; publication to the merge is
+     ordered by [mu] (prefix scan) and [Domain.join].  [cut_at] is the
+     first task index the merge will reject; it only ever decreases
+     from [max_int] once, so a task observed past the cut stays past
+     it. *)
+  let slots = Array.make n Pending in
+  let cut_at = Atomic.make max_int in
+  (* (index, merged tests) of the contiguous Done prefix: lets the
+     worker running task [index] compute its exact remaining test
+     budget (single writer under [mu]; the boxed pair swaps
+     atomically, readers see a consistent — possibly stale — value) *)
+  let prefix_acc = Atomic.make (0, 0) in
+  let mu = Mutex.create () in
+  let pcomplete = ref 0 in
+  let acc_tests = ref 0 and acc_paths = ref 0 and acc_cov = ref IntSet.empty in
+  (* prefix scan under [mu]: advance over completed slots in splitter
+     order, mirroring the merge's accounting exactly; when the budget
+     fills, publish the cut so in-flight workers abort early.  This is
+     pure optimisation — the final merge recomputes from the slots. *)
+  let advance () =
+    let continue_ = ref true in
+    while !continue_ && !pcomplete < n && Atomic.get cut_at > !pcomplete do
+      match slots.(!pcomplete) with
+      | Pending -> continue_ := false
+      | Dropped ->
+          (* only tasks at or past a published cut are dropped, and the
+             scan stops at the cut, so this is unreachable; skipping is
+             the harmless choice *)
+          incr pcomplete
+      | Done r ->
+          if
+            budget_reached config ~nstmts:ctx.nstmts ~ntests:!acc_tests
+              ~npaths:!acc_paths ~cov:!acc_cov
+          then begin
+            Atomic.set cut_at !pcomplete;
+            continue_ := false
+          end
+          else begin
+            let kept, cov =
+              merge_accept config ~cov:!acc_cov ~ntests:!acc_tests r
+            in
+            acc_tests := !acc_tests + List.length kept;
+            acc_paths := !acc_paths + r.tr_paths;
+            acc_cov := cov;
+            incr pcomplete
+          end
+    done;
+    Atomic.set prefix_acc (!pcomplete, !acc_tests)
+  in
+
+  (* phase 2 — workers.  Task indices are dealt round-robin into one
+     queue per worker; each queue drains through an atomic cursor, so
+     owners pop their own queue and idle workers steal from the
+     others' (fetch_and_add hands out each index exactly once). *)
+  let req_workers = if n = 0 then 1 else max 1 (min config.path_jobs n) in
+  let extra = Pool.acquire (req_workers - 1) in
+  let nw = extra + 1 in
+  let queues =
+    Array.init nw (fun w ->
+        let l = ref [] in
+        for i = n - 1 downto 0 do
+          if i mod nw = w then l := i :: !l
+        done;
+        Array.of_list !l)
+  in
+  let cursors = Array.init nw (fun _ -> Atomic.make 0) in
+  let take_task w =
+    let from q =
+      let i = Atomic.fetch_and_add cursors.(q) 1 in
+      if i < Array.length queues.(q) then Some queues.(q).(i) else None
+    in
+    let rec scan k =
+      if k >= nw then None
+      else
+        let q = (w + k) mod nw in
+        match from q with Some i -> Some (i, q <> w) | None -> scan (k + 1)
+    in
+    scan 0
+  in
+  let wregs = Array.init nw (fun _ -> Obs.Registry.create ()) in
+  let run_task wreg i =
+    (if i >= Atomic.get cut_at then slots.(i) <- Dropped
+     else
+       let prefix = tasks.(i) in
+       (* one private registry per task: a dropped task's metrics
+          vanish with it, keeping merged totals scheduling
+          independent *)
+       let treg = Obs.Registry.create ~record_spans:false () in
+       match
+         Obs.Span.with_ wreg
+           ~args:
+             [
+               ("task", string_of_int i); ("prefix", prefix_to_string prefix);
+             ]
+           "subtree"
+           (fun () ->
+             let tctx, tst0 = fresh treg in
+             let tcells = make_cells treg in
+             let c_rsteps = Obs.Registry.counter treg "explore.replay_steps" in
+             let base = ref [] in
+             let st =
+               replay tctx tcells c_rsteps
+                 ~assert_cond:(fun c -> base := c :: !base)
+                 prefix tst0
+             in
+             let base = List.rev !base in
+             (* the abort hook closes over the engine to read its
+                emission count, so tie the knot through a cell *)
+             let eng_cell = ref None in
+             let extra_check () =
+               if i >= Atomic.get cut_at then raise Abort;
+               (* tight self-cap: once the merge prefix has reached
+                  this task, the remaining test budget is exact and
+                  scheduling independent.  In Dfs/Rnd the merge keeps
+                  emitted tests in order, so anything past the bound
+                  would be truncated anyway — stop instead of
+                  exploring it (the big win for path_jobs=1, where
+                  the prefix always tracks the running task).  Under
+                  Cov the global filter can drop earlier tests and
+                  need more from this task, so only the per-task
+                  [max_tests] cap in [check_budget] applies there. *)
+               match (!eng_cell, config.max_tests) with
+               | Some e, Some m when config.strategy <> Cov ->
+                   let p, at = Atomic.get prefix_acc in
+                   if p = i && e.e_emitted >= m - at then raise Stop
+               | _ -> ()
+             in
+             let eng =
+               make_engine ~base ~count_tests:false ~extra_check tctx config
+             in
+             eng_cell := Some eng;
+             (* seed the model cache: the splitter proved the prefix
+                feasible, so this check cannot return Unsat, and it
+                gives [Solver.holds] a model to reuse below *)
+             if base <> [] then ignore (Solver.check !(eng.e_solver));
+             (try dfs eng ~split:None 0 [] st with Stop -> ());
+             Solver.flush_stats !(eng.e_solver);
+             {
+               tr_tests = List.rev eng.e_tests;
+               tr_paths =
+                 Obs.Snapshot.get_int (Obs.Registry.snapshot treg)
+                   "explore.paths";
+               tr_snap = Obs.Registry.snapshot treg;
+             })
+       with
+       | r -> slots.(i) <- Done r
+       | exception Abort -> slots.(i) <- Dropped
+       | exception e ->
+           (* a task that dies here dies identically for every
+              path_jobs value (nothing scheduling dependent reaches
+              it), so dropping keeps determinism; still loud because
+              it should not happen *)
+           Logs.err (fun m ->
+               m "subtree task %d (prefix %s) failed: %s" i
+                 (prefix_to_string tasks.(i))
+                 (Printexc.to_string e));
+           slots.(i) <- Dropped);
+    Mutex.lock mu;
+    advance ();
+    Mutex.unlock mu
+  in
+  let worker w () =
+    let wreg = wregs.(w) in
+    let c_steals = Obs.Registry.counter wreg "explore.steals" in
+    Obs.Span.with_ wreg "worker" (fun () ->
+        let rec loop () =
+          match take_task w with
+          | None -> ()
+          | Some (i, stolen) ->
+              if stolen then Obs.Counter.incr c_steals;
+              run_task wreg i;
+              loop ()
+        in
+        loop ())
+  in
+  let domains = List.init extra (fun k -> Domain.spawn (fun () -> worker (k + 1) ())) in
+  worker 0 ();
+  List.iter Domain.join domains;
+  Pool.release extra;
+
+  (* phase 3 — deterministic merge: walk tasks in splitter order,
+     re-running the exact accounting of [advance] while collecting
+     tests and absorbing accepted task registries into the run's.
+     Tests are counted here (workers deferred the counter), so
+     [explore.tests] equals the emitted test count for every
+     path_jobs. *)
+  let merged_tests = ref [] in
+  let merged_cov = ref IntSet.empty in
+  let ntests = ref 0 and npaths = ref 0 in
+  (try
+     Array.iter
+       (fun slot ->
+         match slot with
+         | Done r ->
+             if
+               budget_reached config ~nstmts:ctx.nstmts ~ntests:!ntests
+                 ~npaths:!npaths ~cov:!merged_cov
+             then raise Exit;
+             let kept, cov =
+               merge_accept config ~cov:!merged_cov ~ntests:!ntests r
+             in
+             (* the *boundary* task — the one on which [max_tests]
+                fills — is explored to a scheduling-dependent extent
+                (a worker stops at the exact remaining budget only
+                when the merge prefix has caught up to it), so its
+                exploration counters stay out of the merged registry;
+                every other absorbed task is always fully explored.
+                The test set is unaffected: the merge keeps exactly
+                the budgeted prefix either way. *)
+             let boundary =
+               match config.max_tests with
+               | Some m -> !ntests + List.length kept >= m
+               | None -> false
+             in
+             if not boundary then begin
+               Obs.Registry.absorb reg r.tr_snap;
+               npaths := !npaths + r.tr_paths
+             end;
+             Obs.Counter.add seng.e_cells.c_tests (List.length kept);
+             merged_tests := List.rev_append kept !merged_tests;
+             merged_cov := cov;
+             ntests := !ntests + List.length kept
+         | Pending | Dropped ->
+             (* every slot before the cut is Done; reaching a dropped
+                slot means the cut is here *)
+             raise Exit)
+       slots
+   with Exit -> ());
+  (* worker registries carry only scheduling-local activity (steal
+     counts, spans); absorb the counters and expose the registries as
+     trace tracks *)
+  Array.iter (fun w -> Obs.Registry.absorb reg (Obs.Registry.snapshot w)) wregs;
+  let workers =
+    Array.to_list (Array.mapi (fun w r -> (Printf.sprintf "path-worker-%d" w, r)) wregs)
+  in
+  Obs.Span.exit reg sp_explore;
+  let total = Obs.Clock.now () -. t_start in
+  Obs.Timer.add tm_total total;
+  let d = Obs.Snapshot.diff (Obs.Registry.snapshot reg) snap0 in
+  {
+    tests = List.rev !merged_tests;
+    covered = !merged_cov;
+    total_stmts = ctx.nstmts;
+    stats = stats_of_snapshot d;
+    solve_time = Obs.Snapshot.get_float d "solver.time";
+    total_time = total;
+    obs = d;
+    workers;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driver dispatch *)
+
+let run ?(config = default_config) ?fresh (ctx : ctx) (st0 : state) : result =
+  match fresh with
+  | Some fresh when config.path_jobs >= 1 -> run_frontier ~fresh config ctx st0
+  | _ ->
+      if config.path_jobs >= 1 then
+        Logs.warn (fun m ->
+            m
+              "path_jobs=%d ignored: caller provided no fresh-instance hook; \
+               falling back to the sequential driver"
+              config.path_jobs);
+      run_seq config ctx st0
+
+(* ------------------------------------------------------------------ *)
+(* Test hooks: white-box access to the splitter and the replay, so the
+   suite can check that a replayed prefix reaches the frontier state
+   the splitter saw. *)
+
+(* a structural digest of an execution state, strong enough to
+   distinguish different program points and path conditions *)
+let fingerprint (st : state) =
+  Printf.sprintf
+    "trace=[%s] cov=[%s] pc=%d work=%d outs=%d entries=%d dropped=%b phase=%s"
+    (String.concat ">" (List.rev st.trace))
+    (String.concat "," (List.map string_of_int (IntSet.elements st.covered)))
+    (List.length st.path_cond) (List.length st.work) (List.length st.outputs)
+    (List.length st.entries) st.dropped st.phase
+
+(* the frontier the splitter would hand to workers: every task's
+   prefix, paired with the subtree root's fingerprint (None for
+   shallow completed paths, whose task state is the leaf, not the
+   replay target) *)
+let frontier ?(config = default_config) (ctx : ctx) (st0 : state) :
+    (int list * string option) list =
+  let out = ref [] in
+  let eng = make_engine ctx config in
+  let split_depth = max 1 config.split_depth in
+  (try
+     dfs eng
+       ~split:
+         (Some
+            ( split_depth,
+              fun prefix leaf st ->
+                out :=
+                  (prefix, if leaf then None else Some (fingerprint st))
+                  :: !out ))
+       0 [] st0
+   with Stop -> ());
+  Solver.flush_stats !(eng.e_solver);
+  List.rev !out
+
+(* solver-free prefix replay (path conditions are recorded in the
+   state but not asserted anywhere) *)
+let replay_prefix (ctx : ctx) (st0 : state) (prefix : int list) : state =
+  let cells = make_cells ctx.obs in
+  let c_rsteps = Obs.Registry.counter ctx.obs "explore.replay_steps" in
+  replay ctx cells c_rsteps ~assert_cond:(fun _ -> ()) prefix st0

@@ -57,11 +57,29 @@ type run = { result : Explore.result; prepared : prepared }
 
 let registry (r : run) = r.prepared.ctx.Runtime.obs
 
+(* A fresh, independent replica of a prepared run for a worker domain:
+   its own term context and registry over the same (immutable, already
+   passed) program, re-initialised by the same target.  Because
+   [make_ctx] and [T.init] are deterministic, the replica's initial
+   state is structurally identical to [initial_state p], which is what
+   makes the frontier driver's prefix replay sound. *)
+let fresh_instance (p : prepared) (reg : Obs.Registry.t) :
+    Runtime.ctx * Runtime.state =
+  let module T = (val p.target) in
+  let ctx =
+    Runtime.make_ctx ~opts:p.ctx.Runtime.opts ~obs:reg p.prog
+      ~nstmts:p.ctx.Runtime.nstmts p.ctx.Runtime.tctx
+  in
+  ctx.Runtime.extern_hook <- T.extern;
+  ctx.Runtime.reject_hook <- T.on_reject;
+  let st = Runtime.initial_state ctx ~port_width:T.port_width in
+  (ctx, T.init ctx st)
+
 let generate ?(opts = Runtime.default_options) ?(config = Explore.default_config)
     (target : (module Target_intf.S)) (source : string) : run =
   let p = prepare ~opts target source in
   let st = initial_state p in
-  let result = Explore.run ~config p.ctx st in
+  let result = Explore.run ~config ~fresh:(fresh_instance p) p.ctx st in
   { result; prepared = p }
 
 (* ------------------------------------------------------------------ *)
@@ -122,11 +140,16 @@ let generate_batch ?(jobs = 1) (js : job list) : batch =
     loop ()
   in
   let workers = max 1 (min jobs n) in
-  if workers <= 1 then worker ()
+  (* extra domains come out of the shared pool, so [--jobs J] composed
+     with per-job [path_jobs] stays within one process-wide domain
+     budget instead of multiplying *)
+  let extra = Explore.Pool.acquire (workers - 1) in
+  if extra = 0 then worker ()
   else begin
-    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    let domains = List.init extra (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join domains
+    List.iter Domain.join domains;
+    Explore.Pool.release extra
   end;
   (* every job owns its registry (created by its [prepare]), so the
      per-domain snapshots merge associatively with no synchronization;

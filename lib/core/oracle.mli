@@ -49,13 +49,27 @@ val registry : run -> Obs.Registry.t
     Export it with {!Obs.Trace.write_chrome} or print a
     {!Obs.Registry.snapshot}. *)
 
+val fresh_instance :
+  prepared -> Obs.Registry.t -> Runtime.ctx * Runtime.state
+(** [fresh_instance p reg] builds an independent replica of the
+    prepared run for a worker domain: a fresh term context reporting
+    into [reg], over the same already-passed program, re-initialised
+    by the same target.  Preparation is deterministic, so the replica's
+    initial state is structurally identical to [initial_state p] —
+    the soundness basis of {!Explore.run}'s prefix-replay parallelism
+    ([config.path_jobs]). *)
+
 val generate :
   ?opts:Runtime.options ->
   ?config:Explore.config ->
   (module Target_intf.S) ->
   string ->
   run
-(** End-to-end test generation for a P4 source string. *)
+(** End-to-end test generation for a P4 source string.  When
+    [config.Explore.path_jobs >= 1], path exploration itself runs on
+    worker domains ({!Explore.run}'s frontier driver, seeded with
+    {!fresh_instance}); the result is bit-identical for every
+    [path_jobs] value [>= 1]. *)
 
 (** {1 Batch driver}
 
@@ -97,7 +111,11 @@ type batch = {
 val generate_batch : ?jobs:int -> job list -> batch
 (** [generate_batch ~jobs js] runs the jobs on [min jobs (length js)]
     domains (the calling domain included).  [jobs] defaults to 1,
-    which runs everything sequentially on the calling domain. *)
+    which runs everything sequentially on the calling domain.  Extra
+    domains are drawn from the process-wide {!Explore.Pool}, shared
+    with per-job intra-program parallelism
+    ([job_config.Explore.path_jobs]), so [jobs × path_jobs] never
+    oversubscribes beyond one pool's worth of domains. *)
 
 (** {1 Coverage reporting (§7)} *)
 

@@ -202,6 +202,19 @@ module Registry = struct
       t.metrics []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+  (* fold an immutable reading back into live cells: counters and
+     timers accumulate, gauges high-water.  Used by the parallel path
+     explorer to account accepted per-task registries into the run's
+     registry (the dual of [Snapshot.merge] for a mutable target). *)
+  let absorb t (s : Snapshot.t) =
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Snapshot.Count c -> Counter.add (counter t name) c
+        | Snapshot.Level g -> Gauge.set_max (gauge t name) g
+        | Snapshot.Seconds x -> Timer.add (timer t name) x)
+      (Snapshot.to_list s)
+
   let completed_spans t =
     List.rev (List.filter (fun sp -> sp.sp_dur >= 0.0) t.span_log)
 

@@ -114,6 +114,14 @@ module Registry : sig
 
   val snapshot : t -> Snapshot.t
 
+  val absorb : t -> Snapshot.t -> unit
+  (** Folds a snapshot into the registry's live cells — counters and
+      timers accumulate, gauges high-water (the mutable dual of
+      {!Snapshot.merge}).  Raises [Invalid_argument] if a name carries
+      a different kind in the registry.  The parallel explorer uses
+      this to account accepted per-task registries into the run's
+      registry so that merged totals are scheduling independent. *)
+
   val spans : t -> (string * float * int) list
   (** Completed spans, oldest first: (name, duration seconds, nesting
       depth).  Mostly for tests; exporters use {!Trace}. *)

@@ -180,6 +180,144 @@ let test_rebuild_threshold () =
     && r.Explore.stats.Explore.t_emit_solve >= 0.0
     && r.Explore.solve_time > 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel (frontier-split) exploration *)
+
+let strategies =
+  [ ("dfs", Explore.Dfs); ("rnd", Explore.Rnd); ("cov", Explore.Cov) ]
+
+(* counter totals of a run's delta snapshot, minus the one counter
+   that is scheduling dependent by definition (which worker stole) *)
+let sched_free_counters run =
+  List.filter
+    (fun (n, _) -> n <> "explore.steals")
+    (Obs.Snapshot.counters run.Oracle.result.Explore.obs)
+
+let test_path_jobs_deterministic () =
+  (* the tentpole guarantee: for every strategy, path_jobs=1 and
+     path_jobs=4 produce bit-identical test sets, identical coverage,
+     and equal merged counter totals on the branchiest examples *)
+  List.iter
+    (fun (pname, src) ->
+      List.iter
+        (fun (sname, strategy) ->
+          let cfg pj =
+            {
+              Explore.default_config with
+              Explore.strategy;
+              path_jobs = pj;
+              split_depth = 3;
+            }
+          in
+          let r1 = generate ~config:(cfg 1) src in
+          let r4 = generate ~config:(cfg 4) src in
+          let tests r =
+            List.map Testspec.to_string r.Oracle.result.Explore.tests
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s: identical test sets" pname sname)
+            (tests r1) (tests r4);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: identical coverage" pname sname)
+            true
+            (Runtime.IntSet.equal r1.Oracle.result.Explore.covered
+               r4.Oracle.result.Explore.covered);
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s/%s: equal merged counters" pname sname)
+            (sched_free_counters r1) (sched_free_counters r4))
+        strategies)
+    [
+      ("lpm_router", Progzoo.Corpus.lpm_router);
+      ("mpls_stack", Progzoo.Corpus.mpls_stack);
+    ]
+
+let test_frontier_matches_sequential () =
+  (* the frontier driver explores the same path space as the classic
+     sequential DFS: equal path counts and coverage (test bit-patterns
+     may differ — the sequential solver carries phase-saving history
+     across subtrees that fresh per-task solvers do not) *)
+  let seq = generate Progzoo.Corpus.lpm_router in
+  let config =
+    { Explore.default_config with Explore.path_jobs = 2; split_depth = 2 }
+  in
+  let par = generate ~config Progzoo.Corpus.lpm_router in
+  Alcotest.(check int) "same path count"
+    seq.Oracle.result.Explore.stats.Explore.paths
+    par.Oracle.result.Explore.stats.Explore.paths;
+  Alcotest.(check int) "same test count"
+    (List.length seq.Oracle.result.Explore.tests)
+    (List.length par.Oracle.result.Explore.tests);
+  Alcotest.(check bool) "same coverage" true
+    (Runtime.IntSet.equal seq.Oracle.result.Explore.covered
+       par.Oracle.result.Explore.covered);
+  (* and the frontier actually split: subtrees were packaged and
+     prefixes replayed *)
+  let d = par.Oracle.result.Explore.obs in
+  Alcotest.(check bool) "subtrees packaged" true
+    (Obs.Snapshot.get_int d "explore.subtrees" > 1);
+  Alcotest.(check bool) "prefixes replayed" true
+    (Obs.Snapshot.get_int d "explore.replay_steps" > 0)
+
+let test_path_jobs_caps () =
+  (* budget caps are exact under the deterministic merge, and capped
+     runs stay bit-deterministic across worker counts even though the
+     boundary task's exploration extent is scheduling dependent (its
+     counters are excluded from the merge; workers self-cap at the
+     exact remaining budget when the merge prefix has caught up) *)
+  let capped pj =
+    let config =
+      {
+        Explore.default_config with
+        Explore.max_tests = Some 3;
+        path_jobs = pj;
+        split_depth = 2;
+      }
+    in
+    let run = generate ~config Progzoo.Corpus.lpm_router in
+    Alcotest.(check int)
+      (Printf.sprintf "capped at 3 (path_jobs=%d)" pj)
+      3
+      (List.length run.Oracle.result.Explore.tests);
+    Alcotest.(check int)
+      (Printf.sprintf "stats.tests matches (path_jobs=%d)" pj)
+      3 run.Oracle.result.Explore.stats.Explore.tests;
+    run
+  in
+  let r1 = capped 1 and r4 = capped 4 in
+  Alcotest.(check (list string))
+    "capped tests identical across path_jobs"
+    (List.map Testspec.to_string r1.Oracle.result.Explore.tests)
+    (List.map Testspec.to_string r4.Oracle.result.Explore.tests);
+  Alcotest.(check (list (pair string int)))
+    "capped counters identical across path_jobs" (sched_free_counters r1)
+    (sched_free_counters r4)
+
+let test_replay_reaches_frontier_state () =
+  (* the replay-correctness unit test: for every subtree the splitter
+     would hand to a worker, replaying its prefix into a *fresh*
+     prepared instance reaches a state with the same fingerprint as
+     the frontier node the splitter saw *)
+  let src = Progzoo.Corpus.lpm_router in
+  let config = { Explore.default_config with Explore.split_depth = 2 } in
+  let p = Oracle.prepare v1model src in
+  let fr = Explore.frontier ~config p.Oracle.ctx (Oracle.initial_state p) in
+  Alcotest.(check bool) "splitter found subtrees" true (List.length fr > 1);
+  let deep = List.filter (fun (_, fp) -> fp <> None) fr in
+  Alcotest.(check bool) "some subtrees are below forks" true (deep <> []);
+  List.iteri
+    (fun k (prefix, fp) ->
+      (* a fresh instance per replay: replay consumes ctx-local state
+         (fresh-name counters), exactly as a worker domain would *)
+      if k < 6 then
+        let reg = Obs.Registry.create () in
+        let ctx, st0 = Oracle.fresh_instance p reg in
+        let st = Explore.replay_prefix ctx st0 prefix in
+        Alcotest.(check string)
+          (Printf.sprintf "prefix [%s] replays to the frontier state"
+             (String.concat "." (List.map string_of_int prefix)))
+          (Option.get fp) (Explore.fingerprint st))
+    deep
+
 let () =
   Alcotest.run "explore"
     [
@@ -202,5 +340,15 @@ let () =
           Alcotest.test_case "unroll depth" `Quick test_unroll_bound_controls_depth;
           Alcotest.test_case "seed variation" `Quick test_seed_changes_values_not_paths;
           Alcotest.test_case "solver rebuild threshold" `Quick test_rebuild_threshold;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "path-jobs determinism (all strategies)" `Quick
+            test_path_jobs_deterministic;
+          Alcotest.test_case "frontier matches sequential" `Quick
+            test_frontier_matches_sequential;
+          Alcotest.test_case "budget caps exact" `Quick test_path_jobs_caps;
+          Alcotest.test_case "prefix replay reaches frontier state" `Quick
+            test_replay_reaches_frontier_state;
         ] );
     ]
