@@ -132,49 +132,12 @@ let fig7 () =
   Printf.printf "\nsolver share across programs: %.1f%% / %.1f%% / %.1f%%\n" s1 s2 s3
 
 (* ------------------------------------------------------------------ *)
-(* Tbl. 2 / Tbl. 3: the bug-finding study (fault-injection campaign) *)
+(* Tbl. 2 / Tbl. 3: the bug-finding study, shared with the selftest
+   subsystem's mutation scorer (which also runs on dune runtest) *)
 
-type detection = Detected of Sim.Mutation.kind | Undetected
+module Mutscore = Selftest.Mutscore
 
-let trigger_program (m : Sim.Mutation.t) : string * string =
-  match m.m_label with
-  | "P4C-1" -> ("v1model", Progzoo.Corpus.expr_key)
-  | "P4C-2" -> ("v1model", Progzoo.Corpus.advance_prog)
-  | "P4C-3" | "BMV2-1" -> ("v1model", Progzoo.Corpus.mpls_stack)
-  | "P4C-4" -> ("v1model", Progzoo.Corpus.fig1a)
-  | "P4C-5" -> ("v1model", Progzoo.Corpus.shift_prog)
-  | "P4C-6" -> ("v1model", Progzoo.Corpus.union_prog)
-  | "P4C-7" -> ("v1model", Progzoo.Corpus.switch_action_run)
-  | "P4C-8" -> ("v1model", Progzoo.Corpus.dup_member)
-  | "TOF-1" -> ("tna", Progzoo.Corpus.tna_basic)
-  | "TOF-5" -> ("tna", Progzoo.Corpus.tna_basic)
-  | _ -> ("tna", Progzoo.Corpus.tna_kitchen)
-
-let campaign_cache : (string * string, Testgen.Testspec.t list) Hashtbl.t = Hashtbl.create 8
-
-let campaign_tests arch src =
-  match Hashtbl.find_opt campaign_cache (arch, src) with
-  | Some t -> t
-  | None ->
-      let opts = { Runtime.default_options with unroll_bound = 4; seed = 3 } in
-      let run = generate ~opts arch src in
-      let tests = run.Oracle.result.Explore.tests in
-      Hashtbl.replace campaign_cache (arch, src) tests;
-      tests
-
-let run_mutation (m : Sim.Mutation.t) : detection =
-  let arch, src = trigger_program m in
-  let tests = campaign_tests arch src in
-  match Sim.Harness.prepare ~fault:m.m_fault ~arch src with
-  | exception Sim.Interp.Sim_crash _ -> Detected Sim.Mutation.Exception
-  | sim ->
-      let summary, _ = Sim.Harness.run_suite sim tests in
-      if summary.Sim.Harness.crashed > 0 then Detected Sim.Mutation.Exception
-      else if summary.Sim.Harness.wrong > 0 then Detected Sim.Mutation.Wrong_code
-      else Undetected
-
-let campaign () =
-  List.map (fun m -> (m, run_mutation m)) Sim.Mutation.corpus
+let campaign () = Mutscore.score ()
 
 let table2 () =
   header "Tbl. 2 — toolchain bugs discovered, by type and target";
@@ -189,12 +152,10 @@ let table2 () =
     List.length
       (List.filter
          (fun ((m : Sim.Mutation.t), d) ->
-           m.m_target = target && m.m_kind = kind && d <> Undetected)
+           m.m_target = target && m.m_kind = kind && d <> Mutscore.Undetected)
          results)
   in
-  let undetected =
-    List.filter (fun (_, d) -> d = Undetected) results
-  in
+  let undetected = Mutscore.undetected results in
   Printf.printf "%-12s %-8s %-8s %s\n" "Bug Type" "BMv2" "Tofino" "Total";
   let exc_b = count "BMv2" Sim.Mutation.Exception
   and exc_t = count "Tofino" Sim.Mutation.Exception in
@@ -221,7 +182,7 @@ let table3 () =
     (fun ((m : Sim.Mutation.t), d) ->
       if m.m_target = "BMv2" then
         Printf.printf "%-9s %-10s %-12s %s\n" m.m_label
-          (match d with Detected _ -> "Detected" | Undetected -> "Missed")
+          (match d with Mutscore.Detected _ -> "Detected" | Mutscore.Undetected -> "Missed")
           (Sim.Mutation.kind_name m.m_kind) m.m_desc)
     results
 

@@ -392,6 +392,138 @@ let batch_t =
     $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
+(* selftest: the differential fuzzing campaign (§7/§8) *)
+
+let run_selftest cases jobs seed max_seconds out_dir archs max_tests fault no_reduce
+    mutation_score metrics trace verbose =
+  setup_logs verbose;
+  let fault =
+    match fault with
+    | None -> Ok Sim.Mutation.No_fault
+    | Some s -> (
+        match Sim.Mutation.fault_of_string s with
+        | Some f -> Ok f
+        | None -> Error s)
+  in
+  match fault with
+  | Error s ->
+      Printf.eprintf "error: unknown fault %s (use a corpus label like TOF-12 or a name like %s)\n"
+        s
+        (Sim.Mutation.fault_name Sim.Mutation.Swallow_apply);
+      1
+  | Ok fault ->
+      let archs =
+        match archs with
+        | [] -> Progzoo.Randprog.all_archs
+        | names ->
+            List.filter_map Progzoo.Randprog.arch_of_string names
+      in
+      if archs = [] then begin
+        Printf.eprintf "error: no valid architecture (v1model, ebpf_model, tna)\n";
+        1
+      end
+      else begin
+        let cfg =
+          {
+            Selftest.Campaign.default_config with
+            Selftest.Campaign.cases;
+            jobs;
+            seed;
+            max_seconds;
+            archs;
+            max_tests;
+            fault;
+            reduce = not no_reduce;
+            out_dir;
+          }
+        in
+        let s = Selftest.Campaign.run cfg in
+        Format.printf "%a@?" Selftest.Campaign.pp_summary s;
+        let mut_rc =
+          if mutation_score then begin
+            let results = Selftest.Mutscore.score () in
+            let missed = Selftest.Mutscore.undetected results in
+            Printf.printf "mutation score: %d/%d faults killed\n"
+              (List.length results - List.length missed)
+              (List.length results);
+            List.iter
+              (fun ((m : Sim.Mutation.t), _) ->
+                Printf.printf "  MISSED %-8s %s\n" m.Sim.Mutation.m_label
+                  m.Sim.Mutation.m_desc)
+              missed;
+            if missed <> [] then 1 else 0
+          end
+          else 0
+        in
+        if metrics then begin
+          print_endline "metrics (merged over workers):";
+          Format.printf "%a@?" Obs.Snapshot.pp s.Selftest.Campaign.s_obs
+        end;
+        let obs_rc = report_obs ~metrics:false ~trace s.Selftest.Campaign.s_workers in
+        if s.Selftest.Campaign.s_failures <> [] then 1
+        else if mut_rc <> 0 then mut_rc
+        else obs_rc
+      end
+
+let selftest_cases =
+  Arg.(value & opt int 50 & info [ "cases" ] ~docv:"N" ~doc:"Random programs to check")
+
+let selftest_seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Campaign master seed")
+
+let selftest_max_seconds =
+  Arg.(
+    value & opt (some float) None
+    & info [ "max-seconds" ] ~docv:"T"
+        ~doc:
+          "Wall-clock budget; cases not started in time are skipped (reported in \
+           the summary)")
+
+let selftest_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Write failing programs (reduced repros) to $(docv)")
+
+let selftest_archs =
+  Arg.(
+    value & opt_all string []
+    & info [ "arch" ] ~docv:"ARCH"
+        ~doc:
+          "Restrict generation to $(docv) (repeatable; default: v1model, \
+           ebpf_model and tna round-robin)")
+
+let selftest_max_tests =
+  Arg.(
+    value & opt int 12
+    & info [ "max-tests" ] ~docv:"N" ~doc:"Oracle test budget per generated program")
+
+let selftest_fault =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fault" ] ~docv:"FAULT"
+        ~doc:
+          "Seed this simulator fault (a corpus label like $(b,TOF-13) or a name \
+           like $(b,drop_second_emit)) — the campaign must then detect it; used \
+           to self-test the campaign")
+
+let selftest_no_reduce =
+  Arg.(value & flag & info [ "no-reduce" ] ~doc:"Skip delta-debugging failing programs")
+
+let selftest_mutation_score =
+  Arg.(
+    value & flag
+    & info [ "mutation-score" ]
+        ~doc:
+          "Also run the seeded-fault catalogue (Tbl. 2) and require every fault \
+           to be killed by a generated suite")
+
+let selftest_t =
+  Term.(
+    const run_selftest $ selftest_cases $ jobs $ selftest_seed $ selftest_max_seconds
+    $ selftest_out $ selftest_archs $ selftest_max_tests $ selftest_fault
+    $ selftest_no_reduce $ selftest_mutation_score $ metrics $ trace $ verbose)
+
+(* ------------------------------------------------------------------ *)
 
 let man =
   [
@@ -423,11 +555,30 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc ~man) batch_t
 
+let selftest_cmd =
+  let doc = "differentially fuzz the oracle against the built-in software models" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates random well-typed P4 programs for all three architectures, \
+         runs the oracle on each, executes every generated test on the \
+         independent concrete simulator, and checks cross-cutting invariants \
+         (seed determinism, parallel-exploration determinism, strategy \
+         agreement).  Any disagreement is automatically shrunk to a minimal \
+         repro with AST-level delta debugging.";
+      `P
+        "The campaign summary (cases, failures, tests, feature coverage) is \
+         independent of $(b,--jobs): identical for any worker count.";
+    ]
+  in
+  Cmd.v (Cmd.info "selftest" ~doc ~man) selftest_t
+
 let cmd =
   let doc = "generate input-output packet tests for P4 programs" in
   Cmd.group ~default:generate_t
     (Cmd.info "p4testgen" ~version:"1.0.0" ~doc ~man)
-    [ generate_cmd; batch_cmd ]
+    [ generate_cmd; batch_cmd; selftest_cmd ]
 
 let () =
   (* back-compat: `p4testgen prog.p4 ...` (no subcommand) still runs
@@ -439,7 +590,7 @@ let () =
       Array.length argv > 1
       &&
       match argv.(1) with
-      | "batch" | "generate" | "--help" | "--version" -> false
+      | "batch" | "generate" | "selftest" | "--help" | "--version" -> false
       | _ -> true
     then
       Array.concat [ [| argv.(0); "generate" |]; Array.sub argv 1 (Array.length argv - 1) ]

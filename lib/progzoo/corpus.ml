@@ -976,6 +976,55 @@ V1Switch(P(), V(), I(), E(), C(), D()) main;
 
 (** All v1model corpus programs that the concrete simulator can also
     execute (used by the validation experiment). *)
+(* An unguarded read of a conditionally-parsed header flows into an
+   emitted field: on the short-packet path hdr.ipv4 is invalid, so the
+   read is undefined.  The oracle taints it (the etype bits become
+   don't-cares), and BMv2 reads zero — but a model whose invalid reads
+   return stale garbage (TOF-12, Invalid_read_garbage) emits different
+   bits.  Exposing that fault needs the pristine-vs-faulted
+   differential check: the taint mask hides it from plain
+   expectation matching. *)
+let stale_read_prog =
+  {|
+header eth_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header ipv4_t { bit<8> ttl; bit<16> hdr_checksum; }
+struct headers_t { eth_t eth; ipv4_t ipv4; }
+struct meta_t { }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+
+control V(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    hdr.eth.etype = hdr.ipv4.hdr_checksum;
+    sm.egress_spec = 2;
+  }
+}
+
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control D(packet_out pkt, in headers_t hdr) {
+  apply {
+    pkt.emit(hdr.eth);
+    pkt.emit(hdr.ipv4);
+  }
+}
+
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
 let v1model_validatable =
   [
     ("fig1a", fig1a);
@@ -998,6 +1047,7 @@ let v1model_validatable =
     ("recirculate", recirculate_program);
     ("clone_prog", clone_prog);
     ("multicast_prog", multicast_prog);
+    ("stale_read_prog", stale_read_prog);
   ]
 
 let all =

@@ -1,0 +1,417 @@
+(* The self-validation campaign engine (§7/§8).
+
+   Each case draws a random well-typed program from
+   {!Progzoo.Randprog}, generates its whole test suite with the
+   oracle, and executes every test on the independent concrete
+   simulator ({!Sim.Harness}).  Any disagreement — a failing
+   expectation, a model crash, an oracle exception — is a campaign
+   failure.  On a cadence, cases additionally check cross-cutting
+   invariants that pass/fail alone would miss:
+
+   - seed determinism: regenerating with the same seed yields the
+     bit-identical suite;
+   - parallel determinism: the frontier driver ([path_jobs >= 1])
+     yields the same suite as sequential DFS;
+   - strategy agreement: the Rnd and Cov exploration orders also
+     produce suites that pass on the model.
+
+   Cases run in parallel over the process-wide {!Explore.Pool} domain
+   budget, with results stored by case index and folded in order, so
+   the campaign summary is bit-identical for any [jobs] value.
+   Failures are reduced *after* the parallel phase, sequentially and
+   in case order, by {!Reduce} — reduction cost therefore never skews
+   the summary, and repros land deterministically. *)
+
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+module Runtime = Testgen.Runtime
+module Testspec = Testgen.Testspec
+module Randprog = Progzoo.Randprog
+
+type config = {
+  cases : int;
+  jobs : int;  (** worker domains (1 = sequential) *)
+  seed : int;  (** master seed; every case seed derives from it *)
+  max_seconds : float option;
+      (** wall-clock box: cases not started in time are skipped (the
+          summary then reports [skipped > 0] and is only comparable
+          across [jobs] values when the box never triggers) *)
+  archs : Randprog.arch list;  (** round-robin per case *)
+  max_tests : int;  (** oracle budget per case *)
+  fault : Sim.Mutation.fault;  (** seeded simulator fault (campaign
+          self-test: [No_fault] for real validation runs) *)
+  reduce : bool;  (** shrink failing programs to minimal repros *)
+  reduce_limit : int;  (** reduce at most this many failures *)
+  out_dir : string option;  (** write repro .p4 files here *)
+}
+
+let default_config =
+  {
+    cases = 50;
+    jobs = 1;
+    seed = 1;
+    max_seconds = None;
+    archs = Randprog.all_archs;
+    max_tests = 12;
+    fault = Sim.Mutation.No_fault;
+    reduce = true;
+    reduce_limit = 3;
+    out_dir = None;
+  }
+
+type failure = {
+  f_case : int;
+  f_arch : string;
+  f_seed : int;
+  f_kind : string;  (** [wrong_output] / [crash] / [oracle_error] / [invariant] *)
+  f_detail : string;
+  f_source : string;  (** the generated program *)
+  f_reduced : Reduce.outcome option;  (** set by the reduction post-pass *)
+  f_file : string option;  (** repro path when [out_dir] is set *)
+}
+
+type case_result = {
+  r_case : int;
+  r_arch : string;
+  r_seed : int;
+  r_tests : int;  (** tests the oracle generated *)
+  r_features : string list;
+  r_failure : failure option;
+  r_skipped : bool;  (** the time box expired before this case started *)
+}
+
+type summary = {
+  s_config : config;
+  s_results : case_result list;  (** in case order *)
+  s_failures : failure list;  (** post-reduction, in case order *)
+  s_ran : int;
+  s_skipped : int;
+  s_tests : int;
+  s_features : string list;  (** union of generator features exercised *)
+  s_wall : float;
+  s_obs : Obs.Snapshot.t;  (** merged per-worker registries *)
+  s_workers : (string * Obs.Registry.t) list;  (** for trace export *)
+}
+
+(* deterministic per-case derivation from the master seed *)
+let case_seed master i = (((master * 1_000_003) + (i * 7919)) land 0x3FFFFFFF) + 1
+let case_arch cfg i = List.nth cfg.archs (i mod List.length cfg.archs)
+
+(* ------------------------------------------------------------------ *)
+(* One differential run: oracle suite vs. concrete model *)
+
+type pipeline_outcome =
+  | All_pass of int  (** number of tests, all passing *)
+  | Diff of string * string  (** kind, detail *)
+
+let target_of arch = Option.get (Targets.Registry.find arch)
+
+let run_pipeline ?(explore = Explore.default_config) ~fault ~arch ~seed ~max_tests src :
+    pipeline_outcome =
+  let opts = { Runtime.default_options with seed } in
+  let config = { explore with Explore.max_tests = Some max_tests } in
+  match Oracle.generate ~opts ~config (target_of arch) src with
+  | exception e -> Diff ("oracle_error", Printexc.to_string e)
+  | run -> (
+      let tests = run.Oracle.result.Explore.tests in
+      match Sim.Harness.prepare ~fault ~seed ~arch src with
+      | exception e -> Diff ("crash", "sim prepare: " ^ Printexc.to_string e)
+      | sim -> (
+          let _, results = Sim.Harness.run_suite sim tests in
+          let first_bad =
+            List.find_opt (fun (_, v) -> v <> Sim.Harness.Pass) results
+          in
+          match first_bad with
+          | None -> All_pass (List.length tests)
+          | Some (t, Sim.Harness.Wrong_output msg) ->
+              Diff ("wrong_output", msg ^ "\n" ^ Testspec.to_string t)
+          | Some (t, Sim.Harness.Crash msg) ->
+              Diff ("crash", msg ^ "\n" ^ Testspec.to_string t)
+          | Some (_, Sim.Harness.Pass) -> assert false))
+
+let suite_fingerprint tests = String.concat "\n--\n" (List.map Testspec.to_string tests)
+
+(* the cadenced cross-cutting invariants; [None] = all hold *)
+let check_invariants ~arch ~seed ~max_tests ~(i : int) src : (string * string) option =
+  let opts = { Runtime.default_options with seed } in
+  let gen config = (Oracle.generate ~opts ~config (target_of arch) src).Oracle.result.Explore.tests in
+  let base_cfg = { Explore.default_config with Explore.max_tests = Some max_tests } in
+  let checks = ref [] in
+  if i mod 5 = 0 then
+    checks :=
+      ( "seed determinism",
+        fun () ->
+          let a = gen base_cfg and b = gen base_cfg in
+          if suite_fingerprint a <> suite_fingerprint b then
+            Some "same seed produced two different suites"
+          else None )
+      :: !checks;
+  if i mod 7 = 0 then
+    checks :=
+      ( "path_jobs determinism",
+        fun () ->
+          (* the frontier driver's contract: bit-identical suites for
+             any path_jobs >= 1 (pj=1 is the reference; pj=0, the
+             classic sequential DFS, may order tests differently) *)
+          let ref_ = gen { base_cfg with Explore.path_jobs = 1 } in
+          let par = gen { base_cfg with Explore.path_jobs = 2 } in
+          if suite_fingerprint ref_ <> suite_fingerprint par then
+            Some "path_jobs=2 suite differs from the path_jobs=1 reference"
+          else None )
+      :: !checks;
+  if i mod 3 = 0 then begin
+    let strategy_check name strat =
+      ( Printf.sprintf "%s strategy validates" name,
+        fun () ->
+          match
+            run_pipeline
+              ~explore:{ Explore.default_config with Explore.strategy = strat }
+              ~fault:Sim.Mutation.No_fault ~arch ~seed ~max_tests src
+          with
+          | All_pass _ -> None
+          | Diff (kind, detail) -> Some (kind ^ ": " ^ detail) )
+    in
+    checks := strategy_check "Rnd" Explore.Rnd :: !checks;
+    if i mod 6 = 0 then checks := strategy_check "Cov" Explore.Cov :: !checks
+  end;
+  List.fold_left
+    (fun acc (name, check) ->
+      match acc with
+      | Some _ -> acc
+      | None -> ( match check () with Some d -> Some (name, d) | None -> None))
+    None (List.rev !checks)
+
+(* ------------------------------------------------------------------ *)
+(* Case execution *)
+
+let run_case cfg (reg : Obs.Registry.t) (i : int) : case_result =
+  let seed = case_seed cfg.seed i in
+  let arch = case_arch cfg i in
+  let arch_name = Randprog.arch_name arch in
+  let gen = Randprog.generate_for ~arch ~seed in
+  let fail kind detail =
+    {
+      f_case = i;
+      f_arch = arch_name;
+      f_seed = seed;
+      f_kind = kind;
+      f_detail = detail;
+      f_source = gen.Randprog.src;
+      f_reduced = None;
+      f_file = None;
+    }
+  in
+  let mk failure tests =
+    {
+      r_case = i;
+      r_arch = arch_name;
+      r_seed = seed;
+      r_tests = tests;
+      r_features = gen.Randprog.features;
+      r_failure = failure;
+      r_skipped = false;
+    }
+  in
+  Obs.Counter.incr (Obs.Registry.counter reg "selftest.cases");
+  let t = Obs.Registry.timer reg "selftest.case_time" in
+  Obs.Timer.time t (fun () ->
+      match
+        run_pipeline ~fault:cfg.fault ~arch:arch_name ~seed ~max_tests:cfg.max_tests
+          gen.Randprog.src
+      with
+      | Diff (kind, detail) ->
+          Obs.Counter.incr (Obs.Registry.counter reg "selftest.failures");
+          mk (Some (fail kind detail)) 0
+      | All_pass n -> (
+          Obs.Counter.add (Obs.Registry.counter reg "selftest.tests") n;
+          (* invariants only make sense on a program that validates; a
+             seeded fault intentionally breaks differential runs, so
+             skip them then *)
+          if cfg.fault <> Sim.Mutation.No_fault then mk None n
+          else
+            match
+              check_invariants ~arch:arch_name ~seed ~max_tests:cfg.max_tests ~i
+                gen.Randprog.src
+            with
+            | Some (name, detail) ->
+                Obs.Counter.incr (Obs.Registry.counter reg "selftest.failures");
+                Obs.Counter.incr (Obs.Registry.counter reg "selftest.invariant_failures");
+                mk (Some (fail "invariant" (name ^ ": " ^ detail))) n
+            | None -> mk None n))
+
+(* ------------------------------------------------------------------ *)
+(* Reduction post-pass *)
+
+let reduce_failure cfg (reg : Obs.Registry.t) (f : failure) : failure =
+  (* "still fails the same way": same kind, under the same seed/fault *)
+  let keep src =
+    match
+      run_pipeline ~fault:cfg.fault ~arch:f.f_arch ~seed:f.f_seed ~max_tests:cfg.max_tests
+        src
+    with
+    | Diff (kind, _) -> kind = f.f_kind
+    | All_pass _ -> false
+  in
+  if f.f_kind = "invariant" then f  (* invariant breaks rarely survive shrinking *)
+  else begin
+    (* candidate programs legitimately break (dangling action names,
+       dead states): the oracle's per-path warnings are noise here *)
+    let saved = Logs.level () in
+    Logs.set_level (Some Logs.Error);
+    let outcome =
+      Fun.protect
+        ~finally:(fun () -> Logs.set_level saved)
+        (fun () -> Reduce.reduce ~keep f.f_source)
+    in
+    Obs.Counter.add (Obs.Registry.counter reg "selftest.reduce_steps") outcome.Reduce.steps;
+    Obs.Counter.incr (Obs.Registry.counter reg "selftest.reduced");
+    { f with f_reduced = Some outcome }
+  end
+
+let write_repro cfg (f : failure) : failure =
+  match cfg.out_dir with
+  | None -> f
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let file = Filename.concat dir (Printf.sprintf "case%04d_%s.p4" f.f_case f.f_arch) in
+      let oc = open_out file in
+      let body =
+        match f.f_reduced with Some r -> r.Reduce.reduced | None -> f.f_source
+      in
+      Printf.fprintf oc "// arch: %s\n// seed: %d\n// case: %d  kind: %s\n" f.f_arch
+        f.f_seed f.f_case f.f_kind;
+      (match cfg.fault with
+      | Sim.Mutation.No_fault -> ()
+      | fault -> Printf.fprintf oc "// fault: %s\n" (Sim.Mutation.fault_name fault));
+      List.iter
+        (fun l -> Printf.fprintf oc "// detail: %s\n" l)
+        (String.split_on_char '\n' f.f_detail |> List.filteri (fun i _ -> i < 3));
+      output_string oc body;
+      if body = "" || body.[String.length body - 1] <> '\n' then output_char oc '\n';
+      close_out oc;
+      { f with f_file = Some file }
+
+(* ------------------------------------------------------------------ *)
+(* The parallel driver *)
+
+let run (cfg : config) : summary =
+  let t0 = Obs.Clock.now () in
+  let deadline = Option.map (fun s -> t0 +. s) cfg.max_seconds in
+  let n = cfg.cases in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker_regs =
+    Array.init (max 1 cfg.jobs) (fun _ -> Obs.Registry.create ~record_spans:true ())
+  in
+  let worker wid () =
+    let reg = worker_regs.(wid) in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let skipped =
+          match deadline with Some d -> Obs.Clock.now () > d | None -> false
+        in
+        (out.(i) <-
+          (if skipped then
+             Some
+               {
+                 r_case = i;
+                 r_arch = Randprog.arch_name (case_arch cfg i);
+                 r_seed = case_seed cfg.seed i;
+                 r_tests = 0;
+                 r_features = [];
+                 r_failure = None;
+                 r_skipped = true;
+               }
+           else
+             let span = Obs.Span.enter reg ~args:[ ("case", string_of_int i) ] "case" in
+             let r = run_case cfg reg i in
+             Obs.Span.exit reg span;
+             Some r));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let extra = Explore.Pool.acquire (cfg.jobs - 1) in
+  if extra = 0 then worker 0 ()
+  else begin
+    let domains = List.init extra (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    Explore.Pool.release extra
+  end;
+  let results = Array.to_list out |> List.filter_map Fun.id in
+  (* sequential, case-ordered reduction post-pass *)
+  let main_reg = worker_regs.(0) in
+  let reduced = ref 0 in
+  let results =
+    List.map
+      (fun r ->
+        match r.r_failure with
+        | Some f ->
+            let f =
+              if cfg.reduce && !reduced < cfg.reduce_limit then begin
+                incr reduced;
+                reduce_failure cfg main_reg f
+              end
+              else f
+            in
+            let f = write_repro cfg f in
+            { r with r_failure = Some f }
+        | None -> r)
+      results
+  in
+  let failures = List.filter_map (fun r -> r.r_failure) results in
+  let features =
+    List.sort_uniq compare (List.concat_map (fun r -> r.r_features) results)
+  in
+  let merged_obs =
+    Array.fold_left
+      (fun acc reg -> Obs.Snapshot.merge acc (Obs.Registry.snapshot reg))
+      Obs.Snapshot.empty worker_regs
+  in
+  {
+    s_config = cfg;
+    s_results = results;
+    s_failures = failures;
+    s_ran = List.length (List.filter (fun r -> not r.r_skipped) results);
+    s_skipped = List.length (List.filter (fun r -> r.r_skipped) results);
+    s_tests = List.fold_left (fun a r -> a + r.r_tests) 0 results;
+    s_features = features;
+    s_wall = Obs.Clock.now () -. t0;
+    s_obs = merged_obs;
+    s_workers =
+      Array.to_list (Array.mapi (fun i r -> (Printf.sprintf "selftest-w%d" i, r)) worker_regs);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+(** The canonical scheduling-independent summary: everything except
+    wall-clock.  [jobs=1] and [jobs=N] must render identically. *)
+let summary_line (s : summary) : string =
+  Printf.sprintf "cases=%d ran=%d skipped=%d failures=%d tests=%d features=%d/%d"
+    s.s_config.cases s.s_ran s.s_skipped (List.length s.s_failures) s.s_tests
+    (List.length s.s_features)
+    (List.length Randprog.feature_universe)
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf "selftest: %s (%.2fs)@." (summary_line s) s.s_wall;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  FAIL case %d (%s, seed %d): %s@." f.f_case f.f_arch f.f_seed
+        f.f_kind;
+      (match String.split_on_char '\n' f.f_detail with
+      | first :: _ -> Format.fprintf ppf "    %s@." first
+      | [] -> ());
+      (match f.f_reduced with
+      | Some r ->
+          Format.fprintf ppf "    reduced: %d lines (%d edits, %d rounds)@."
+            (Reduce.line_count r.Reduce.reduced)
+            r.Reduce.steps r.Reduce.rounds
+      | None -> ());
+      match f.f_file with
+      | Some file -> Format.fprintf ppf "    repro: %s@." file
+      | None -> ())
+    s.s_failures

@@ -1,0 +1,100 @@
+(* Mutation scoring of generated test suites against the
+   {!Sim.Mutation} fault catalogue (the Tbl. 2 / Tbl. 3 bug-finding
+   study, run as a self-test).
+
+   For every catalogued fault we generate a suite for its trigger
+   program and inject the fault into the simulator; the fault is
+   "killed" when a test crashes the faulted model or fails its oracle
+   expectation.  Faults that the expectations cannot see — e.g.
+   Invalid_read_garbage, whose effect hides behind the oracle's taint
+   don't-care masks — get a second chance on the fully deterministic
+   v1model: the same tests run on the pristine and the faulted model,
+   and any bit-exact output difference also counts as a kill (the
+   classic mutation-testing criterion: the suite distinguishes the
+   mutant from the original). *)
+
+module Oracle = Testgen.Oracle
+module Explore = Testgen.Explore
+module Runtime = Testgen.Runtime
+module Bits = Bitv.Bits
+
+type detection = Detected of Sim.Mutation.kind | Undetected
+
+let trigger_program (m : Sim.Mutation.t) : string * string =
+  match m.m_label with
+  | "P4C-1" -> ("v1model", Progzoo.Corpus.expr_key)
+  | "P4C-2" -> ("v1model", Progzoo.Corpus.advance_prog)
+  | "P4C-3" | "BMV2-1" -> ("v1model", Progzoo.Corpus.mpls_stack)
+  | "P4C-4" -> ("v1model", Progzoo.Corpus.fig1a)
+  | "P4C-5" -> ("v1model", Progzoo.Corpus.shift_prog)
+  | "P4C-6" -> ("v1model", Progzoo.Corpus.union_prog)
+  | "P4C-7" -> ("v1model", Progzoo.Corpus.switch_action_run)
+  | "P4C-8" -> ("v1model", Progzoo.Corpus.dup_member)
+  | "TOF-1" -> ("tna", Progzoo.Corpus.tna_basic)
+  | "TOF-5" -> ("tna", Progzoo.Corpus.tna_basic)
+  | "TOF-12" -> ("v1model", Progzoo.Corpus.stale_read_prog)
+  | _ -> ("tna", Progzoo.Corpus.tna_kitchen)
+
+(* suites are pure functions of (arch, source) here, so share them
+   across faults that use the same trigger *)
+let cache : (string * string, Testgen.Testspec.t list) Hashtbl.t = Hashtbl.create 8
+let target_of arch = Option.get (Targets.Registry.find arch)
+
+let tests_for arch src =
+  match Hashtbl.find_opt cache (arch, src) with
+  | Some t -> t
+  | None ->
+      let opts = { Runtime.default_options with unroll_bound = 4; seed = 3 } in
+      let run = Oracle.generate ~opts (target_of arch) src in
+      let tests = run.Oracle.result.Explore.tests in
+      Hashtbl.replace cache (arch, src) tests;
+      tests
+
+(* bit-exact output comparison between two models on one test; only
+   meaningful on a deterministic architecture (v1model: undefined
+   reads are zero, no RNG in the pipeline) *)
+let outputs_differ (pristine : Sim.Harness.prepared_sim) (faulted : Sim.Harness.prepared_sim)
+    (t : Testgen.Testspec.t) : bool =
+  let run sim =
+    match
+      Sim.Harness.run_packet sim ~entries:t.Testgen.Testspec.entries
+        ~port:(Bits.to_int t.Testgen.Testspec.input.Testgen.Testspec.port)
+        t.Testgen.Testspec.input.Testgen.Testspec.data
+    with
+    | exception _ -> None
+    | outs -> Some outs
+  in
+  match (run pristine, run faulted) with
+  | Some a, Some b ->
+      let render = function
+        | None -> "drop"
+        | Some outs ->
+            String.concat ";"
+              (List.map (fun (p, bits) -> Printf.sprintf "%d:%s" p (Bits.to_hex bits)) outs)
+      in
+      render a <> render b
+  | None, None -> false
+  | _ -> true  (* one side crashed where the other did not *)
+
+let run_mutation (m : Sim.Mutation.t) : detection =
+  let arch, src = trigger_program m in
+  let tests = tests_for arch src in
+  match Sim.Harness.prepare ~fault:m.Sim.Mutation.m_fault ~arch src with
+  | exception Sim.Interp.Sim_crash _ -> Detected Sim.Mutation.Exception
+  | sim -> (
+      let summary, _ = Sim.Harness.run_suite sim tests in
+      if summary.Sim.Harness.crashed > 0 then Detected Sim.Mutation.Exception
+      else if summary.Sim.Harness.wrong > 0 then Detected Sim.Mutation.Wrong_code
+      else if arch = "v1model" then begin
+        (* differential second chance on the deterministic model *)
+        let pristine = Sim.Harness.prepare ~arch src in
+        if List.exists (outputs_differ pristine sim) tests then
+          Detected Sim.Mutation.Wrong_code
+        else Undetected
+      end
+      else Undetected)
+
+let score ?(faults = Sim.Mutation.corpus) () : (Sim.Mutation.t * detection) list =
+  List.map (fun m -> (m, run_mutation m)) faults
+
+let undetected results = List.filter (fun (_, d) -> d = Undetected) results

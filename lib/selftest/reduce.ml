@@ -1,0 +1,386 @@
+(* Hierarchical delta debugging on the P4 AST.
+
+   When the differential campaign finds a failing program, this module
+   shrinks it to a minimal repro while preserving the failure: parse
+   the source, enumerate one-edit variants (coarse edits first —
+   whole declarations, parser states — down to single statements and
+   constants), and greedily adopt any variant the caller's [keep]
+   predicate still accepts.  Passes run to a fixpoint, so a ~300-line
+   fuzz blob typically lands as a ~20-line program.
+
+   The reducer knows nothing about *why* the program fails: [keep]
+   re-runs the oracle/model pipeline and answers "does this source
+   still fail the same way?".  Variants that no longer parse or
+   type-check simply make [keep] return false and are skipped, which
+   keeps the edit rules simple and type-oblivious. *)
+
+open P4.Ast
+
+type predicate = string -> bool
+(** [keep src] must hold exactly when [src] still exhibits the
+    original failure.  It must be deterministic: reduction explores
+    candidates in a fixed order, so a deterministic predicate makes
+    the reduced program a pure function of the input. *)
+
+let pp (prog : program) : string = P4.Pretty.program_to_string prog
+
+(* one-edit variants of a list: element [i] deleted or replaced *)
+let list_edits (f : 'a -> 'a option list) (xs : 'a list) : 'a list list =
+  let rec go pre = function
+    | [] -> []
+    | x :: rest ->
+        let here =
+          List.map
+            (fun v ->
+              List.rev_append pre (match v with None -> rest | Some x' -> x' :: rest))
+            (f x)
+        in
+        here @ go (x :: pre) rest
+  in
+  go [] xs
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level edits: delete a statement, flatten an [if] to one
+   of its branches, recursively inside nested blocks *)
+
+let rec stmt_edits (s : stmt) : stmt option list =
+  let structural =
+    match s with
+    | SIf (p, c, t, e) ->
+        [ Some (SBlock t); Some (SBlock e) ]
+        @ List.map (fun t' -> Some (SIf (p, c, t', e))) (block_edits t)
+        @ List.map (fun e' -> Some (SIf (p, c, t, e'))) (block_edits e)
+    | SBlock b -> List.map (fun b' -> Some (SBlock b')) (block_edits b)
+    | SSwitch (p, e, cases) ->
+        list_edits
+          (fun (case : switch_case) ->
+            None
+            ::
+            (match case.sw_body with
+            | None -> []
+            | Some b -> List.map (fun b' -> Some { case with sw_body = Some b' }) (block_edits b)))
+          cases
+        |> List.map (fun cs -> Some (SSwitch (p, e, cs)))
+    | _ -> []
+  in
+  None :: structural
+
+and block_edits (b : block) : block list = list_edits stmt_edits b
+
+(* ------------------------------------------------------------------ *)
+(* Expression shrinking: constants toward zero, operators replaced by
+   an operand *)
+
+let rec expr_edits (e : expr) : expr list =
+  match e with
+  | EInt ({ iv; width; _ } as r) when iv <> 0 ->
+      let mk v =
+        EInt
+          {
+            r with
+            iv = v;
+            value = Option.map (fun w -> Bitv.Bits.of_int ~width:w v) width;
+          }
+      in
+      mk 0 :: (if iv > 1 then [ mk (iv / 2) ] else [])
+  | EUnop (op, a) -> (a :: List.map (fun a' -> EUnop (op, a')) (expr_edits a))
+  | EBinop (op, a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> EBinop (op, a', b)) (expr_edits a)
+      @ List.map (fun b' -> EBinop (op, a, b')) (expr_edits b)
+  | ETernary (c, t, e) ->
+      [ t; e ]
+      @ List.map (fun c' -> ETernary (c', t, e)) (expr_edits c)
+      @ List.map (fun t' -> ETernary (c, t', e)) (expr_edits t)
+      @ List.map (fun e' -> ETernary (c, t, e')) (expr_edits e)
+  | ECast (ty, a) -> List.map (fun a' -> ECast (ty, a')) (expr_edits a)
+  | ESlice (a, hi, lo) -> List.map (fun a' -> ESlice (a', hi, lo)) (expr_edits a)
+  | _ -> []
+
+let rec stmt_expr_edits (s : stmt) : stmt list =
+  match s with
+  | SAssign (p, l, r) -> List.map (fun r' -> SAssign (p, l, r')) (expr_edits r)
+  | SIf (p, c, t, e) ->
+      List.map (fun c' -> SIf (p, c', t, e)) (expr_edits c)
+      @ List.map (fun t' -> SIf (p, c, t', e)) (block_expr_edits t)
+      @ List.map (fun e' -> SIf (p, c, t, e')) (block_expr_edits e)
+  | SCall (p, f, args) ->
+      list_edits (fun a -> List.map Option.some (expr_edits a)) args
+      |> List.map (fun args' -> SCall (p, f, args'))
+  | SVarDecl (p, ty, n, Some e) ->
+      List.map (fun e' -> SVarDecl (p, ty, n, Some e')) (expr_edits e)
+  | SBlock b -> List.map (fun b' -> SBlock b') (block_expr_edits b)
+  | _ -> []
+
+and block_expr_edits (b : block) : block list = list_edits (fun s -> List.map Option.some (stmt_expr_edits s)) b
+
+(* ------------------------------------------------------------------ *)
+(* Program-level passes, coarse to fine.  Each pass maps a program to
+   its one-edit variants in a deterministic order. *)
+
+let on_decl (f : decl -> decl option list) (prog : program) : program list =
+  list_edits f prog
+
+(* 1. drop a whole top-level declaration *)
+let drop_decls prog = on_decl (fun _ -> [ None ]) prog
+
+(* 1b. drop a header/struct field (uses elsewhere fail typing and are
+   rejected by the predicate) *)
+let drop_fields prog =
+  on_decl
+    (function
+      | DHeader (n, fields, a) ->
+          list_edits (fun _ -> [ None ]) fields
+          |> List.map (fun fs -> Some (DHeader (n, fs, a)))
+      | DStruct (n, fields, a) ->
+          list_edits (fun _ -> [ None ]) fields
+          |> List.map (fun fs -> Some (DStruct (n, fs, a)))
+      | _ -> [])
+    prog
+
+(* 2. drop a parser state (transitions into it retarget to accept) *)
+let drop_states prog =
+  on_decl
+    (function
+      | DParser (pd, annos) ->
+          List.filter_map
+            (fun (dead : parser_state) ->
+              if dead.st_name = "start" then None
+              else begin
+                let fix n = if n = dead.st_name then "accept" else n in
+                let states =
+                  List.filter_map
+                    (fun (st : parser_state) ->
+                      if st.st_name = dead.st_name then None
+                      else
+                        Some
+                          {
+                            st with
+                            st_trans =
+                              (match st.st_trans with
+                              | TrDirect n -> TrDirect (fix n)
+                              | TrSelect (ks, cs) ->
+                                  TrSelect
+                                    ( ks,
+                                      List.map
+                                        (fun c -> { c with sel_next = fix c.sel_next })
+                                        cs ));
+                          })
+                    pd.p_states
+                in
+                Some (Some (DParser ({ pd with p_states = states }, annos)))
+              end)
+            pd.p_states
+      | _ -> [])
+    prog
+
+(* 3. collapse a select transition to a direct one *)
+let direct_transitions prog =
+  on_decl
+    (function
+      | DParser (pd, annos) ->
+          list_edits
+            (fun (st : parser_state) ->
+              match st.st_trans with
+              | TrDirect _ -> []
+              | TrSelect (_, cases) ->
+                  let targets =
+                    List.sort_uniq compare
+                      ("accept" :: List.map (fun c -> c.sel_next) cases)
+                  in
+                  List.map (fun t -> Some { st with st_trans = TrDirect t }) targets)
+            pd.p_states
+          |> List.map (fun states -> Some (DParser ({ pd with p_states = states }, annos)))
+      | _ -> [])
+    prog
+
+(* 4. drop a local declaration (table, action, variable, instance) *)
+let drop_locals prog =
+  on_decl
+    (function
+      | DControl (cd, annos) ->
+          list_edits (fun _ -> [ None ]) cd.c_locals
+          |> List.map (fun ls -> Some (DControl ({ cd with c_locals = ls }, annos)))
+      | DParser (pd, annos) ->
+          list_edits (fun _ -> [ None ]) pd.p_locals
+          |> List.map (fun ls -> Some (DParser ({ pd with p_locals = ls }, annos)))
+      | _ -> [])
+    prog
+
+(* 5. inline a table: replace [t.apply();] with the default action's
+   body (parameters substituted by the default's arguments) and drop
+   the table declaration *)
+let inline_tables prog =
+  let rec subst env e =
+    match e with
+    | EVar n -> ( match List.assoc_opt n env with Some v -> v | None -> e)
+    | EMember (a, f) -> EMember (subst env a, f)
+    | EIndex (a, i) -> EIndex (subst env a, subst env i)
+    | ESlice (a, hi, lo) -> ESlice (subst env a, hi, lo)
+    | EUnop (op, a) -> EUnop (op, subst env a)
+    | EBinop (op, a, b) -> EBinop (op, subst env a, subst env b)
+    | ETernary (c, t, e) -> ETernary (subst env c, subst env t, subst env e)
+    | ECast (ty, a) -> ECast (ty, subst env a)
+    | ECall (f, args) -> ECall (subst env f, List.map (subst env) args)
+    | EList es -> EList (List.map (subst env) es)
+    | EMask (a, b) -> EMask (subst env a, subst env b)
+    | ERange (a, b) -> ERange (subst env a, subst env b)
+    | _ -> e
+  in
+  let rec subst_stmt env s =
+    match s with
+    | SAssign (p, l, r) -> SAssign (p, subst env l, subst env r)
+    | SCall (p, f, args) -> SCall (p, subst env f, List.map (subst env) args)
+    | SIf (p, c, t, e) ->
+        SIf (p, subst env c, List.map (subst_stmt env) t, List.map (subst_stmt env) e)
+    | SBlock b -> SBlock (List.map (subst_stmt env) b)
+    | SVarDecl (p, ty, n, i) -> SVarDecl (p, ty, n, Option.map (subst env) i)
+    | _ -> s
+  in
+  let rec replace_apply tbl body s =
+    match s with
+    | SCall (_, EMember (EVar t, "apply"), []) when t = tbl -> SBlock body
+    | SIf (p, c, th, el) ->
+        SIf (p, c, List.map (replace_apply tbl body) th, List.map (replace_apply tbl body) el)
+    | SBlock b -> SBlock (List.map (replace_apply tbl body) b)
+    | _ -> s
+  in
+  on_decl
+    (function
+      | DControl (cd, annos) ->
+          List.filter_map
+            (function
+              | LTable t -> (
+                  let default =
+                    match t.tbl_default with Some d -> Some d | None -> None
+                  in
+                  match default with
+                  | None -> None
+                  | Some (act_name, args) -> (
+                      let action =
+                        List.find_map
+                          (function
+                            | LAction a when a.act_name = act_name -> Some a
+                            | _ -> None)
+                          cd.c_locals
+                      in
+                      match action with
+                      | Some a when List.length a.act_params = List.length args ->
+                          let env =
+                            List.map2 (fun p v -> (p.par_name, v)) a.act_params args
+                          in
+                          let body = List.map (subst_stmt env) a.act_body in
+                          let locals =
+                            List.filter (function LTable t' -> t'.tbl_name <> t.tbl_name | _ -> true)
+                              cd.c_locals
+                          in
+                          let c_body = List.map (replace_apply t.tbl_name body) cd.c_body in
+                          Some
+                            (Some (DControl ({ cd with c_locals = locals; c_body }, annos)))
+                      | _ -> None))
+              | _ -> None)
+            cd.c_locals
+      | _ -> [])
+    prog
+
+(* 6. delete / flatten statements everywhere statements live *)
+let stmt_pass prog =
+  let local_edits = function
+    | LAction a ->
+        List.map (fun b -> Some (LAction { a with act_body = b })) (block_edits a.act_body)
+    | _ -> []
+  in
+  on_decl
+    (function
+      | DControl (cd, annos) ->
+          List.map (fun b -> Some (DControl ({ cd with c_body = b }, annos))) (block_edits cd.c_body)
+          @ (list_edits local_edits cd.c_locals
+            |> List.map (fun ls -> Some (DControl ({ cd with c_locals = ls }, annos))))
+      | DParser (pd, annos) ->
+          list_edits
+            (fun (st : parser_state) ->
+              List.map (fun ss -> Some { st with st_stmts = ss }) (block_edits st.st_stmts))
+            pd.p_states
+          |> List.map (fun states -> Some (DParser ({ pd with p_states = states }, annos)))
+      | DAction a ->
+          List.map (fun b -> Some (DAction { a with act_body = b })) (block_edits a.act_body)
+      | _ -> [])
+    prog
+
+(* 7. shrink constants and prune operators inside expressions *)
+let expr_pass prog =
+  let local_edits = function
+    | LAction a ->
+        List.map
+          (fun b -> Some (LAction { a with act_body = b }))
+          (block_expr_edits a.act_body)
+    | _ -> []
+  in
+  on_decl
+    (function
+      | DControl (cd, annos) ->
+          List.map
+            (fun b -> Some (DControl ({ cd with c_body = b }, annos)))
+            (block_expr_edits cd.c_body)
+          @ (list_edits local_edits cd.c_locals
+            |> List.map (fun ls -> Some (DControl ({ cd with c_locals = ls }, annos))))
+      | DAction a ->
+          List.map
+            (fun b -> Some (DAction { a with act_body = b }))
+            (block_expr_edits a.act_body)
+      | _ -> [])
+    prog
+
+let passes : (string * (program -> program list)) list =
+  [
+    ("drop-decl", drop_decls);
+    ("drop-field", drop_fields);
+    ("drop-state", drop_states);
+    ("direct-transition", direct_transitions);
+    ("drop-local", drop_locals);
+    ("inline-table", inline_tables);
+    ("edit-stmt", stmt_pass);
+    ("shrink-expr", expr_pass);
+  ]
+
+type outcome = {
+  reduced : string;  (** pretty-printed minimal program (still fails) *)
+  steps : int;  (** accepted edits *)
+  rounds : int;  (** fixpoint iterations *)
+}
+
+(** [reduce ~keep src] shrinks [src] while [keep] holds.  If [src]
+    does not parse, or its pretty-printed round trip no longer fails,
+    the original text is returned untouched ([steps = 0]). *)
+let reduce ?(max_rounds = 12) ~(keep : predicate) (src : string) : outcome =
+  match P4.Parser.parse_program src with
+  | exception _ -> { reduced = src; steps = 0; rounds = 0 }
+  | prog ->
+      if not (keep (pp prog)) then { reduced = src; steps = 0; rounds = 0 }
+      else begin
+        let steps = ref 0 in
+        let rec run_pass pass prog =
+          match List.find_opt (fun c -> keep (pp c)) (pass prog) with
+          | Some c ->
+              incr steps;
+              run_pass pass c
+          | None -> prog
+        in
+        let rec fix prog round =
+          if round >= max_rounds then (prog, round)
+          else begin
+            let before = !steps in
+            let prog =
+              List.fold_left (fun prog (_name, pass) -> run_pass pass prog) prog passes
+            in
+            if !steps = before then (prog, round) else fix prog (round + 1)
+          end
+        in
+        let prog, rounds = fix prog 0 in
+        { reduced = pp prog; steps = !steps; rounds }
+      end
+
+let line_count (src : string) : int =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

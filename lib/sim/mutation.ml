@@ -41,6 +41,27 @@ type t = {
 
 let kind_name = function Exception -> "Exception" | Wrong_code -> "Wrong Code"
 
+let fault_name = function
+  | No_fault -> "no_fault"
+  | Crash_stack_oob -> "crash_stack_oob"
+  | Crash_expr_key -> "crash_expr_key"
+  | Crash_missing_name -> "crash_missing_name"
+  | Crash_varbit_extract -> "crash_varbit_extract"
+  | Crash_union_emit -> "crash_union_emit"
+  | Crash_dup_member -> "crash_dup_member"
+  | Crash_zero_len -> "crash_zero_len"
+  | Crash_assert -> "crash_assert"
+  | Wrong_stack_op -> "wrong_stack_op"
+  | Swallow_apply -> "swallow_apply"
+  | Ignore_entry_priority -> "ignore_entry_priority"
+  | Wrong_checksum_fold -> "wrong_checksum_fold"
+  | Invalid_read_garbage -> "invalid_read_garbage"
+  | Drop_second_emit -> "drop_second_emit"
+  | Wrong_shift_direction -> "wrong_shift_direction"
+  | Wrong_ternary_mask -> "wrong_ternary_mask"
+  | Skip_default_action -> "skip_default_action"
+  | Truncate_action_arg -> "truncate_action_arg"
+
 (* The seeded fault corpus: 9 BMv2-side and 16 Tofino-side faults,
    matching the counts of Tbl. 2; the BMv2 nine carry the descriptions
    of Tbl. 3. *)
@@ -111,3 +132,14 @@ let corpus : t list =
   ]
 
 let by_target tgt = List.filter (fun m -> m.m_target = tgt) corpus
+let by_label l = List.find_opt (fun m -> m.m_label = l) corpus
+
+(* resolve a CLI spelling: a corpus label ("P4C-7", "TOF-12") or a
+   fault name ("swallow_apply") *)
+let fault_of_string s : fault option =
+  match by_label s with
+  | Some m -> Some m.m_fault
+  | None ->
+      List.find_map
+        (fun m -> if fault_name m.m_fault = s then Some m.m_fault else None)
+        corpus

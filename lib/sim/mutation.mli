@@ -43,8 +43,17 @@ type t = {
 
 val kind_name : kind -> string
 
+val fault_name : fault -> string
+(** Stable snake_case spelling, e.g. ["invalid_read_garbage"]. *)
+
 val corpus : t list
 (** 9 BMv2-side faults (carrying the exact Tbl. 3 descriptions) and 16
     Tofino-side faults, matching the counts of Tbl. 2. *)
 
 val by_target : string -> t list
+
+val by_label : string -> t option
+(** Look up a corpus entry by its label ("P4C-7", "TOF-12"). *)
+
+val fault_of_string : string -> fault option
+(** Resolve a CLI spelling: a corpus label or a {!fault_name}. *)

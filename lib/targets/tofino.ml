@@ -461,19 +461,20 @@ and traffic_manager (b : blocks) ctx st : branch list =
   let port_op =
     WOp
       ( "tofino:tm-port?",
-        fun _ctx st ->
-          (* "egress port never written -> drop" (Tbl. 6): the port
-             still holds the initial sentinel constant only when no
-             write ever happened, so this is a syntactic check, not a
-             path fork *)
+        fun ctx st ->
+          (* "egress port never written -> drop" (Tbl. 6), checked
+             semantically: the port is initialized to the invalid-port
+             sentinel, and the TM also drops when the program itself
+             forwards to the sentinel value — the concrete model
+             compares the value, so a syntactic written-ness check
+             would disagree whenever a symbolic port can take 0x1FF.
+             Constant ports short-circuit in fork_cond, so only a
+             genuinely symbolic port forks here *)
           let port = leaf st (ig_tm ^ ".ucast_egress_port") in
-          let unwritten =
-            match Expr.is_const port with
-            | Some b -> Bits.to_int b = invalid_port
-            | None -> false
-          in
-          if unwritten then continue_ (dropped "egress port never set" st)
-          else continue_ (push_work [ bypass_op ] st) )
+          let invalid = Expr.eq port (Expr.of_int ctx.ectx ~width:9 invalid_port) in
+          Step.fork_cond ctx dummy_fr invalid
+            ~then_:("tm:invalid-port", dropped "egress port never set" st)
+            ~else_:("tm:fwd-port", push_work [ bypass_op ] st) )
   in
   Step.fork_cond ctx dummy_fr drop
     ~then_:("tm:drop", dropped "drop_ctl" st)

@@ -1,0 +1,42 @@
+// arch: ebpf_model
+// seed: 7007941
+// case: 1  kind: wrong_output
+// fault: drop_second_emit
+// detail: length mismatch: expected 160 bits, got 112
+// detail: test {
+// detail:   input:  port 7 len 160b data FC473694CBD69D8BD723C8091234FEED37AC9AE1
+header eth_t {
+  bit<16> etype;
+}
+
+header extra_t {
+  bit<24> c;
+}
+
+struct headers_t {
+  eth_t eth;
+  extra_t extra;
+}
+
+parser prs(packet_in pkt, out headers_t hdr) {
+  
+  state start {
+    pkt.extract(hdr.eth);
+transition parse_extra;
+  }
+  state parse_extra {
+    pkt.extract(hdr.extra);
+transition accept;
+  }
+}
+
+control pipe(inout headers_t hdr, out bool pass) {
+  
+  apply {
+    {
+      pass = true;
+    }
+  }
+}
+
+ebpfFilter(prs(), pipe()) main;

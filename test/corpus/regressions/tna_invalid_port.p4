@@ -1,0 +1,66 @@
+// arch: tna
+// found-by: selftest campaign, seed 7 case 101 (hand-minimized)
+// The oracle used to decide "egress port never written -> drop" with a
+// syntactic constant check, while the concrete model compares the
+// port's *value* against the 0x1FF sentinel.  A program that forwards
+// a symbolic, header-derived port the solver can drive to 0x1FF made
+// the two disagree (oracle expected a forward, model dropped).  The
+// if-guard below forces the symbolic port to 0x1FF on a feasible path,
+// so any regression to the syntactic check fails validation
+// deterministically instead of depending on a random draw.
+
+header eth_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { eth_t eth; }
+struct meta_t { }
+
+parser IgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+  state start {
+    pkt.extract(ig_intr_md);
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+
+control Ig(inout headers_t hdr, inout meta_t md,
+           in ingress_intrinsic_metadata_t ig_intr_md,
+           in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+           inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+           inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+  apply {
+    if (hdr.eth.etype == 0x01FF) {
+      ig_tm_md.ucast_egress_port = hdr.eth.etype[8:0];
+    } else {
+      ig_tm_md.ucast_egress_port = 5;
+    }
+  }
+}
+
+control IgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+  apply { pkt.emit(hdr.eth); }
+}
+
+parser EgParser(packet_in pkt, out headers_t hdr, out meta_t md,
+                out egress_intrinsic_metadata_t eg_intr_md) {
+  state start {
+    pkt.extract(eg_intr_md);
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+
+control Eg(inout headers_t hdr, inout meta_t md,
+           in egress_intrinsic_metadata_t eg_intr_md,
+           in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+           inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+           inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+  apply { }
+}
+
+control EgDeparser(packet_out pkt, inout headers_t hdr, in meta_t md,
+                   in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+  apply { pkt.emit(hdr.eth); }
+}
+
+Switch(Pipeline(IgParser(), Ig(), IgDeparser(), EgParser(), Eg(), EgDeparser())) main;

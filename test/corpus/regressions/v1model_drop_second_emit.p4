@@ -1,0 +1,73 @@
+// arch: v1model
+// seed: 7000022
+// case: 0  kind: wrong_output
+// fault: drop_second_emit
+// detail: length mismatch: expected 208 bits, got 112
+// detail: test {
+// detail:   input:  port 136 len 208b data 3C76321AD7DD01621D2009F5080054DA7C3901EBA3BCAC599584
+header eth_t {
+  bit<16> etype;
+}
+
+header ipv4ish_t {
+  bit<32> saddr;
+}
+
+struct headers_t {
+  eth_t eth;
+  ipv4ish_t ipv4;
+}
+
+struct meta_t {
+  
+}
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  
+  state start {
+    pkt.extract(hdr.eth);
+transition parse_ipv4;
+  }
+  state parse_ipv4 {
+    pkt.extract(hdr.ipv4);
+transition accept;
+  }
+}
+
+control V(inout headers_t hdr, inout meta_t meta) {
+  
+  apply {
+    
+  }
+}
+
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  
+  apply {
+    
+  }
+}
+
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  
+  apply {
+    
+  }
+}
+
+control C(inout headers_t hdr, inout meta_t meta) {
+  
+  apply {
+    
+  }
+}
+
+control D(packet_out pkt, in headers_t hdr) {
+  
+  apply {
+    pkt.emit(hdr.eth);
+    pkt.emit(hdr.ipv4);
+  }
+}
+
+V1Switch(P(), V(), I(), E(), C(), D()) main;

@@ -1,66 +1,90 @@
-(* Differential fuzzing: random well-typed v1model programs, oracle vs
-   the concrete simulator.  For every seed:
+(* Differential fuzzing on the self-validation campaign engine (§7/§8).
 
-     1. the program must parse and pretty-print round-trip,
-     2. the oracle must generate at least one test,
-     3. every generated test must pass on the software model.
+   Each campaign case draws a random well-typed program, generates its
+   whole suite with the oracle, and replays every test on the
+   independent concrete simulator; on a cadence the campaign also
+   checks cross-cutting invariants (seed determinism, parallel
+   exploration determinism, alternative strategies validating).  The
+   Quick tests run small fixed-seed campaigns per architecture plus a
+   worker-count determinism check; the Slow test runs a larger mixed
+   campaign. *)
 
-   This is the §7 correctness methodology scaled to arbitrary
-   programs, and the same idea Gauntlet uses against compilers. *)
+module Campaign = Selftest.Campaign
+module Randprog = Progzoo.Randprog
 
-module Oracle = Testgen.Oracle
-module Explore = Testgen.Explore
+let failure_report (s : Campaign.summary) =
+  String.concat "; "
+    (List.map
+       (fun (f : Campaign.failure) ->
+         Printf.sprintf "case %d (%s, seed %d): %s: %s" f.Campaign.f_case
+           f.Campaign.f_arch f.Campaign.f_seed f.Campaign.f_kind
+           (match String.index_opt f.Campaign.f_detail '\n' with
+           | Some i -> String.sub f.Campaign.f_detail 0 i
+           | None -> f.Campaign.f_detail))
+       s.Campaign.s_failures)
 
-let num_seeds = 25
+let run_campaign cfg =
+  let s = Campaign.run cfg in
+  Alcotest.(check string) "no campaign failures" "" (failure_report s);
+  s
 
-let fuzz_one seed () =
-  let src = Progzoo.Randprog.generate ~seed in
-  (* 1. front-end round trip *)
-  let prog =
-    try P4.Parser.parse_program src
-    with P4.Parser.Error (msg, pos) ->
-      Alcotest.failf "seed %d: parse error at %d:%d: %s\n%s" seed pos.P4.Ast.line
-        pos.P4.Ast.col msg src
+(* per-architecture smoke campaigns: a handful of fixed-seed cases
+   through the full differential pipeline *)
+let smoke arch () =
+  let cfg =
+    {
+      Campaign.default_config with
+      Campaign.cases = 8;
+      seed = 42;
+      archs = [ arch ];
+      max_tests = 10;
+      reduce = false;
+    }
   in
-  let printed = P4.Pretty.program_to_string prog in
-  (match P4.Parser.parse_program printed with
-  | _ -> ()
-  | exception P4.Parser.Error (msg, _) ->
-      Alcotest.failf "seed %d: pretty-printed program does not reparse: %s" seed msg);
-  (* 2. generate *)
-  let config = { Explore.default_config with Explore.max_tests = Some 40 } in
-  let opts = { Testgen.Runtime.default_options with seed } in
-  let run =
-    try Oracle.generate ~opts ~config Targets.V1model.target src
-    with Testgen.Runtime.Exec_error msg ->
-      Alcotest.failf "seed %d: oracle failed: %s\n%s" seed msg src
+  let s = run_campaign cfg in
+  Alcotest.(check int) "all cases ran" 8 s.Campaign.s_ran;
+  Alcotest.(check bool) "oracle generated tests" true (s.Campaign.s_tests > 0)
+
+(* the campaign summary must not depend on the worker count *)
+let test_jobs_determinism () =
+  let cfg =
+    {
+      Campaign.default_config with
+      Campaign.cases = 9;
+      seed = 5;
+      max_tests = 8;
+      reduce = false;
+    }
   in
-  let tests = run.Oracle.result.Explore.tests in
-  Alcotest.(check bool)
-    (Printf.sprintf "seed %d generates tests" seed)
-    true (tests <> []);
-  (* 3. validate on the independent model *)
-  let sim = Sim.Harness.prepare ~arch:"v1model" src in
-  let summary, results = Sim.Harness.run_suite sim tests in
-  List.iter
-    (fun ((t : Testgen.Testspec.t), v) ->
-      match v with
-      | Sim.Harness.Pass -> ()
-      | Sim.Harness.Wrong_output msg ->
-          Alcotest.failf "seed %d: WRONG %s\ntest: %s\nprogram:\n%s" seed msg
-            (Testgen.Testspec.to_string t) src
-      | Sim.Harness.Crash msg ->
-          Alcotest.failf "seed %d: CRASH %s\nprogram:\n%s" seed msg src)
-    results;
-  Alcotest.(check int)
-    (Printf.sprintf "seed %d all pass" seed)
-    summary.Sim.Harness.total summary.Sim.Harness.passed
+  let s1 = run_campaign { cfg with Campaign.jobs = 1 } in
+  let s2 = run_campaign { cfg with Campaign.jobs = 4 } in
+  Alcotest.(check string) "summaries identical across jobs"
+    (Campaign.summary_line s1) (Campaign.summary_line s2);
+  let tests_per_case s =
+    List.map (fun (r : Campaign.case_result) -> r.Campaign.r_tests) s.Campaign.s_results
+  in
+  Alcotest.(check (list int)) "per-case test counts identical" (tests_per_case s1)
+    (tests_per_case s2)
+
+(* the larger mixed-architecture campaign *)
+let test_slow_campaign () =
+  let cfg =
+    { Campaign.default_config with Campaign.cases = 45; seed = 11; jobs = 2 }
+  in
+  let s = run_campaign cfg in
+  Alcotest.(check int) "all cases ran" 45 s.Campaign.s_ran;
+  Alcotest.(check bool) "exercises most generator features" true
+    (List.length s.Campaign.s_features >= 12)
 
 let () =
   Alcotest.run "fuzz"
     [
-      ( "oracle-vs-model",
-        List.init num_seeds (fun i ->
-            Alcotest.test_case (Printf.sprintf "seed %d" (i + 1)) `Quick (fuzz_one (i + 1)))
-      );
+      ( "campaign",
+        [
+          Alcotest.test_case "v1model smoke" `Quick (smoke Randprog.V1model);
+          Alcotest.test_case "ebpf_model smoke" `Quick (smoke Randprog.Ebpf);
+          Alcotest.test_case "tna smoke" `Quick (smoke Randprog.Tna);
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
+          Alcotest.test_case "mixed 45-case campaign" `Slow test_slow_campaign;
+        ] );
     ]

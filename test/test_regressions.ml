@@ -1,0 +1,90 @@
+(* Regression corpus and mutation coverage.
+
+   Every program under [corpus/regressions/] was once a campaign
+   failure (auto-reduced, or hand-minimized from one): each must keep
+   validating — the oracle's full suite passes on the pristine
+   concrete model — so the bug it exposed stays fixed.  The mutation
+   test asserts the generated suites kill every fault in the
+   {!Sim.Mutation} catalogue. *)
+
+module Campaign = Selftest.Campaign
+module Mutscore = Selftest.Mutscore
+
+(* cwd is the test directory under [dune runtest], the repo root under
+   [dune exec] *)
+let corpus_dir =
+  let local = Filename.concat "corpus" "regressions" in
+  if Sys.file_exists local then local else Filename.concat "test" local
+
+let regression_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".p4")
+  |> List.sort compare
+
+(* repro headers carry their architecture as a comment: [// arch: tna] *)
+let arch_of_file path =
+  let ic = open_in path in
+  let arch = ref None in
+  (try
+     while !arch = None do
+       let line = input_line ic in
+       let prefix = "// arch: " in
+       if String.length line > String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+       then
+         arch :=
+           Some (String.sub line (String.length prefix) (String.length line - String.length prefix))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match !arch with
+  | Some a -> String.trim a
+  | None -> Alcotest.failf "%s: missing '// arch:' header" path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let revalidate file () =
+  let path = Filename.concat corpus_dir file in
+  let arch = arch_of_file path in
+  let src = read_file path in
+  match
+    Campaign.run_pipeline ~fault:Sim.Mutation.No_fault ~arch ~seed:3 ~max_tests:12 src
+  with
+  | Campaign.All_pass n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: oracle generated tests" file)
+        true (n > 0)
+  | Campaign.Diff (kind, detail) ->
+      Alcotest.failf "%s (%s): regressed: %s: %s" file arch kind detail
+
+let test_corpus_nonempty () =
+  Alcotest.(check bool) "committed regression corpus exists" true
+    (List.length (regression_files ()) >= 2)
+
+(* every catalogued simulator fault must be killed by the suites the
+   oracle generates for the trigger programs *)
+let test_mutation_coverage () =
+  let results = Mutscore.score () in
+  let missed =
+    Mutscore.undetected results
+    |> List.map (fun ((m : Sim.Mutation.t), _) -> m.Sim.Mutation.m_label)
+  in
+  Alcotest.(check (list string)) "all faults killed" [] missed;
+  Alcotest.(check int) "whole catalogue scored" (List.length Sim.Mutation.corpus)
+    (List.length results)
+
+let () =
+  Alcotest.run "regressions"
+    [
+      ( "corpus",
+        Alcotest.test_case "corpus is non-empty" `Quick test_corpus_nonempty
+        :: List.map
+             (fun f -> Alcotest.test_case f `Quick (revalidate f))
+             (regression_files ()) );
+      ( "mutation",
+        [ Alcotest.test_case "catalogue coverage" `Slow test_mutation_coverage ] );
+    ]

@@ -1,0 +1,288 @@
+(* Unit tests for the self-validation machinery itself: the random
+   program generator's feature coverage, the hierarchical-delta
+   reducer (predicate preservation, determinism, measured shrink on
+   hand-built oversized failing programs), and the end-to-end
+   seeded-fault campaign (a known simulator fault must be detected and
+   auto-reduced to a small repro that still exposes it). *)
+
+module Campaign = Selftest.Campaign
+module Reduce = Selftest.Reduce
+module Randprog = Progzoo.Randprog
+
+(* ------------------------------------------------------------------ *)
+(* Generator feature coverage: over a modest seed range, every
+   architecture together must exercise the whole feature universe —
+   tables (all key kinds), parsers with select over header stacks,
+   checksum externs, and all three architectures. *)
+
+let test_feature_coverage () =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun arch ->
+      for seed = 1 to 80 do
+        let gen = Randprog.generate_for ~arch ~seed in
+        List.iter (fun f -> Hashtbl.replace seen f ()) gen.Randprog.features
+      done)
+    Randprog.all_archs;
+  let covered = Hashtbl.fold (fun f () acc -> f :: acc) seen [] in
+  Alcotest.(check (list string))
+    "all generator features exercised"
+    (List.sort compare Randprog.feature_universe)
+    (List.sort compare covered)
+
+let test_generated_programs_parse () =
+  List.iter
+    (fun arch ->
+      for seed = 1 to 20 do
+        let gen = Randprog.generate_for ~arch ~seed in
+        match P4.Parser.parse_program gen.Randprog.src with
+        | _ -> ()
+        | exception P4.Parser.Error (msg, _) ->
+            Alcotest.failf "%s seed %d does not parse: %s\n%s"
+              (Randprog.arch_name arch) seed msg gen.Randprog.src
+      done)
+    Randprog.all_archs
+
+(* ------------------------------------------------------------------ *)
+(* Reducer: hand-built oversized programs that fail differentially
+   under a seeded simulator fault.  The reducer must preserve the
+   failure kind, be deterministic, and actually shrink. *)
+
+(* v1model: three headers, a select parser, and plenty of junk the
+   reducer should strip; fails under [Drop_second_emit] whenever more
+   than one header is emitted *)
+let oversized_v1model =
+  {|
+header eth_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header ipv4ish_t { bit<8> ttl; bit<8> proto; bit<16> csum; bit<32> saddr; bit<32> daddr; }
+header extra_t { bit<8> a; bit<16> b; bit<24> c; }
+header pad_t { bit<16> x; bit<8> y; }
+struct headers_t { eth_t eth; ipv4ish_t ipv4; extra_t extra; pad_t pad; }
+struct meta_t { bit<16> m0; bit<8> m1; bit<32> m2; bit<4> m3; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x0800: parse_ipv4;
+      0x1234: parse_extra;
+      default: accept;
+    }
+  }
+  state parse_ipv4 {
+    pkt.extract(hdr.ipv4);
+    transition select(hdr.ipv4.proto) {
+      0x11: parse_pad;
+      default: accept;
+    }
+  }
+  state parse_extra {
+    pkt.extract(hdr.extra);
+    transition accept;
+  }
+  state parse_pad {
+    pkt.extract(hdr.pad);
+    transition accept;
+  }
+}
+
+control V(inout headers_t hdr, inout meta_t meta) {
+  apply { }
+}
+
+control I(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply {
+    meta.m0 = 3;
+    meta.m1 = 7;
+    meta.m2 = 19;
+    meta.m3 = 1;
+    if (hdr.ipv4.isValid()) {
+      hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+      hdr.ipv4.daddr = hdr.ipv4.saddr;
+      hdr.ipv4.csum = meta.m0 + 5;
+      if (hdr.pad.isValid()) {
+        hdr.pad.x = hdr.ipv4.csum;
+        hdr.pad.y = 9;
+      }
+    }
+    if (hdr.extra.isValid()) {
+      hdr.extra.b = meta.m0;
+      hdr.extra.c = 0x00AA55;
+      hdr.extra.a = hdr.extra.a + 1;
+    }
+    hdr.eth.dst = hdr.eth.src;
+    hdr.eth.src[15:0] = meta.m0;
+    meta.m2 = meta.m2 + 1;
+    sm.egress_spec = 2;
+  }
+}
+
+control E(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+  apply { }
+}
+
+control C(inout headers_t hdr, inout meta_t meta) {
+  apply { }
+}
+
+control D(packet_out pkt, in headers_t hdr) {
+  apply {
+    pkt.emit(hdr.eth);
+    pkt.emit(hdr.ipv4);
+    pkt.emit(hdr.extra);
+    pkt.emit(hdr.pad);
+  }
+}
+
+V1Switch(P(), V(), I(), E(), C(), D()) main;
+|}
+
+(* ebpf: two extracted headers plus junk; the model emits every valid
+   header, so [Drop_second_emit] truncates the output *)
+let oversized_ebpf =
+  {|
+header eth_t { bit<48> dst; bit<48> src; bit<16> etype; }
+header extra_t { bit<8> a; bit<16> b; bit<24> c; }
+header tail_t { bit<8> t0; bit<8> t1; }
+struct headers_t { eth_t eth; extra_t extra; tail_t tail; }
+
+parser prs(packet_in pkt, out headers_t hdr) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition select(hdr.eth.etype) {
+      0x1234: parse_extra;
+      0x5678: parse_tail;
+      default: parse_extra;
+    }
+  }
+  state parse_extra {
+    pkt.extract(hdr.extra);
+    transition select(hdr.extra.a) {
+      0xFF: parse_tail;
+      default: accept;
+    }
+  }
+  state parse_tail {
+    pkt.extract(hdr.tail);
+    transition accept;
+  }
+}
+
+control pipe(inout headers_t hdr, out bool pass) {
+  apply {
+    pass = true;
+    if (hdr.extra.isValid()) {
+      hdr.extra.b = hdr.extra.b + 1;
+      hdr.extra.a = 5;
+      hdr.extra.c = hdr.extra.c - 3;
+    }
+    if (hdr.tail.isValid()) {
+      hdr.tail.t0 = hdr.tail.t1;
+      hdr.tail.t1 = 0x2A;
+    }
+    hdr.eth.dst = hdr.eth.src;
+    hdr.eth.dst[8:0] = 17;
+    hdr.eth.src[15:0] = hdr.eth.etype;
+  }
+}
+
+ebpfFilter(prs(), pipe()) main;
+|}
+
+let fault = Sim.Mutation.Drop_second_emit
+
+(* "still fails the same way" — the campaign's own reduction predicate *)
+let keep ~arch ~kind src =
+  match Campaign.run_pipeline ~fault ~arch ~seed:3 ~max_tests:10 src with
+  | Campaign.Diff (k, _) -> k = kind
+  | Campaign.All_pass _ -> false
+
+let reduce_case name ~arch ~max_lines src () =
+  let kind =
+    match Campaign.run_pipeline ~fault ~arch ~seed:3 ~max_tests:10 src with
+    | Campaign.Diff (k, _) -> k
+    | Campaign.All_pass _ ->
+        Alcotest.failf "%s: oversized program does not fail under the seeded fault" name
+  in
+  Alcotest.(check string) "fails as wrong_output" "wrong_output" kind;
+  let keep = keep ~arch ~kind in
+  let o1 = Reduce.reduce ~keep src in
+  (* predicate preservation *)
+  Alcotest.(check bool) "reduced program still fails the same way" true
+    (keep o1.Reduce.reduced);
+  (* determinism *)
+  let o2 = Reduce.reduce ~keep src in
+  Alcotest.(check string) "reduction is deterministic" o1.Reduce.reduced o2.Reduce.reduced;
+  (* measured shrink: the junk must go, down to near the architecture's
+     irreducible skeleton *)
+  let before = Reduce.line_count src and after = Reduce.line_count o1.Reduce.reduced in
+  Alcotest.(check bool)
+    (Printf.sprintf "removes at least 15 lines (%d -> %d)" before after)
+    true
+    (before - after >= 15);
+  Alcotest.(check bool)
+    (Printf.sprintf "repro is near the skeleton floor (%d <= %d lines)" after max_lines)
+    true (after <= max_lines)
+
+(* a reduction whose predicate rejects everything must return the
+   original program unchanged *)
+let test_reduce_noop () =
+  let src = oversized_ebpf in
+  let o = Reduce.reduce ~keep:(fun _ -> false) src in
+  Alcotest.(check string) "nothing accepted -> original back" src o.Reduce.reduced;
+  Alcotest.(check int) "no steps taken" 0 o.Reduce.steps
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a campaign over a faulted simulator must detect the
+   fault and auto-reduce the first failure to a small repro that still
+   exposes it. *)
+
+let test_seeded_fault_campaign () =
+  let cfg =
+    {
+      Campaign.default_config with
+      Campaign.cases = 6;
+      seed = 7;
+      archs = [ Randprog.Ebpf ];
+      max_tests = 10;
+      fault;
+      reduce = true;
+      reduce_limit = 1;
+    }
+  in
+  let s = Campaign.run cfg in
+  Alcotest.(check bool) "fault detected" true (s.Campaign.s_failures <> []);
+  let f = List.hd s.Campaign.s_failures in
+  match f.Campaign.f_reduced with
+  | None -> Alcotest.fail "first failure was not reduced"
+  | Some r ->
+      let lines = Reduce.line_count r.Reduce.reduced in
+      Alcotest.(check bool)
+        (Printf.sprintf "repro is at most 40 lines (%d)" lines)
+        true (lines <= 40);
+      Alcotest.(check bool) "repro still exposes the fault" true
+        (keep ~arch:f.Campaign.f_arch ~kind:f.Campaign.f_kind r.Reduce.reduced)
+
+let () =
+  Alcotest.run "selftest"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "feature coverage" `Quick test_feature_coverage;
+          Alcotest.test_case "programs parse" `Quick test_generated_programs_parse;
+        ] );
+      ( "reducer",
+        [
+          (* the V1Switch skeleton alone is ~45 non-blank lines *)
+          Alcotest.test_case "v1model oversized repro" `Quick
+            (reduce_case "v1model" ~arch:"v1model" ~max_lines:46 oversized_v1model);
+          Alcotest.test_case "ebpf oversized repro" `Quick
+            (reduce_case "ebpf" ~arch:"ebpf_model" ~max_lines:30 oversized_ebpf);
+          Alcotest.test_case "rejecting predicate is a no-op" `Quick test_reduce_noop;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "seeded fault detected and reduced" `Quick
+            test_seeded_fault_campaign;
+        ] );
+    ]
