@@ -16,9 +16,14 @@
                                            the driver list)
      dune exec bench/main.exe -- compare B [F]  diff two json files; exit 1 on a
                                            >10% wall-clock regression vs baseline B
+                                           (warns when the two hosts differ)
      dune exec bench/main.exe -- scaling [D] [F]  wall-clock + speedup per
                                            path-jobs in {1,2,4,8} on driver D
-                                           (default middleblock_2acl -> BENCH_pr4.json)
+                                           (default middleblock_2acl -> BENCH_pr6.json)
+     dune exec bench/main.exe -- gate [F]  parallel-speedup gate over a scaling
+                                           document: for every driver doing real
+                                           work, path-jobs 4 must not be slower
+                                           than path-jobs 1 (50ms noise floor)
 
    Absolute numbers differ from the paper (its substrate was BMv2/Tofino
    hardware and 13-hour runs); the *shape* of each result is the claim
@@ -380,6 +385,23 @@ let std_drivers () =
     ("switch6_tna", "tna", Progzoo.Generators.switch_tna ~stages:6 (), cap 400);
   ]
 
+(* Host identification, recorded in every JSON result row: scaling
+   numbers from different machines must never be compared silently.
+   [host_cores] counts the machine's processors (via /proc/cpuinfo
+   where available); [Domain.recommended_domain_count] is what the
+   runtime will actually fan out to. *)
+let host_cores () =
+  match In_channel.with_open_text "/proc/cpuinfo" In_channel.input_all with
+  | exception Sys_error _ -> Domain.recommended_domain_count ()
+  | s ->
+      let n =
+        List.length
+          (List.filter
+             (fun l -> String.length l >= 9 && String.sub l 0 9 = "processor")
+             (String.split_on_char '\n' s))
+      in
+      if n > 0 then n else Domain.recommended_domain_count ()
+
 (* one measured oracle run, printed and rendered as a JSON object;
    shared by [json] and [scaling] *)
 let json_row name arch src config =
@@ -390,11 +412,14 @@ let json_row name arch src config =
   ( Printf.sprintf
       "  {\"name\": %S, \"arch\": %S, \"tests\": %d, \"paths\": %d, \
        \"coverage_pct\": %.2f, \"prep_time\": %.6f, \"total_time\": %.6f, \
-       \"solve_time\": %.6f,\n   \"metrics\": %s}"
+       \"solve_time\": %.6f, \"host_cores\": %d, \"recommended_domains\": %d,\n\
+      \   \"metrics\": %s}"
       name arch
       (List.length r.Explore.tests)
       r.Explore.stats.Explore.paths (Explore.coverage_pct r)
       run.Oracle.prepared.Oracle.prep_time r.Explore.total_time r.Explore.solve_time
+      (host_cores ())
+      (Domain.recommended_domain_count ())
       (Obs.Snapshot.to_json (Obs.Registry.snapshot (Oracle.registry run))),
     r.Explore.total_time )
 
@@ -611,6 +636,8 @@ type bench_row = {
   br_total : float; (* total_time, seconds *)
   br_solve : float; (* solve_time, seconds *)
   br_conflicts : float; (* sat.conflicts counter *)
+  br_cores : int; (* host_cores of the recording machine (0 = unknown) *)
+  br_domains : int; (* recommended_domain_count there (0 = unknown) *)
 }
 
 let load_bench file : bench_row list =
@@ -643,15 +670,33 @@ let load_bench file : bench_row list =
                   br_total = f "total_time";
                   br_solve = f "solve_time";
                   br_conflicts = conflicts;
+                  br_cores = int_of_float (f "host_cores");
+                  br_domains = int_of_float (f "recommended_domains");
                 })
         rows
   | _ ->
       Printf.eprintf "error: %s has no \"results\" array\n" file;
       exit 2
 
+(* the (cores, recommended domains) pair a document was recorded on;
+   rows of one document always agree, so the first row speaks for it *)
+let doc_host rows =
+  match rows with [] -> None | r :: _ -> Some (r.br_cores, r.br_domains)
+
+let warn_host_mismatch baseline base current cur =
+  match (doc_host base, doc_host cur) with
+  | Some ((bc, bd) as h1), Some h2 when h1 <> h2 && h1 <> (0, 0) && h2 <> (0, 0) ->
+      let cc, cd = h2 in
+      Printf.printf
+        "WARNING: hosts differ — %s was recorded on %d core(s) (%d domains), %s on %d \
+         core(s) (%d domains); wall-clock deltas are not comparable\n"
+        baseline bc bd current cc cd
+  | _ -> ()
+
 let compare_benches baseline current =
   header (Printf.sprintf "Compare — %s (baseline) vs %s" baseline current);
   let base = load_bench baseline and cur = load_bench current in
+  warn_host_mismatch baseline base current cur;
   let pct old now = if old > 0.0 then 100.0 *. (now -. old) /. old else 0.0 in
   let regression_limit = 10.0 in
   (* percentages on sub-millisecond drivers are timer noise; only gate a
@@ -706,6 +751,72 @@ let compare_benches baseline current =
   else Printf.printf "\nOK: no driver regressed more than %.0f%%\n" regression_limit
 
 (* ------------------------------------------------------------------ *)
+(* gate: the parallel-speedup CI check over one scaling document
+   (rows named driver@pjN, as [scaling] writes them).  For every
+   driver whose sequential run does a minimum amount of work,
+   path-jobs 4 must not be slower than path-jobs 1 beyond a noise
+   floor — parallel exploration has to pay for itself or get out of
+   the way.  Drivers below the work threshold are reported but not
+   gated: their wall-clock is all fixed cost and timer noise. *)
+
+let gate_bench file =
+  header (Printf.sprintf "Gate — pj4 <= pj1 over %s" file);
+  let rows = load_bench file in
+  (* "driver@pjN" -> (driver, N) *)
+  let split_pj name =
+    match String.index_opt name '@' with
+    | Some i
+      when i + 3 <= String.length name && String.sub name (i + 1) 2 = "pj" ->
+        int_of_string_opt (String.sub name (i + 3) (String.length name - i - 3))
+        |> Option.map (fun pj -> (String.sub name 0 i, pj))
+    | _ -> None
+  in
+  let by_pj =
+    List.filter_map
+      (fun r -> Option.map (fun (d, pj) -> (d, pj, r.br_total)) (split_pj r.br_name))
+      rows
+  in
+  let drivers =
+    List.sort_uniq compare (List.map (fun (d, _, _) -> d) by_pj)
+  in
+  if drivers = [] then begin
+    Printf.eprintf
+      "error: %s has no driver@pjN rows (run `bench scaling` to produce one)\n" file;
+    exit 2
+  end;
+  (match doc_host rows with
+  | Some (c, d) when (c, d) <> (0, 0) ->
+      Printf.printf "recorded on %d core(s), %d recommended domain(s)\n" c d
+  | _ -> ());
+  let min_work = 0.2 (* s: below this, the run is fixed cost, not scaling *) in
+  let noise_floor = 0.05 (* s: scheduler jitter allowance *) in
+  let failed = ref [] in
+  List.iter
+    (fun d ->
+      let t pj =
+        List.find_map (fun (d', pj', t) -> if d' = d && pj' = pj then Some t else None) by_pj
+      in
+      match (t 1, t 4) with
+      | Some t1, Some t4 ->
+          let verdict =
+            if t1 <= min_work then "skipped (below min-work threshold)"
+            else if t4 <= t1 +. noise_floor then "ok"
+            else begin
+              failed := d :: !failed;
+              "FAIL"
+            end
+          in
+          Printf.printf "%-20s pj1 %8.3fs   pj4 %8.3fs   %s\n" d t1 t4 verdict
+      | _ -> Printf.printf "%-20s (missing pj1 or pj4 row; not gated)\n" d)
+    drivers;
+  if !failed <> [] then begin
+    Printf.printf "\nFAIL: path-jobs 4 slower than path-jobs 1 on: %s\n"
+      (String.concat ", " (List.rev !failed));
+    exit 1
+  end
+  else Printf.printf "\nOK: parallel exploration is never slower than sequential\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig1 ();
@@ -758,12 +869,17 @@ let () =
       let driver =
         if Array.length Sys.argv > 2 then Sys.argv.(2) else "middleblock_2acl"
       in
-      let out = if Array.length Sys.argv > 3 then Sys.argv.(3) else "BENCH_pr4.json" in
+      let out = if Array.length Sys.argv > 3 then Sys.argv.(3) else "BENCH_pr6.json" in
       scaling driver out
+  | Some "gate" ->
+      let file =
+        if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr6.json"
+      in
+      gate_bench file
   | Some other ->
       Printf.eprintf
         "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
          batch [jobs], json [out.json] [path-jobs] [drivers...], compare baseline.json \
-         [current.json], scaling [driver] [out.json])\n"
+         [current.json], scaling [driver] [out.json], gate [scaling.json])\n"
         other;
       exit 1

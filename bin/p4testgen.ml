@@ -281,18 +281,39 @@ let parallel_knobs =
              $(b,--path-jobs 1) is the reference for higher values.  Composes \
              with $(b,--jobs) in batch mode through one shared domain budget")
   in
-  let split_depth =
+  let split_tasks =
     Arg.(
-      value & opt int 4
-      & info [ "split-depth" ] ~docv:"D"
+      value
+      & opt int Testgen.Explore.default_config.Testgen.Explore.split_tasks
+      & info [ "split-tasks" ] ~docv:"T"
           ~doc:
-            "Fork depth at which the frontier splitter hands subtrees to \
-             $(b,--path-jobs) workers (deeper = more, smaller work items)")
+            "Target number of subtree tasks the adaptive splitter prepares \
+             for $(b,--path-jobs) workers: the heaviest task is split one \
+             fork level deeper until $(docv) tasks exist (more = finer \
+             load balancing, slightly more per-task overhead)")
   in
-  let apply pj sd config =
-    { config with Testgen.Explore.path_jobs = pj; split_depth = sd }
+  let snapshot_max_bytes =
+    Arg.(
+      value
+      & opt int
+          Testgen.Explore.default_config.Testgen.Explore.snapshot_max_bytes
+      & info
+          [ "snapshot-max-bytes" ]
+          ~docv:"B"
+          ~doc:
+            "Estimated term weight above which a subtree task is started by \
+             replaying its branch prefix instead of importing a state \
+             snapshot (0 forces replay for every task)")
   in
-  Term.(const apply $ path_jobs $ split_depth)
+  let apply pj st sb config =
+    {
+      config with
+      Testgen.Explore.path_jobs = pj;
+      split_tasks = st;
+      snapshot_max_bytes = sb;
+    }
+  in
+  Term.(const apply $ path_jobs $ split_tasks $ snapshot_max_bytes)
 
 let generate_t =
   Term.(

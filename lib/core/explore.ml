@@ -12,20 +12,35 @@
    - [path_jobs = 0] (default): the classic in-place sequential DFS
      over the caller's context and solver.
 
-   - [path_jobs >= 1]: the frontier-split driver.  A sequential
-     splitter walks the DFS to [split_depth] fork choices and packages
-     every feasible unexplored subtree root as a *replayable prefix* —
-     the sequence of original branch indices chosen at each fork from
-     [st0].  [Step.step] is deterministic and [ctx.rng] is consumed
-     only here (branch ordering, input randomization), so replaying a
-     prefix into a fresh context reproduces the subtree root exactly.
-     Worker domains pull prefixes from work-stealing queues, replay
-     each into its own fresh [Expr.ctx]/[Solver] (one-domain-per-ctx,
-     zero shared term state), and explore the subtree with a private
-     registry.  Results merge in splitter order, so the test set,
-     coverage, and counter totals are identical for [path_jobs = 1]
-     and [path_jobs = N] (the lone exception is [explore.steals],
-     which is scheduling by definition). *)
+   - [path_jobs >= 1]: the frontier-split driver.  An *adaptive*
+     sequential splitter grows a task frontier by repeatedly
+     refining the heaviest task (by remaining-work estimate) one
+     fork level deeper until the frontier reaches the
+     [split_tasks] target.  Each task carries the captured subtree
+     root state — refinement continues from captured states, never
+     re-executing a prefix — plus the branch-choice prefix that
+     reaches it and the path conditions accumulated along the way.
+
+     Workers start a task from a *snapshot*, not a replay: the
+     task's state is imported into a private [Expr.clone_ctx] term
+     context (tag/vid-preserving, so pre-fork hash-consed terms are
+     reused rather than re-interned) and the splitter's solver is
+     [Solver.clone]d — clause database, learnt clauses, phase state,
+     and blaster caches included — then the task's path conditions
+     are asserted as the clone's base.  A task whose estimated
+     snapshot weight exceeds [snapshot_max_bytes] falls back to the
+     PR-4-style prefix replay into a fresh instance (the [fresh]
+     hook), which keeps the replayable-prefix story available for
+     checkpointing and sharding.
+
+     The splitter runs to completion before any worker starts, and
+     every task clones from the same frozen splitter-final
+     context/solver, so a task's result is a pure function of the
+     task — independent of scheduling.  Results merge in splitter
+     (DFS) order, so the test set, coverage, and counter totals are
+     identical for [path_jobs = 1] and [path_jobs = N] (the lone
+     exception is [explore.steals], which is scheduling by
+     definition). *)
 
 module Bits = Bitv.Bits
 module Expr = Smt.Expr
@@ -53,10 +68,17 @@ type config = {
       (** run {!Smt.Expr.simplify} on asserted terms before blasting *)
   path_jobs : int;
       (** 0 = classic sequential DFS; N >= 1 = frontier-split driver
-          with N worker domains (capped by the shared domain pool) *)
-  split_depth : int;
-      (** fork-choice depth at which the splitter hands subtrees to
-          workers (frontier driver only) *)
+          with N worker domains (capped by the shared domain pool and
+          by the host's recommended domain count) *)
+  split_tasks : int;
+      (** adaptive-splitter frontier target: the splitter refines the
+          heaviest task one fork level deeper until this many subtree
+          tasks exist (frontier driver only; <= 1 disables splitting
+          and runs the whole tree as one task) *)
+  snapshot_max_bytes : int;
+      (** estimated term weight above which a task is started by
+          replaying its branch prefix into a fresh instance instead of
+          importing a snapshot (0 forces replay for every task) *)
 }
 
 let default_config =
@@ -70,7 +92,8 @@ let default_config =
     sat_options = Smt.Sat.default_options;
     word_rewrite = true;
     path_jobs = 0;
-    split_depth = 4;
+    split_tasks = 32;
+    snapshot_max_bytes = 32_000_000;
   }
 
 (* A read-out of the run's metrics.  The source of truth is the
@@ -330,14 +353,19 @@ let new_solver (ctx : ctx) (cfg : config) base =
   List.iter (Solver.assert_ s) base;
   s
 
-let make_engine ?(base = []) ?(count_tests = true)
+(* [solver], when given, must already carry [base] (the warm-handoff
+   path asserts imported conditions into a cloned solver before
+   building the engine); rebuilds re-assert [base] into a cold solver
+   either way *)
+let make_engine ?(base = []) ?solver ?(count_tests = true)
     ?(extra_check = fun () -> ()) (ctx : ctx) (cfg : config) =
   let cells = make_cells ctx.obs in
   {
     e_ctx = ctx;
     e_cfg = cfg;
     e_cells = cells;
-    e_solver = ref (new_solver ctx cfg base);
+    e_solver =
+      ref (match solver with Some s -> s | None -> new_solver ctx cfg base);
     e_spine = ref [];
     e_base = base;
     e_tests = [];
@@ -511,9 +539,16 @@ let rec dfs eng ~split depth pref st =
    solver's base scope).  Stops after the last recorded choice: the
    chain below it is the task's subtree. *)
 
+let prefix_to_string p = String.concat "." (List.map string_of_int p)
+
 let replay ctx cells c_rsteps ~assert_cond prefix st0 =
-  let diverged () =
-    raise (Exec_error "prefix replay diverged from the recorded path")
+  let nchoices = List.length prefix in
+  let diverged remaining =
+    fail
+      "prefix replay diverged from the recorded path at choice depth %d \
+       (prefix %s)"
+      (nchoices - List.length remaining)
+      (prefix_to_string prefix)
   in
   let follow pref b =
     match b.br_cond with
@@ -532,7 +567,7 @@ let replay ctx cells c_rsteps ~assert_cond prefix st0 =
         Obs.Timer.add cells.tm_step (Obs.Clock.now () -. t0);
         Obs.Counter.incr c_rsteps;
         match stepped with
-        | None | Some [] -> diverged ()
+        | None | Some [] -> diverged pref
         | Some [ { br_cond = None; br_state; _ } ] -> walk pref br_state
         | Some [ b ] ->
             (* single conditional branch: implicit, not a recorded
@@ -540,7 +575,7 @@ let replay ctx cells c_rsteps ~assert_cond prefix st0 =
             let pref, st = follow pref b in
             walk pref st
         | Some branches ->
-            let b = try List.nth branches i with _ -> diverged () in
+            let b = try List.nth branches i with _ -> diverged pref in
             let _, st = follow rest b in
             walk rest st)
   in
@@ -594,6 +629,11 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
+(* path conditions a state accumulated since a root that carried [n0]
+   conditions, oldest first — the base a task's solver must assert *)
+let conds_since n0 st =
+  List.rev (take (List.length st.path_cond - n0) st.path_cond)
+
 (* replays the sequential emission filter over a task's tests: in Cov
    mode a test survives only if it adds coverage over everything
    accepted before it (the worker's local filter can only have dropped
@@ -632,7 +672,109 @@ let budget_reached config ~nstmts ~ntests ~npaths ~cov =
      && nstmts > 0
      && IntSet.cardinal cov >= nstmts
 
-let prefix_to_string p = String.concat "." (List.map string_of_int p)
+(* ------------------------------------------------------------------ *)
+(* Adaptive splitter
+
+   Grows the task frontier by refinement: start from the whole tree as
+   one task, then repeatedly take the heaviest non-completed task and
+   run the DFS engine from its captured root to the next fork,
+   replacing it in place (preserving DFS merge order) with the fork's
+   feasible children.  Refinement continues from captured states — a
+   prefix is never re-executed — and stops when the frontier reaches
+   the target width, every task is a completed path, or the refinement
+   depth bound is hit.  The target is a pure function of the config,
+   never of [path_jobs] or the host, so the split — and with it every
+   downstream count — is identical for every worker count. *)
+
+type stask = {
+  sk_prefix : int list;  (** branch choices from [st0], oldest first *)
+  sk_state : state;  (** captured subtree root (splitter's term ctx) *)
+  sk_leaf : bool;  (** a completed path: nothing to explore below *)
+  sk_cost : int;  (** remaining-work estimate (continuation depth) *)
+  sk_bytes : int;  (** estimated snapshot weight, for the replay gate *)
+}
+
+(* prefixes longer than this stop being refined: deeper tasks are
+   cheap enough that further splitting only adds per-task overhead *)
+let max_refine_depth = 12
+
+let split_frontier (config : config) (ctx : ctx) (st0 : state) :
+    engine * stask list =
+  let seng = make_engine ctx config in
+  let mk_task prefix leaf st =
+    {
+      sk_prefix = prefix;
+      sk_state = st;
+      sk_leaf = leaf;
+      sk_cost = List.length st.work;
+      sk_bytes = state_term_bytes st;
+    }
+  in
+  let n0 = List.length st0.path_cond in
+  (* run the engine from [t]'s captured root to the next fork; the
+     task's accumulated conditions ride on the solver as temporary
+     scopes so the fork's feasibility checks see the full path
+     constraint (a rebuild inside the walk re-asserts them from the
+     spine) *)
+  let refine t =
+    let pushed = ref 0 in
+    List.iter
+      (fun c ->
+        Solver.push !(seng.e_solver);
+        Solver.assert_ !(seng.e_solver) c;
+        seng.e_spine := c :: !(seng.e_spine);
+        incr pushed)
+      (conds_since n0 t.sk_state);
+    let children = ref [] in
+    Fun.protect
+      ~finally:(fun () ->
+        for _ = 1 to !pushed do
+          Solver.pop !(seng.e_solver);
+          seng.e_spine := List.tl !(seng.e_spine)
+        done)
+      (fun () ->
+        try
+          dfs seng
+            ~split:
+              (Some
+                 ( 1,
+                   fun rel leaf st ->
+                     children :=
+                       mk_task (t.sk_prefix @ rel) leaf st :: !children ))
+            0 [] t.sk_state
+        with Stop -> ());
+    List.rev !children
+  in
+  let target = max 1 config.split_tasks in
+  let tasks = ref [ mk_task [] false st0 ] in
+  let refinable t =
+    (not t.sk_leaf) && List.length t.sk_prefix < max_refine_depth
+  in
+  (* first max wins, so ties resolve by frontier (DFS) order *)
+  let heaviest () =
+    List.fold_left
+      (fun best t ->
+        if not (refinable t) then best
+        else
+          match best with
+          | Some b when b.sk_cost >= t.sk_cost -> best
+          | _ -> Some t)
+      None !tasks
+  in
+  (* every refinement lengthens the refined task's prefix or marks it
+     a leaf, so the loop terminates even without the round bound *)
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && List.length !tasks < target && !rounds < 4 * target do
+    incr rounds;
+    match heaviest () with
+    | None -> continue_ := false
+    | Some t ->
+        let children = refine t in
+        tasks :=
+          List.concat_map (fun x -> if x == t then children else [ x ]) !tasks
+  done;
+  (seng, !tasks)
 
 let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
   let reg = ctx.obs in
@@ -640,30 +782,23 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
   let t_start = Obs.Clock.now () in
   let tm_total = Obs.Registry.timer reg "explore.total_time" in
   let c_subtrees = Obs.Registry.counter reg "explore.subtrees" in
-  let split_depth = max 1 config.split_depth in
   let sp_explore = Obs.Span.enter reg "explore" in
 
-  (* phase 1 — split: sequential DFS to [split_depth] fork choices on
-     the caller's context/solver, pruning infeasible branches as it
-     goes; every emitted prefix roots a feasible subtree (or a single
-     completed shallow path).  The splitter emits no tests, so the
-     merge alone controls test/path accounting. *)
-  let rev_tasks = ref [] in
-  let seng = make_engine ctx config in
-  Obs.Span.with_ reg "split" (fun () ->
-      try
-        dfs seng
-          ~split:
-            (Some
-               ( split_depth,
-                 fun prefix _leaf _st ->
-                   Obs.Counter.incr c_subtrees;
-                   rev_tasks := prefix :: !rev_tasks ))
-          0 [] st0
-      with Stop -> ());
+  (* phase 1 — adaptive split on the caller's context/solver, pruning
+     infeasible branches as it goes; every task roots a feasible
+     subtree (or carries a single completed shallow path).  The
+     splitter emits no tests, so the merge alone controls test/path
+     accounting.  After this point the splitter's context and solver
+     are frozen: they are the shared clone parent for every task. *)
+  let seng, task_list =
+    Obs.Span.with_ reg "split" (fun () -> split_frontier config ctx st0)
+  in
   Solver.flush_stats !(seng.e_solver);
-  let tasks = Array.of_list (List.rev !rev_tasks) in
+  let parent_solver = !(seng.e_solver) in
+  let n0 = List.length st0.path_cond in
+  let tasks = Array.of_list task_list in
   let n = Array.length tasks in
+  Obs.Counter.add c_subtrees n;
 
   (* shared scheduling state.  [slots] is written once per index by
      whichever worker runs the task; publication to the merge is
@@ -720,7 +855,15 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
      queue per worker; each queue drains through an atomic cursor, so
      owners pop their own queue and idle workers steal from the
      others' (fetch_and_add hands out each index exactly once). *)
-  let req_workers = if n = 0 then 1 else max 1 (min config.path_jobs n) in
+  (* workers beyond the host's real parallelism only add domain
+     overhead (minor-GC synchronisation across oversubscribed domains
+     dwarfs the per-task work), so the request is capped by the host;
+     the split and merge are worker-count independent, so this cannot
+     change the output *)
+  let host_cap = max 1 (Domain.recommended_domain_count ()) in
+  let req_workers =
+    if n = 0 then 1 else max 1 (min config.path_jobs (min host_cap n))
+  in
   let extra = Pool.acquire (req_workers - 1) in
   let nw = extra + 1 in
   let queues =
@@ -749,7 +892,7 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
   let run_task wreg i =
     (if i >= Atomic.get cut_at then slots.(i) <- Dropped
      else
-       let prefix = tasks.(i) in
+       let task = tasks.(i) in
        (* one private registry per task: a dropped task's metrics
           vanish with it, keeping merged totals scheduling
           independent *)
@@ -758,20 +901,67 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
          Obs.Span.with_ wreg
            ~args:
              [
-               ("task", string_of_int i); ("prefix", prefix_to_string prefix);
+               ("task", string_of_int i);
+               ("prefix", prefix_to_string task.sk_prefix);
              ]
            "subtree"
            (fun () ->
-             let tctx, tst0 = fresh treg in
-             let tcells = make_cells treg in
-             let c_rsteps = Obs.Registry.counter treg "explore.replay_steps" in
-             let base = ref [] in
-             let st =
-               replay tctx tcells c_rsteps
-                 ~assert_cond:(fun c -> base := c :: !base)
-                 prefix tst0
+             (* start the task from a snapshot when its term weight
+                allows, from a prefix replay into a fresh instance
+                otherwise.  The choice is a pure function of the task,
+                so it cannot differ across worker counts. *)
+             let tctx, base, st =
+               if task.sk_bytes <= config.snapshot_max_bytes then begin
+                 Obs.Counter.incr
+                   (Obs.Registry.counter treg "explore.snapshot_restores");
+                 Obs.Gauge.set_max
+                   (Obs.Registry.gauge treg "explore.snapshot_bytes")
+                   task.sk_bytes;
+                 let tm_restore =
+                   Obs.Registry.timer treg "explore.t_snapshot_restore"
+                 in
+                 let t0 = Obs.Clock.now () in
+                 Obs.Span.with_ wreg "snapshot_restore" (fun () ->
+                     (* import the captured root into a private clone of
+                        the splitter's term context, then warm-clone the
+                        splitter's solver: imported terms keep their
+                        tags, so the cloned blaster's caches — and the
+                        cloned CDCL core's learnt clauses — apply
+                        as-is *)
+                     let ectx = Expr.clone_ctx ctx.ectx in
+                     let imp = Expr.importer ectx in
+                     let tctx =
+                       clone_ctx_for_task ctx ~ectx ~obs:treg
+                         ~rng:(Random.State.make [| ctx.opts.seed |])
+                     in
+                     let st = map_terms imp task.sk_state in
+                     let base = List.map imp (conds_since n0 task.sk_state) in
+                     let solver = Solver.clone ~obs:treg ~ectx parent_solver in
+                     List.iter (Solver.assert_ solver) base;
+                     Obs.Timer.add tm_restore (Obs.Clock.now () -. t0);
+                     (tctx, `Warm (solver, base), st))
+               end
+               else begin
+                 Obs.Counter.incr
+                   (Obs.Registry.counter treg "explore.replay_fallbacks");
+                 let tm_replay = Obs.Registry.timer treg "explore.t_replay" in
+                 let tcells = make_cells treg in
+                 let c_rsteps =
+                   Obs.Registry.counter treg "explore.replay_steps"
+                 in
+                 let t0 = Obs.Clock.now () in
+                 Obs.Span.with_ wreg "replay" (fun () ->
+                     let tctx, tst0 = fresh treg in
+                     let acc = ref [] in
+                     let st =
+                       replay tctx tcells c_rsteps
+                         ~assert_cond:(fun c -> acc := c :: !acc)
+                         task.sk_prefix tst0
+                     in
+                     Obs.Timer.add tm_replay (Obs.Clock.now () -. t0);
+                     (tctx, `Cold (List.rev !acc), st))
+               end
              in
-             let base = List.rev !base in
              (* the abort hook closes over the engine to read its
                 emission count, so tie the knot through a cell *)
              let eng_cell = ref None in
@@ -794,13 +984,22 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
                | _ -> ()
              in
              let eng =
-               make_engine ~base ~count_tests:false ~extra_check tctx config
+               match base with
+               | `Warm (solver, base) ->
+                   make_engine ~base ~solver ~count_tests:false ~extra_check
+                     tctx config
+               | `Cold base ->
+                   make_engine ~base ~count_tests:false ~extra_check tctx
+                     config
              in
              eng_cell := Some eng;
              (* seed the model cache: the splitter proved the prefix
                 feasible, so this check cannot return Unsat, and it
-                gives [Solver.holds] a model to reuse below *)
-             if base <> [] then ignore (Solver.check !(eng.e_solver));
+                gives [Solver.holds] a model that satisfies the base —
+                a warm clone's inherited model need not *)
+             (match base with
+             | `Warm (_, []) | `Cold [] -> ()
+             | _ -> ignore (Solver.check !(eng.e_solver)));
              (try dfs eng ~split:None 0 [] st with Stop -> ());
              Solver.flush_stats !(eng.e_solver);
              {
@@ -820,7 +1019,7 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
               it should not happen *)
            Logs.err (fun m ->
                m "subtree task %d (prefix %s) failed: %s" i
-                 (prefix_to_string tasks.(i))
+                 (prefix_to_string tasks.(i).sk_prefix)
                  (Printexc.to_string e));
            slots.(i) <- Dropped);
     Mutex.lock mu;
@@ -946,28 +1145,18 @@ let fingerprint (st : state) =
     (List.length st.path_cond) (List.length st.work) (List.length st.outputs)
     (List.length st.entries) st.dropped st.phase
 
-(* the frontier the splitter would hand to workers: every task's
-   prefix, paired with the subtree root's fingerprint (None for
-   shallow completed paths, whose task state is the leaf, not the
+(* the frontier the adaptive splitter would hand to workers: every
+   task's prefix, paired with the subtree root's fingerprint (None for
+   completed shallow paths, whose task state is the leaf, not the
    replay target) *)
 let frontier ?(config = default_config) (ctx : ctx) (st0 : state) :
     (int list * string option) list =
-  let out = ref [] in
-  let eng = make_engine ctx config in
-  let split_depth = max 1 config.split_depth in
-  (try
-     dfs eng
-       ~split:
-         (Some
-            ( split_depth,
-              fun prefix leaf st ->
-                out :=
-                  (prefix, if leaf then None else Some (fingerprint st))
-                  :: !out ))
-       0 [] st0
-   with Stop -> ());
+  let eng, tasks = split_frontier config ctx st0 in
   Solver.flush_stats !(eng.e_solver);
-  List.rev !out
+  List.map
+    (fun t ->
+      (t.sk_prefix, if t.sk_leaf then None else Some (fingerprint t.sk_state)))
+    tasks
 
 (* solver-free prefix replay (path conditions are recorded in the
    state but not asserted anywhere) *)

@@ -61,8 +61,11 @@ let registry (r : run) = r.prepared.ctx.Runtime.obs
    its own term context and registry over the same (immutable, already
    passed) program, re-initialised by the same target.  Because
    [make_ctx] and [T.init] are deterministic, the replica's initial
-   state is structurally identical to [initial_state p], which is what
-   makes the frontier driver's prefix replay sound. *)
+   state is structurally identical to [initial_state p].  The frontier
+   driver normally starts a subtree task from a snapshot of the
+   splitter's state; this replica is its replay *fallback* for tasks
+   whose snapshot would exceed [config.snapshot_max_bytes] — and the
+   soundness basis of prefix replay in general (checkpoint/shard). *)
 let fresh_instance (p : prepared) (reg : Obs.Registry.t) :
     Runtime.ctx * Runtime.state =
   let module T = (val p.target) in

@@ -56,8 +56,10 @@ val fresh_instance :
     into [reg], over the same already-passed program, re-initialised
     by the same target.  Preparation is deterministic, so the replica's
     initial state is structurally identical to [initial_state p] —
-    the soundness basis of {!Explore.run}'s prefix-replay parallelism
-    ([config.path_jobs]). *)
+    the soundness basis of {!Explore.run}'s prefix replay.  The
+    frontier driver starts subtree tasks from state snapshots and uses
+    this replica only as the replay fallback for tasks above
+    [config.Explore.snapshot_max_bytes]. *)
 
 val generate :
   ?opts:Runtime.options ->

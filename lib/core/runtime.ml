@@ -81,9 +81,18 @@ and work =
   | WStmt of frame * Ast.stmt
   | WParserState of frame * string
   | WOp of string * (ctx -> state -> branch list)
-      (** target glue / generic continuation (§5.1.2) *)
+      (** target glue / generic continuation (§5.1.2).
+
+          INVARIANT: the closure must not capture an {!Expr.t} (or any
+          value containing one) — terms reach it only through the
+          [ctx]/[state] arguments.  {!map_terms} walks every
+          term-bearing field of a state but cannot see into closures;
+          snapshotting a state into a cloned term context relies on
+          this.  Capturing names, AST nodes, frames, and concrete
+          [Bits.t] is fine. *)
   | WExitFrame of exit_kind * string * (ctx -> state -> state)
-      (** copy-out closure run when a frame is left *)
+      (** copy-out closure run when a frame is left; same
+          no-captured-terms invariant as [WOp] *)
 
 and exit_kind = KAction | KControl | KParserFrame
 
@@ -488,6 +497,71 @@ let concolic_call ctx ~name ~impl ~width args st =
   let v = fresh_var ctx ("$concolic_" ^ name) width in
   let call = { cc_var = v; cc_name = name; cc_args = args; cc_impl = impl } in
   ({ st with concolic = call :: st.concolic }, v)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.  A state is immutable but its terms belong to one term
+   context; carrying a state across a fork means rewriting every term
+   it holds into the receiving context.  [map_terms] enumerates every
+   term-bearing field — the work stack holds none by the invariant on
+   {!work} — so composing it with {!Expr.importer} is a complete
+   snapshot restore. *)
+
+let map_terms f st =
+  let map_key = function
+    | SkExact e -> SkExact (f e)
+    | SkTernary (v, m) -> SkTernary (f v, f m)
+    | SkLpm (e, p) -> SkLpm (f e, p)
+    | SkRange (a, b) -> SkRange (f a, f b)
+    | SkOptional o -> SkOptional (Option.map f o)
+  in
+  let map_entry en =
+    {
+      en with
+      se_keys = List.map (fun (n, k) -> (n, map_key k)) en.se_keys;
+      se_args = List.map (fun (n, e) -> (n, f e)) en.se_args;
+    }
+  in
+  {
+    st with
+    env = Env.map f st.env;
+    path_cond = List.map f st.path_cond;
+    chunks = List.map f st.chunks;
+    live = f st.live;
+    emit_buf = f st.emit_buf;
+    in_port = f st.in_port;
+    entries = List.map map_entry st.entries;
+    registers = List.map (fun (n, arr) -> (n, Array.map f arr)) st.registers;
+    concolic =
+      List.map
+        (fun cc -> { cc with cc_var = f cc.cc_var; cc_args = List.map f cc.cc_args })
+        st.concolic;
+    outputs =
+      List.map (fun o -> { o with o_port = f o.o_port; o_data = f o.o_data }) st.outputs;
+  }
+
+let iter_terms f st = ignore (map_terms (fun e -> f e; e) st)
+
+(* Rough in-heap size of the terms a state pins, for deciding whether
+   a snapshot is cheaper than a replay.  [Obj.reachable_words] is
+   useless here — every term physically embeds its context, whose
+   arena holds every term of the run — so we sum per-term DAG node
+   counts instead (shared structure across fields double-counts,
+   which errs toward replay; ~80 bytes is a term record plus its
+   arena bucket share). *)
+let state_term_bytes st =
+  let n = ref 0 in
+  iter_terms (fun e -> n := !n + Expr.size e) st;
+  80 * !n
+
+(* A context for a forked subtree task: shares the immutable
+   program-wide data, takes the fork's own term context / metrics
+   registry / rng.  Hooks are target-installed functions on the
+   parent; they carry no terms (same closure discipline as {!work})
+   and are shared.  The copy picks up [fresh_ctr] at its fork-time
+   value, which must be final for the parent — a name minted in the
+   task below the parent's high-water mark could collide with a
+   registry entry of a sibling branch at a different width. *)
+let clone_ctx_for_task ctx ~ectx ~obs ~rng = { ctx with ectx; obs; rng }
 
 (* ------------------------------------------------------------------ *)
 (* Work-stack helpers *)

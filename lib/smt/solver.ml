@@ -94,6 +94,30 @@ let create ?obs ?(sat_options = Sat.default_options) ?(simplify = true) ectx =
 
 let obs s = s.metrics.m_obs
 
+(* Warm handoff: clone the full solver stack onto a cloned term
+   context.  The parent must have no open scopes — popped scopes
+   leave only permanently-disabled guard units behind, which carry
+   over harmlessly.  The clone starts with fresh metrics (zeroed
+   counters all around, so deltas flush correctly into [obs]). *)
+let clone ?obs ~ectx s =
+  if s.scopes <> [] then invalid_arg "Solver.clone: open scopes";
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+  Sat.backtrack s.sat;
+  let sat = Sat.clone s.sat in
+  let blast = Blast.clone s.blast ~ectx ~sat in
+  {
+    ectx;
+    sat;
+    blast;
+    simplify = s.simplify;
+    metrics = make_metrics obs ectx sat;
+    scopes = [];
+    model_snap = Array.copy s.model_snap;
+    suggestions = Hashtbl.copy s.suggestions;
+    checks = 0;
+    time = 0.0;
+  }
+
 let flush_stats s =
   let m = s.metrics in
   let c = Sat.counters s.sat and last = m.m_last_sat in

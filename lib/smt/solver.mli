@@ -31,6 +31,16 @@ val create :
     (default [true]) runs {!Expr.simplify} on every asserted or assumed
     term before bit-blasting. *)
 
+val clone : ?obs:Obs.Registry.t -> ectx:Expr.ctx -> t -> t
+(** [clone ~ectx s] is a warm copy of [s] bound to [ectx], which must
+    be an {!Expr.clone_ctx} clone of [s]'s context: the cloned CDCL
+    core keeps the parent's clause database, learnt clauses, saved
+    phases, and activities, and the cloned blaster's caches stay valid
+    for terms carried into [ectx] with {!Expr.importer}.  The clone
+    reports into [obs] (a private registry when omitted) starting from
+    zeroed counters.  Raises [Invalid_argument] if [s] has open
+    scopes. *)
+
 val ctx : t -> Expr.ctx
 (** The term context this solver was created for. *)
 

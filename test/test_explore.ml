@@ -206,7 +206,7 @@ let test_path_jobs_deterministic () =
               Explore.default_config with
               Explore.strategy;
               path_jobs = pj;
-              split_depth = 3;
+              split_tasks = 12;
             }
           in
           let r1 = generate ~config:(cfg 1) src in
@@ -238,7 +238,7 @@ let test_frontier_matches_sequential () =
      across subtrees that fresh per-task solvers do not) *)
   let seq = generate Progzoo.Corpus.lpm_router in
   let config =
-    { Explore.default_config with Explore.path_jobs = 2; split_depth = 2 }
+    { Explore.default_config with Explore.path_jobs = 2; split_tasks = 6 }
   in
   let par = generate ~config Progzoo.Corpus.lpm_router in
   Alcotest.(check int) "same path count"
@@ -250,12 +250,55 @@ let test_frontier_matches_sequential () =
   Alcotest.(check bool) "same coverage" true
     (Runtime.IntSet.equal seq.Oracle.result.Explore.covered
        par.Oracle.result.Explore.covered);
-  (* and the frontier actually split: subtrees were packaged and
-     prefixes replayed *)
+  (* and the frontier actually split — with every task started from a
+     state snapshot, not a prefix replay *)
   let d = par.Oracle.result.Explore.obs in
   Alcotest.(check bool) "subtrees packaged" true
     (Obs.Snapshot.get_int d "explore.subtrees" > 1);
-  Alcotest.(check bool) "prefixes replayed" true
+  Alcotest.(check bool) "snapshots restored" true
+    (Obs.Snapshot.get_int d "explore.snapshot_restores" > 1);
+  Alcotest.(check int) "no prefix replays" 0
+    (Obs.Snapshot.get_int d "explore.replay_steps")
+
+let test_replay_fallback_equivalent () =
+  (* forcing every task over the snapshot size threshold exercises the
+     replay fallback: still deterministic across worker counts, same
+     path space and coverage as the snapshot path *)
+  let cfg pj =
+    {
+      Explore.default_config with
+      Explore.path_jobs = pj;
+      split_tasks = 6;
+      snapshot_max_bytes = 0;
+    }
+  in
+  let r1 = generate ~config:(cfg 1) Progzoo.Corpus.lpm_router in
+  let r4 = generate ~config:(cfg 4) Progzoo.Corpus.lpm_router in
+  Alcotest.(check (list string)) "replay fallback bit-deterministic"
+    (List.map Testspec.to_string r1.Oracle.result.Explore.tests)
+    (List.map Testspec.to_string r4.Oracle.result.Explore.tests);
+  Alcotest.(check (list (pair string int)))
+    "replay fallback counters identical" (sched_free_counters r1)
+    (sched_free_counters r4);
+  (* same path space as the snapshot-restore configuration *)
+  let snap =
+    generate
+      ~config:{ Explore.default_config with Explore.path_jobs = 2; split_tasks = 6 }
+      Progzoo.Corpus.lpm_router
+  in
+  Alcotest.(check int) "same path count as snapshot mode"
+    snap.Oracle.result.Explore.stats.Explore.paths
+    r4.Oracle.result.Explore.stats.Explore.paths;
+  Alcotest.(check bool) "same coverage as snapshot mode" true
+    (Runtime.IntSet.equal snap.Oracle.result.Explore.covered
+       r4.Oracle.result.Explore.covered);
+  (* and the fallback really was taken *)
+  let d = r4.Oracle.result.Explore.obs in
+  Alcotest.(check int) "no snapshot restores" 0
+    (Obs.Snapshot.get_int d "explore.snapshot_restores");
+  Alcotest.(check bool) "replay fallbacks taken" true
+    (Obs.Snapshot.get_int d "explore.replay_fallbacks" > 1);
+  Alcotest.(check bool) "replay steps recorded" true
     (Obs.Snapshot.get_int d "explore.replay_steps" > 0)
 
 let test_path_jobs_caps () =
@@ -270,7 +313,7 @@ let test_path_jobs_caps () =
         Explore.default_config with
         Explore.max_tests = Some 3;
         path_jobs = pj;
-        split_depth = 2;
+        split_tasks = 6;
       }
     in
     let run = generate ~config Progzoo.Corpus.lpm_router in
@@ -298,7 +341,7 @@ let test_replay_reaches_frontier_state () =
      prepared instance reaches a state with the same fingerprint as
      the frontier node the splitter saw *)
   let src = Progzoo.Corpus.lpm_router in
-  let config = { Explore.default_config with Explore.split_depth = 2 } in
+  let config = { Explore.default_config with Explore.split_tasks = 6 } in
   let p = Oracle.prepare v1model src in
   let fr = Explore.frontier ~config p.Oracle.ctx (Oracle.initial_state p) in
   Alcotest.(check bool) "splitter found subtrees" true (List.length fr > 1);
@@ -347,6 +390,8 @@ let () =
             test_path_jobs_deterministic;
           Alcotest.test_case "frontier matches sequential" `Quick
             test_frontier_matches_sequential;
+          Alcotest.test_case "replay fallback equivalent" `Quick
+            test_replay_fallback_equivalent;
           Alcotest.test_case "budget caps exact" `Quick test_path_jobs_caps;
           Alcotest.test_case "prefix replay reaches frontier state" `Quick
             test_replay_reaches_frontier_state;
