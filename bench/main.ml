@@ -59,12 +59,12 @@ let fig1 () =
     List.iter
       (fun (t : Testgen.Testspec.t) ->
         let out_port, out_data =
-          match t.outputs with
+          match (Testgen.Testspec.outputs t) with
           | [] -> ("X", "(drop)")
           | o :: _ -> (string_of_int (Bits.to_int o.port), Bits.to_hex o.data)
         in
-        Printf.printf "%-8d %-5d %-30s %-5s %-30s %s\n" (Bits.width t.input.data)
-          (Bits.to_int t.input.port) (Bits.to_hex t.input.data) out_port out_data
+        Printf.printf "%-8d %-5d %-30s %-5s %-30s %s\n" (Bits.width (Testgen.Testspec.input t).data)
+          (Bits.to_int (Testgen.Testspec.input t).port) (Bits.to_hex (Testgen.Testspec.input t).data) out_port out_data
           (String.concat "; " (List.map (fun e -> Format.asprintf "%a" Testgen.Testspec.pp_entry e) t.entries)))
       run.Oracle.result.Explore.tests;
     print_newline ()
@@ -374,15 +374,24 @@ let batch jobs =
 
 let std_drivers () =
   let cap n = { Explore.default_config with Explore.max_tests = Some n } in
+  let dflt = Runtime.default_options in
   [
-    ("fig1a", "v1model", Progzoo.Corpus.fig1a, Explore.default_config);
-    ("fig1b", "v1model", Progzoo.Corpus.fig1b, Explore.default_config);
+    ("fig1a", "v1model", Progzoo.Corpus.fig1a, dflt, Explore.default_config);
+    ("fig1b", "v1model", Progzoo.Corpus.fig1b, dflt, Explore.default_config);
     ( "middleblock_2acl",
       "v1model",
       Progzoo.Generators.middleblock ~acl_stages:2 (),
+      dflt,
       cap 400 );
-    ("up4", "v1model", Progzoo.Generators.up4 (), Explore.default_config);
-    ("switch6_tna", "tna", Progzoo.Generators.switch_tna ~stages:6 (), cap 400);
+    ("up4", "v1model", Progzoo.Generators.up4 (), dflt, Explore.default_config);
+    ("switch6_tna", "tna", Progzoo.Generators.switch_tna ~stages:6 (), dflt, cap 400);
+    (* register-dependent 2-packet sequences: exercises cross-packet
+       extern-state continuity on the oracle's hot path *)
+    ( "register_seq2",
+      "v1model",
+      Progzoo.Corpus.register_program,
+      { dflt with Runtime.seq_packets = 2 },
+      Explore.default_config );
   ]
 
 (* Host identification, recorded in every JSON result row: scaling
@@ -404,8 +413,8 @@ let host_cores () =
 
 (* one measured oracle run, printed and rendered as a JSON object;
    shared by [json] and [scaling] *)
-let json_row name arch src config =
-  let run = generate ~config arch src in
+let json_row name arch src opts config =
+  let run = generate ~opts ~config arch src in
   let r = run.Oracle.result in
   Printf.printf "%-20s %5d tests  %6.2fs\n" name (List.length r.Explore.tests)
     r.Explore.total_time;
@@ -440,16 +449,16 @@ let json ?(only = []) ?(path_jobs = 0) out =
     | names ->
         List.iter
           (fun n ->
-            if not (List.exists (fun (d, _, _, _) -> d = n) drivers) then begin
+            if not (List.exists (fun (d, _, _, _, _) -> d = n) drivers) then begin
               Printf.eprintf "unknown driver %s (have: %s)\n" n
-                (String.concat ", " (List.map (fun (d, _, _, _) -> d) drivers));
+                (String.concat ", " (List.map (fun (d, _, _, _, _) -> d) drivers));
               exit 1
             end)
           names;
-        List.filter (fun (d, _, _, _) -> List.mem d names) drivers
+        List.filter (fun (d, _, _, _, _) -> List.mem d names) drivers
   in
-  let row (name, arch, src, config) =
-    fst (json_row name arch src { config with Explore.path_jobs })
+  let row (name, arch, src, opts, config) =
+    fst (json_row name arch src opts { config with Explore.path_jobs })
   in
   write_bench_doc out (List.map row drivers)
 
@@ -459,19 +468,19 @@ let json ?(only = []) ?(path_jobs = 0) out =
 
 let scaling driver out =
   header (Printf.sprintf "Scaling — %s at path-jobs {1,2,4,8} -> %s" driver out);
-  match List.find_opt (fun (d, _, _, _) -> d = driver) (std_drivers ()) with
+  match List.find_opt (fun (d, _, _, _, _) -> d = driver) (std_drivers ()) with
   | None ->
       Printf.eprintf "unknown driver %s (have: %s)\n" driver
-        (String.concat ", " (List.map (fun (d, _, _, _) -> d) (std_drivers ())));
+        (String.concat ", " (List.map (fun (d, _, _, _, _) -> d) (std_drivers ())));
       exit 1
-  | Some (name, arch, src, config) ->
+  | Some (name, arch, src, opts, config) ->
       let measured =
         List.map
           (fun pj ->
             let row, total =
               json_row
                 (Printf.sprintf "%s@pj%d" name pj)
-                arch src
+                arch src opts
                 { config with Explore.path_jobs = pj }
             in
             (pj, row, total))

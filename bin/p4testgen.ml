@@ -41,8 +41,8 @@ let report_obs ~metrics ~trace (tracks : (string * Obs.Registry.t) list) =
         1)
 
 let run_generate file target backend max_tests max_paths seed strategy fixed_size
-    no_constraints no_random unroll solver_knobs parallel_knobs out_file validate
-    print_tests metrics trace verbose =
+    no_constraints no_random unroll seq_packets solver_knobs parallel_knobs out_file
+    validate print_tests metrics trace verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -64,6 +64,7 @@ let run_generate file target backend max_tests max_paths seed strategy fixed_siz
               apply_constraints = not no_constraints;
               randomize = not no_random;
               unroll_bound = unroll;
+              seq_packets;
             }
           in
           let config =
@@ -179,6 +180,17 @@ let no_random =
 
 let unroll =
   Arg.(value & opt int 3 & info [ "unroll" ] ~doc:"Parser loop unrolling bound")
+
+let seq_packets =
+  Arg.(
+    value & opt int 1
+    & info [ "seq-packets" ] ~docv:"N"
+        ~doc:
+          "Packets per generated test.  With $(docv) > 1 every test is an \
+           ordered multi-packet sequence: stateful externs (registers) keep \
+           their value between the packets, so later packets can depend on \
+           state the earlier ones wrote.  The default 1 keeps the classic \
+           single-packet tests")
 
 let out_file = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc:"Output file")
 
@@ -318,14 +330,14 @@ let parallel_knobs =
 let generate_t =
   Term.(
     const run_generate $ file $ target $ backend $ max_tests $ max_paths $ seed $ strategy
-    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ parallel_knobs
-    $ out_file $ validate $ print_tests $ metrics $ trace $ verbose)
+    $ fixed_size $ no_constraints $ no_random $ unroll $ seq_packets $ solver_knobs
+    $ parallel_knobs $ out_file $ validate $ print_tests $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* batch: many programs across domains *)
 
 let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_constraints
-    no_random unroll solver_knobs parallel_knobs metrics trace verbose =
+    no_random unroll seq_packets solver_knobs parallel_knobs metrics trace verbose =
   setup_logs verbose;
   match Targets.Registry.find target with
   | None ->
@@ -341,6 +353,7 @@ let run_batch files target jobs max_tests max_paths seed strategy fixed_size no_
           apply_constraints = not no_constraints;
           randomize = not no_random;
           unroll_bound = unroll;
+          seq_packets;
         }
       in
       let config =
@@ -409,14 +422,14 @@ let jobs =
 let batch_t =
   Term.(
     const run_batch $ batch_files $ target $ jobs $ max_tests $ max_paths $ seed $ strategy
-    $ fixed_size $ no_constraints $ no_random $ unroll $ solver_knobs $ parallel_knobs
-    $ metrics $ trace $ verbose)
+    $ fixed_size $ no_constraints $ no_random $ unroll $ seq_packets $ solver_knobs
+    $ parallel_knobs $ metrics $ trace $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* selftest: the differential fuzzing campaign (§7/§8) *)
 
 let run_selftest cases jobs seed max_seconds out_dir archs max_tests fault no_reduce
-    mutation_score metrics trace verbose =
+    sequences mutation_score metrics trace verbose =
   setup_logs verbose;
   let fault =
     match fault with
@@ -455,6 +468,7 @@ let run_selftest cases jobs seed max_seconds out_dir archs max_tests fault no_re
             max_tests;
             fault;
             reduce = not no_reduce;
+            sequences;
             out_dir;
           }
         in
@@ -530,6 +544,15 @@ let selftest_fault =
 let selftest_no_reduce =
   Arg.(value & flag & info [ "no-reduce" ] ~doc:"Skip delta-debugging failing programs")
 
+let selftest_sequences =
+  Arg.(
+    value & flag
+    & info [ "sequences" ]
+        ~doc:
+          "Generate multi-packet test sequences (2\226\128\1473 packets, derived \
+           from each case seed) instead of single-packet tests, exercising \
+           stateful-extern continuity across packet boundaries")
+
 let selftest_mutation_score =
   Arg.(
     value & flag
@@ -542,7 +565,8 @@ let selftest_t =
   Term.(
     const run_selftest $ selftest_cases $ jobs $ selftest_seed $ selftest_max_seconds
     $ selftest_out $ selftest_archs $ selftest_max_tests $ selftest_fault
-    $ selftest_no_reduce $ selftest_mutation_score $ metrics $ trace $ verbose)
+    $ selftest_no_reduce $ selftest_sequences $ selftest_mutation_score $ metrics $ trace
+    $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

@@ -29,7 +29,7 @@ let () =
               match v with
               | Sim.Harness.Wrong_output msg ->
                   Printf.printf "         e.g. %s\n         on input %s\n" msg
-                    (Bitv.Bits.to_hex t.input.data)
+                    (Bitv.Bits.to_hex (Testgen.Testspec.input t).data)
               | _ -> ())
             (match List.filter (fun (_, v) -> v <> Sim.Harness.Pass) results with
             | x :: _ -> [ x ]

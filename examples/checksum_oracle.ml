@@ -23,9 +23,9 @@ let () =
      recompute it from the generated packet *)
   List.iter
     (fun (t : Testgen.Testspec.t) ->
-      if (not (Testgen.Testspec.is_drop t)) && Bits.width t.input.data = 112 then begin
-        let body = Bits.slice t.input.data ~hi:111 ~lo:16 in
-        let carried = Bits.slice t.input.data ~hi:15 ~lo:0 in
+      if (not (Testgen.Testspec.is_drop t)) && Bits.width (Testgen.Testspec.input t).data = 112 then begin
+        let body = Bits.slice (Testgen.Testspec.input t).data ~hi:111 ~lo:16 in
+        let carried = Bits.slice (Testgen.Testspec.input t).data ~hi:15 ~lo:0 in
         let expected = Targets.Checksums.csum16 body in
         Printf.printf
           "forwarded packet carries checksum %s; recomputed csum16 = %s (%s)\n"

@@ -17,7 +17,7 @@ let () =
       if not (Testgen.Testspec.is_drop t) then
         Printf.printf
           "forwarded frame is %d bytes (>= the 64-byte Tofino minimum)\n"
-          (Bits.width t.input.data / 8))
+          (Bits.width (Testgen.Testspec.input t).data / 8))
     tests;
   let sim = Sim.Harness.prepare ~arch:"tna" Progzoo.Corpus.tna_basic in
   let summary, _ = Sim.Harness.run_suite sim tests in

@@ -244,8 +244,32 @@ let randomize_free_inputs ctx solver st =
     in
     pref st.in_port;
     List.iter (fun se -> List.iter (fun (_, e) -> pref e) se.se_args) st.entries;
-    List.iter pref st.chunks
+    List.iter pref st.chunks;
+    List.iter
+      (fun pd ->
+        pref pd.pd_in_port;
+        List.iter pref pd.pd_chunks)
+      st.seq_done
   end
+
+(* last-write-wins per (name, index): [reg_inits] arrives newest first,
+   so keeping each cell's first occurrence and reversing yields the
+   final value of every cell in oldest-first order — PTF output never
+   emits conflicting register_write lines for the same cell *)
+let dedup_reg_inits (ris : Testspec.register_init list) =
+  let seen = Hashtbl.create 8 in
+  let keep =
+    List.filter
+      (fun (r : Testspec.register_init) ->
+        let k = (r.r_name, r.r_index) in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      ris
+  in
+  List.rev keep
 
 let build_test ctx solver (st : state) : Testspec.t option =
   randomize_free_inputs ctx solver st;
@@ -256,30 +280,63 @@ let build_test ctx solver (st : state) : Testspec.t option =
         let m = Expr.taint_mask e in
         if st.ctrl_taint then Bits.ones (Bits.width m) else m
       in
-      let input =
-        Testspec.packet ~port:(model st.in_port) (model (input_expr st))
+      (* one injection step per packet of the sequence: the archived
+         ones plus the packet still live in [st] *)
+      let inject (pd : pkt_record) =
+        let data =
+          List.fold_left
+            (fun acc c -> Expr.concat c acc)
+            (empty_bits ctx.ectx) pd.pd_chunks
+        in
+        let input = Testspec.packet ~port:(model pd.pd_in_port) (model data) in
+        let outputs =
+          if pd.pd_dropped then []
+          else
+            List.rev_map
+              (fun o ->
+                {
+                  Testspec.port = model o.o_port;
+                  data = model o.o_data;
+                  dontcare = taint_of o.o_data;
+                })
+              pd.pd_outputs
+        in
+        Testspec.SInject { input; outputs }
       in
-      let outputs =
-        if st.dropped then []
-        else
-          List.rev_map
-            (fun o ->
-              {
-                Testspec.port = model o.o_port;
-                data = model o.o_data;
-                dontcare = taint_of o.o_data;
-              })
-            st.outputs
+      let current =
+        {
+          pd_chunks = st.chunks;
+          pd_in_port = st.in_port;
+          pd_outputs = st.outputs;
+          pd_dropped = st.dropped;
+        }
       in
       let entries = List.rev_map (concretize_entry model) st.entries in
-      Some
-        (Testspec.make ~input ~outputs ~entries ~registers:(List.rev st.reg_inits)
-           ~covered:(IntSet.elements st.covered)
-           ~comment:(String.concat " > " (List.rev st.trace)))
+      let registers = dedup_reg_inits st.reg_inits in
+      let covered = IntSet.elements st.covered in
+      let comment = String.concat " > " (List.rev st.trace) in
+      (* [current :: seq_done] is newest first; rev_map restores
+         injection order *)
+      (match List.rev_map inject (current :: st.seq_done) with
+      | [ Testspec.SInject { input; outputs } ] ->
+          Some (Testspec.make ~input ~outputs ~entries ~registers ~covered ~comment)
+      | steps -> Some (Testspec.make_seq ~steps ~entries ~registers ~covered ~comment))
 
-(* a test is flaky if the packet's fate or destination is tainted *)
+(* a test is flaky if any packet's fate or destination is tainted *)
 let port_tainted st =
-  st.ctrl_taint || List.exists (fun o -> Expr.tainted o.o_port) st.outputs
+  st.ctrl_taint
+  || List.exists (fun o -> Expr.tainted o.o_port) st.outputs
+  || List.exists
+       (fun pd -> List.exists (fun o -> Expr.tainted o.o_port) pd.pd_outputs)
+       st.seq_done
+
+(* Sequence boundary: a completed packet with injections left starts
+   the next one (the target-installed hook archives the finished
+   packet and re-initialises the pipeline over the persisting extern
+   state).  This is an implicit step — it consumes no fork choice — so
+   recorded branch prefixes replay across boundaries unchanged. *)
+let seq_boundary (ctx : ctx) (st : state) : state option =
+  if st.seq_left > 0 then Some (ctx.next_packet_hook ctx st) else None
 
 (* ------------------------------------------------------------------ *)
 (* DFS engine
@@ -298,6 +355,7 @@ type cells = {
   c_disc_taint : Obs.Counter.t;
   c_disc_concolic : Obs.Counter.t;
   c_branch_checks : Obs.Counter.t;
+  c_seq_paths : Obs.Counter.t;
   c_rebuilds : Obs.Counter.t;
   tm_step : Obs.Timer.t;
   tm_emit : Obs.Timer.t;
@@ -314,6 +372,7 @@ let make_cells reg =
     c_disc_taint = Obs.Registry.counter reg "explore.discarded_taint";
     c_disc_concolic = Obs.Registry.counter reg "explore.discarded_concolic";
     c_branch_checks = Obs.Registry.counter reg "explore.branch_checks";
+    c_seq_paths = Obs.Registry.counter reg "explore.sequence_paths";
     c_rebuilds = Obs.Registry.counter reg "solver.rebuilds";
     tm_step = Obs.Registry.timer reg "explore.t_step";
     tm_emit = Obs.Registry.timer reg "explore.t_emit";
@@ -412,6 +471,7 @@ let check_budget eng =
 let finish eng st =
   let reg = eng.e_ctx.obs in
   Obs.Counter.incr eng.e_cells.c_paths;
+  if st.seq_done <> [] then Obs.Counter.incr eng.e_cells.c_seq_paths;
   Obs.Span.with_ reg
     ~args:
       [
@@ -477,9 +537,14 @@ let rec dfs eng ~split depth pref st =
   Obs.Timer.add eng.e_cells.tm_step (Obs.Clock.now () -. t0);
   match stepped with
   | None -> (
-      match split with
-      | Some (_, emit) -> emit (List.rev pref) true st
-      | None -> finish eng st)
+      (* packet finished: cross the sequence boundary when injections
+         remain, otherwise the path is complete *)
+      match seq_boundary eng.e_ctx st with
+      | Some st' -> dfs eng ~split depth pref st'
+      | None -> (
+          match split with
+          | Some (_, emit) -> emit (List.rev pref) true st
+          | None -> finish eng st))
   | Some [] -> Obs.Counter.incr eng.e_cells.c_abandoned
   | Some [ { br_cond = None; br_state; _ } ] -> dfs eng ~split depth pref br_state
   | Some branches ->
@@ -567,7 +632,12 @@ let replay ctx cells c_rsteps ~assert_cond prefix st0 =
         Obs.Timer.add cells.tm_step (Obs.Clock.now () -. t0);
         Obs.Counter.incr c_rsteps;
         match stepped with
-        | None | Some [] -> diverged pref
+        | None -> (
+            (* boundaries are implicit during replay too *)
+            match seq_boundary ctx st with
+            | Some st' -> walk pref st'
+            | None -> diverged pref)
+        | Some [] -> diverged pref
         | Some [ { br_cond = None; br_state; _ } ] -> walk pref br_state
         | Some [ b ] ->
             (* single conditional branch: implicit, not a recorded
@@ -595,6 +665,13 @@ let run_seq (config : config) (ctx : ctx) (st0 : state) : result =
   let sp_explore = Obs.Span.enter reg "explore" in
   (try dfs eng ~split:None 0 [] st0 with Stop -> ());
   Solver.flush_stats !(eng.e_solver);
+  let n_seq =
+    List.fold_left
+      (fun k t -> if Testspec.is_sequence t then k + 1 else k)
+      0 eng.e_tests
+  in
+  if n_seq > 0 then
+    Obs.Counter.add (Obs.Registry.counter reg "explore.sequence_tests") n_seq;
   Obs.Span.exit reg sp_explore;
   let total = Obs.Clock.now () -. t_start in
   Obs.Timer.add tm_total total;
@@ -1096,6 +1173,15 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
   (* worker registries carry only scheduling-local activity (steal
      counts, spans); absorb the counters and expose the registries as
      trace tracks *)
+  let n_seq =
+    List.fold_left
+      (fun k t -> if Testspec.is_sequence t then k + 1 else k)
+      0 !merged_tests
+  in
+  if n_seq > 0 then
+    Obs.Counter.add
+      (Obs.Registry.counter reg "explore.sequence_tests")
+      n_seq;
   Array.iter (fun w -> Obs.Registry.absorb reg (Obs.Registry.snapshot w)) wregs;
   let workers =
     Array.to_list (Array.mapi (fun w r -> (Printf.sprintf "path-worker-%d" w, r)) wregs)

@@ -43,6 +43,12 @@ let prepare ?(opts = Runtime.default_options) ?obs (target : (module Target_intf
   let ctx = Runtime.make_ctx ~opts ~obs prog ~nstmts tctx in
   ctx.extern_hook <- T.extern;
   ctx.reject_hook <- T.on_reject;
+  (* sequence boundary: archive the finished packet, then let the
+     target re-initialise its intrinsic metadata for the next one, so
+     extern state (registers, counters, meters) persists while
+     per-packet state starts fresh *)
+  ctx.next_packet_hook <-
+    (fun ctx st -> T.init ctx (Runtime.next_packet ctx ~port_width:T.port_width st));
   Obs.Span.exit obs sp;
   let prep_time = Obs.Clock.now () -. t0 in
   Obs.Timer.add (Obs.Registry.timer obs "oracle.prep_time") prep_time;
@@ -75,6 +81,8 @@ let fresh_instance (p : prepared) (reg : Obs.Registry.t) :
   in
   ctx.Runtime.extern_hook <- T.extern;
   ctx.Runtime.reject_hook <- T.on_reject;
+  ctx.Runtime.next_packet_hook <-
+    (fun ctx st -> T.init ctx (Runtime.next_packet ctx ~port_width:T.port_width st));
   let st = Runtime.initial_state ctx ~port_width:T.port_width in
   (ctx, T.init ctx st)
 

@@ -27,6 +27,10 @@ type options = {
   apply_constraints : bool;  (** apply @entry_restriction preconditions *)
   randomize : bool;  (** prefer random values for free test inputs *)
   seed : int;
+  seq_packets : int;
+      (** packets injected per test sequence; extern state (registers,
+          counters, meters) persists across the packet boundaries.  1
+          (the default) is the historical single-packet mode. *)
 }
 
 let default_options =
@@ -37,6 +41,7 @@ let default_options =
     apply_constraints = true;
     randomize = true;
     seed = 1;
+    seq_packets = 1;
   }
 
 type ctx = {
@@ -54,6 +59,12 @@ type ctx = {
   rng : Random.State.t;
   mutable extern_hook : extern_hook;
   mutable reject_hook : reject_hook;
+  mutable next_packet_hook : next_packet_hook;
+      (** advances a finished pipeline to the next packet of a test
+          sequence; installed by {!Oracle.prepare} to compose
+          {!next_packet} with the target's pipeline-template [init].
+          Term-free closure, shared across forked tasks like the other
+          hooks. *)
   mutable uninit_is_zero : bool;
       (** target policy for uninitialized variables: BMv2 implicitly
           zero-initializes, Tofino leaves them undefined (Tbl. 6) *)
@@ -61,6 +72,8 @@ type ctx = {
 }
 
 and reject_hook = ctx -> frame -> string (* error constant name *) -> state -> branch list
+
+and next_packet_hook = ctx -> state -> state
 
 and extern_hook = ctx -> string -> Ast.expr list -> frame -> state -> extern_result
 
@@ -120,6 +133,15 @@ and sym_key =
 
 and out_pkt = { o_port : Expr.t; o_data : Expr.t; o_note : string }
 
+and pkt_record = {
+  pd_chunks : Expr.t list;  (** input chunks of the packet, newest first *)
+  pd_in_port : Expr.t;
+  pd_outputs : out_pkt list;  (** newest first *)
+  pd_dropped : bool;
+}
+(** A completed packet of a test sequence, archived at the boundary by
+    {!next_packet}. *)
+
 and state = {
   env : Expr.t Env.t;  (** leaf path -> value *)
   vartypes : Ast.typ Env.t;  (** declared variable path -> type *)
@@ -132,7 +154,20 @@ and state = {
   in_port : Expr.t;
   entries : sym_entry list;  (** newest first *)
   registers : (string * Expr.t array) list;
+  counters : (string * Expr.t array) list;
+      (** counter extern cells (packet counts); taint-abstracted under
+          symbolic indices, like registers *)
+  meters : (string * Expr.t array) list;
+      (** meter extern cells: the last recorded (tainted) color *)
   reg_inits : Testspec.register_init list;
+  tbl_misses : (string * Expr.t list) list;
+      (** newest first: programmable-table applications that took the
+          miss branch (table name, evaluated key values).  The control
+          plane is installed once for the whole test, so an entry
+          synthesized by a LATER application of the same table — e.g.
+          by the next packet of a sequence — must provably not match
+          any of these keys, or the recorded miss would have been a
+          hit on the real switch. *)
   covered : IntSet.t;
   concolic : concolic_call list;  (** newest first *)
   outputs : out_pkt list;  (** newest first *)
@@ -141,6 +176,8 @@ and state = {
   recircs : int;
   phase : string;  (** target-defined pipeline phase (e.g. "ingress") *)
   ctrl_taint : bool;  (** control flow has branched on tainted data *)
+  seq_left : int;  (** packets still to inject after the current one *)
+  seq_done : pkt_record list;  (** archived packets, newest first *)
   trace : string list;  (** newest first *)
 }
 
@@ -155,6 +192,42 @@ let fresh_name ctx prefix =
   Printf.sprintf "%s@%d" prefix ctx.fresh_ctr
 
 let fresh_var ctx prefix w = Expr.var ctx.ectx (fresh_name ctx prefix) w
+
+(* Packet boundary of a test sequence (§5): archive the finished
+   packet's I/O, reset the per-packet packet model and pipeline
+   bookkeeping, and mint a fresh input port.  Extern state (registers,
+   counters, meters), the environment, control-plane entries, path
+   conditions, coverage and concolic records all persist — that
+   continuity is what lets a warm-up packet unlock register-dependent
+   paths in a later one.  [ctrl_taint] is sticky: taint that influenced
+   control flow taints the rest of the sequence. *)
+let next_packet ctx ~port_width st =
+  let archived =
+    {
+      pd_chunks = st.chunks;
+      pd_in_port = st.in_port;
+      pd_outputs = st.outputs;
+      pd_dropped = st.dropped;
+    }
+  in
+  let left = st.seq_left - 1 in
+  {
+    st with
+    work = [];
+    chunks = [];
+    live = empty_bits ctx.ectx;
+    emit_buf = empty_bits ctx.ectx;
+    sealed = false;
+    in_port = fresh_var ctx "$in_port" port_width;
+    outputs = [];
+    dropped = false;
+    state_visits = Env.empty;
+    recircs = 0;
+    phase = "";
+    seq_left = left;
+    seq_done = archived :: st.seq_done;
+    trace = Printf.sprintf "-- packet boundary (%d more)" left :: st.trace;
+  }
 
 let rec make_ctx ?(opts = default_options) ?obs (prog : Ast.program) ~nstmts tctx =
   let parsers = Hashtbl.create 8 and controls = Hashtbl.create 8 in
@@ -181,6 +254,13 @@ let rec make_ctx ?(opts = default_options) ?obs (prog : Ast.program) ~nstmts tct
       (fun _ _ err st ->
         (* default: parsing stops; execution continues after the parser *)
         [ { br_cond = None; br_state = pop_to_reject err st; br_label = "reject:" ^ err } ]);
+    (* default: archive the finished packet but queue no pipeline work
+       for the next one (the target-composed hook from Oracle.prepare
+       replaces this); with an empty work stack the explorer then
+       finishes the path, so a missing hook degrades to single-packet
+       behavior instead of looping *)
+    next_packet_hook =
+      (fun ctx st -> next_packet ctx ~port_width:(Expr.width st.in_port) st);
     uninit_is_zero = false;
     fresh_ctr = 0;
   }
@@ -206,7 +286,10 @@ let initial_state ctx ~port_width =
     in_port = Expr.var ctx.ectx "$in_port" port_width;
     entries = [];
     registers = [];
+    counters = [];
+    meters = [];
     reg_inits = [];
+    tbl_misses = [];
     covered = IntSet.empty;
     concolic = [];
     outputs = [];
@@ -215,6 +298,8 @@ let initial_state ctx ~port_width =
     recircs = 0;
     phase = "";
     ctrl_taint = false;
+    seq_left = max 0 (ctx.opts.seq_packets - 1);
+    seq_done = [];
     trace = [];
   }
 
@@ -469,13 +554,30 @@ let add_output ?(note = "") ~port ~data st =
   { st with outputs = { o_port = port; o_data = data; o_note = note } :: st.outputs }
 
 (* ------------------------------------------------------------------ *)
-(* Register extern state *)
+(* Stateful extern state: registers, counters, meters.
+
+   All three are assoc lists of cell arrays keyed by a stable name
+   (the declaring block's type name plus the instance name), so the
+   same instance resolves to the same cells on every pipeline
+   invocation of a test sequence.  Updates are order-preserving
+   in-place list rewrites: the assoc order — and with it
+   [map_terms]/snapshot traversal order — depends only on declaration
+   order, never on write order. *)
+
+(* stable update: rewrite the one matching binding in place *)
+let set_assoc name arr' tbl =
+  List.map (fun ((n, _) as kv) -> if n = name then (n, arr') else kv) tbl
 
 let find_register st name = List.assoc_opt name st.registers
 
+(* create-if-absent: under stable keys a block entered repeatedly
+   (recirculation, later sequence packets) keeps its existing cells *)
 let add_register name ~size ~width st =
-  let arr = Array.init size (fun _ -> Expr.zero (state_ectx st) width) in
-  { st with registers = (name, arr) :: st.registers }
+  if List.mem_assoc name st.registers then st
+  else begin
+    let arr = Array.init size (fun _ -> Expr.zero (state_ectx st) width) in
+    { st with registers = (name, arr) :: st.registers }
+  end
 
 let read_register st name idx =
   match find_register st name with
@@ -487,8 +589,87 @@ let write_register st name idx v =
   | Some arr ->
       let arr' = Array.copy arr in
       arr'.(idx) <- v;
-      { st with registers = (name, arr') :: List.remove_assoc name st.registers }
+      { st with registers = set_assoc name arr' st.registers }
   | None -> st
+
+(* overwrite every cell with fresh taint: the effect of an update at a
+   symbolic (unconcretized) index *)
+let taint_all_cells st arr' =
+  let ectx = state_ectx st in
+  Array.map (fun c -> Expr.fresh_taint ectx (Expr.width c)) arr'
+
+let taint_register st name =
+  match find_register st name with
+  | Some arr -> { st with registers = set_assoc name (taint_all_cells st arr) st.registers }
+  | None -> st
+
+let find_counter st name = List.assoc_opt name st.counters
+
+let add_counter name ~size ~width st =
+  if List.mem_assoc name st.counters then st
+  else begin
+    let arr = Array.init size (fun _ -> Expr.zero (state_ectx st) width) in
+    { st with counters = (name, arr) :: st.counters }
+  end
+
+(* count(idx): bump the cell under a concrete index, taint the whole
+   array under a symbolic one (the paper's taint abstraction for
+   stateful externs whose value never reaches the output) *)
+let bump_counter st name idx =
+  match find_counter st name with
+  | Some arr -> (
+      match idx with
+      | Some i when i >= 0 && i < Array.length arr ->
+          let arr' = Array.copy arr in
+          let ectx = state_ectx st in
+          arr'.(i) <- Expr.add arr'.(i) (Expr.of_int ectx ~width:(Expr.width arr'.(i)) 1);
+          { st with counters = set_assoc name arr' st.counters }
+      | Some _ -> st
+      | None -> { st with counters = set_assoc name (taint_all_cells st arr) st.counters })
+  | None -> st
+
+let find_meter st name = List.assoc_opt name st.meters
+
+let add_meter name ~size ~width st =
+  if List.mem_assoc name st.meters then st
+  else begin
+    let arr = Array.init size (fun _ -> Expr.zero (state_ectx st) width) in
+    { st with meters = (name, arr) :: st.meters }
+  end
+
+(* executing a meter records a tainted color for the cell: meter state
+   depends on timing the oracle cannot model (§5.3) *)
+let execute_meter_state st name idx =
+  match find_meter st name with
+  | Some arr -> (
+      let ectx = state_ectx st in
+      match idx with
+      | Some i when i >= 0 && i < Array.length arr ->
+          let arr' = Array.copy arr in
+          arr'.(i) <- Expr.fresh_taint ectx (Expr.width arr'.(i));
+          { st with meters = set_assoc name arr' st.meters }
+      | Some _ -> st
+      | None -> { st with meters = set_assoc name (taint_all_cells st arr) st.meters })
+  | None -> st
+
+(* Resolve an extern instance name against a frame: the fresh
+   per-invocation scopes first (local declarations), then the stable
+   block-level keys (the declaring control's / parser's type name). *)
+let find_extern_path find st (fr : frame) obj =
+  let scopes =
+    fr.fr_scopes
+    @ (match fr.fr_ctrl with Some cd -> [ cd.Ast.c_name ] | None -> [])
+    @ (match fr.fr_parser with Some pd -> [ pd.Ast.p_name ] | None -> [])
+  in
+  List.find_map
+    (fun scope ->
+      let k = scope ^ "." ^ obj in
+      match find st k with Some _ -> Some k | None -> None)
+    scopes
+
+let find_register_path st fr obj = find_extern_path find_register st fr obj
+let find_counter_path st fr obj = find_extern_path find_counter st fr obj
+let find_meter_path st fr obj = find_extern_path find_meter st fr obj
 
 (* ------------------------------------------------------------------ *)
 (* Concolic call registration (§5.4) *)
@@ -531,12 +712,26 @@ let map_terms f st =
     in_port = f st.in_port;
     entries = List.map map_entry st.entries;
     registers = List.map (fun (n, arr) -> (n, Array.map f arr)) st.registers;
+    counters = List.map (fun (n, arr) -> (n, Array.map f arr)) st.counters;
+    meters = List.map (fun (n, arr) -> (n, Array.map f arr)) st.meters;
+    tbl_misses = List.map (fun (n, ks) -> (n, List.map f ks)) st.tbl_misses;
     concolic =
       List.map
         (fun cc -> { cc with cc_var = f cc.cc_var; cc_args = List.map f cc.cc_args })
         st.concolic;
     outputs =
       List.map (fun o -> { o with o_port = f o.o_port; o_data = f o.o_data }) st.outputs;
+    seq_done =
+      List.map
+        (fun pd ->
+          {
+            pd with
+            pd_chunks = List.map f pd.pd_chunks;
+            pd_in_port = f pd.pd_in_port;
+            pd_outputs =
+              List.map (fun o -> { o with o_port = f o.o_port; o_data = f o.o_data }) pd.pd_outputs;
+          })
+        st.seq_done;
   }
 
 let iter_terms f st = ignore (map_terms (fun e -> f e; e) st)

@@ -22,21 +22,39 @@ type binding =
 
 let fresh_prefix ctx name = fresh_name ctx ("$f_" ^ name)
 
-let declare_locals ctx prefix (locals : Ast.local_decl list) st =
+(* [stable] keys stateful-extern instances (registers, counters,
+   meters) by the declaring block's type name instead of the fresh
+   per-invocation [prefix], so the same instance resolves to the same
+   cells on every invocation — the state-continuity invariant behind
+   recirculation and multi-packet test sequences.  [add_register] &
+   co. are create-if-absent, so re-entering the block keeps the
+   contents. *)
+let declare_locals ctx prefix ?(stable = prefix) (locals : Ast.local_decl list) st =
+  let inst_size args = match args with Ast.EInt { iv; _ } :: _ -> min iv 1024 | _ -> 16 in
   List.fold_left
     (fun st l ->
       match l with
       | Ast.LVar (t, n, _) ->
           declare ctx ~init:(init_uninit ctx) t (prefix ^ "." ^ n) st
       | Ast.LConst (t, n, _) -> declare ctx ~init:(init_zero ctx) t (prefix ^ "." ^ n) st
-      | Ast.LInstantiation (TSpec (("register" | "Register"), [ elem ]), args, n) ->
+      | Ast.LInstantiation (TSpec (("register" | "Register"), (elem :: _)), args, n) ->
           let width = Typing.width_of ctx.tctx elem in
-          let size =
-            match args with
-            | Ast.EInt { iv; _ } :: _ -> iv
-            | _ -> 16
-          in
-          add_register (prefix ^ "." ^ n) ~size:(min size 1024) ~width st
+          add_register (stable ^ "." ^ n) ~size:(inst_size args) ~width st
+      | Ast.LInstantiation
+          ( ( TName ("counter" | "direct_counter")
+            | TSpec (("counter" | "Counter" | "DirectCounter"), _) ),
+            args,
+            n ) ->
+          (* counter cells hold packet/byte counts the data plane never
+             reads back; 32 bits of count is plenty for a test *)
+          add_counter (stable ^ "." ^ n) ~size:(inst_size args) ~width:32 st
+      | Ast.LInstantiation
+          ( ( TName ("meter" | "direct_meter")
+            | TSpec (("meter" | "Meter" | "DirectMeter"), _) ),
+            args,
+            n ) ->
+          (* meter cells record the last (tainted) color *)
+          add_meter (stable ^ "." ^ n) ~size:(inst_size args) ~width:8 st
       | Ast.LInstantiation ((TSpec ("value_set", [ _ ]) as t), _, n) ->
           (* parser value set: membership is control-plane state (§6) *)
           { st with vartypes = Env.add (prefix ^ "." ^ n) t st.vartypes }
@@ -98,7 +116,7 @@ let parser_frame prefix (pd : Ast.parser_decl) =
 let enter_control ctx (cd : Ast.control_decl) (bindings : binding list) st =
   let prefix = fresh_prefix ctx cd.c_name in
   let st = bind_params ctx prefix cd.c_params bindings st in
-  let st = declare_locals ctx prefix cd.c_locals st in
+  let st = declare_locals ctx prefix ~stable:cd.c_name cd.c_locals st in
   let fr = control_frame prefix cd in
   let st = init_locals ctx prefix fr cd.c_locals st in
   let exit_ = WExitFrame (KControl, cd.c_name, fun ctx st -> copy_out ctx prefix cd.c_params bindings st) in
@@ -110,7 +128,7 @@ let enter_control ctx (cd : Ast.control_decl) (bindings : binding list) st =
 let enter_parser ctx (pd : Ast.parser_decl) (bindings : binding list) st =
   let prefix = fresh_prefix ctx pd.p_name in
   let st = bind_params ctx prefix pd.p_params bindings st in
-  let st = declare_locals ctx prefix pd.p_locals st in
+  let st = declare_locals ctx prefix ~stable:pd.p_name pd.p_locals st in
   let fr = parser_frame prefix pd in
   let st = init_locals ctx prefix fr pd.p_locals st in
   let exit_ =

@@ -220,6 +220,29 @@ let synthesize_match ctx keys : synth =
   }
 
 (* --------------------------------------------------------------- *)
+(* Matching a key against an already-synthesized entry (an earlier
+   application of the same table in this test — the previous packet of
+   a sequence, or a recirculation) *)
+
+let match_sym_key ctx (keyv : Expr.t) (sk : sym_key) : Expr.t =
+  let w = Expr.width keyv in
+  match sk with
+  | SkExact v -> Expr.eq keyv (Expr.zext v w)
+  | SkTernary (v, m) ->
+      let v = Expr.zext v w and m = Expr.zext m w in
+      Expr.eq (Expr.logand keyv m) (Expr.logand v m)
+  | SkLpm (v, len) ->
+      if len >= w then Expr.eq keyv (Expr.zext v w)
+      else if len <= 0 then Expr.tru ctx.ectx
+      else
+        let shift = Expr.of_int ctx.ectx ~width:w (w - len) in
+        Expr.eq (Expr.lshr keyv shift) (Expr.lshr (Expr.zext v w) shift)
+  | SkRange (lo, hi) ->
+      Expr.band (Expr.ule (Expr.zext lo w) keyv) (Expr.ule keyv (Expr.zext hi w))
+  | SkOptional None -> Expr.tru ctx.ectx
+  | SkOptional (Some v) -> Expr.eq keyv (Expr.zext v w)
+
+(* --------------------------------------------------------------- *)
 
 let default_of ctx fr st (tbl : Ast.table) =
   match tbl.tbl_default with
@@ -296,7 +319,86 @@ let apply ctx fr st (tbl : Ast.table) : applied list =
     List.rev (miss :: branches)
   end
   else begin
-    (* programmable table: one synthesized entry per action + miss *)
+    (* programmable table: one synthesized entry per action + miss.
+
+       The control plane is written ONCE for the whole test, so a
+       later application of the same table — the next packet of a
+       sequence, or a recirculated packet — sees the entries earlier
+       applications synthesized.  First match wins on a real switch:
+       the later application must therefore either *re-hit* one of
+       those entries (replaying its stored action and data) or take a
+       branch whose key provably matches none of them. *)
+    let prev =
+      List.rev
+        (List.filter (fun (e : sym_entry) -> e.se_table = tbl.tbl_name) st0.entries)
+    in
+    let match_prev (e : sym_entry) : Expr.t =
+      Expr.conj ctx.ectx
+        (List.map2
+           (fun (_, _, keyv) (_, sk) -> match_sym_key ctx keyv sk)
+           keys e.se_keys)
+    in
+    let not_matching es = List.map (fun e -> Expr.bnot (match_prev e)) es in
+    let rehit_branches =
+      List.concat
+        (List.mapi
+           (fun i (e : sym_entry) ->
+             match action_decl ctx fr e.se_action with
+             | exception _ -> []
+             | decl ->
+                 let args =
+                   List.map
+                     (fun (p : Ast.param) ->
+                       match List.assoc_opt p.par_name e.se_args with
+                       | Some v -> (p, v)
+                       | None ->
+                           ( p,
+                             fresh_var ctx
+                               (Printf.sprintf "$arg_%s_%s" e.se_action p.par_name)
+                               (Typing.width_of ctx.tctx p.par_typ) ))
+                     decl.act_params
+                 in
+                 let earlier = List.filteri (fun j _ -> j < i) prev in
+                 let cond =
+                   Expr.conj ctx.ectx (match_prev e :: not_matching earlier)
+                 in
+                 [
+                   {
+                     ap_action = e.se_action;
+                     ap_args = args;
+                     ap_hit = true;
+                     ap_cond = Some cond;
+                     ap_state = st0;
+                     ap_label =
+                       Printf.sprintf "%s:rehit%d:%s" tbl.tbl_name i e.se_action;
+                   };
+                 ])
+           prev)
+    in
+    (* a fresh synthesized entry (and the miss branch) must dodge every
+       earlier entry of this table, and must also not match the key of
+       any PAST application that took the miss branch — the entry is
+       installed before the first packet, so it would retroactively
+       turn that miss into a hit.  With no earlier applications both
+       guards vanish and this is the historical shape, bit for bit. *)
+    let past_misses =
+      List.filter_map
+        (fun (tname, mkeys) -> if tname = tbl.tbl_name then Some mkeys else None)
+        st0.tbl_misses
+    in
+    let miss_guards (sy_keys : (string * sym_key) list) =
+      List.map
+        (fun mkeys ->
+          Expr.bnot
+            (Expr.conj ctx.ectx
+               (List.map2 (fun mk (_, sk) -> match_sym_key ctx mk sk) mkeys sy_keys)))
+        past_misses
+    in
+    let dodge sy_keys cond =
+      match not_matching prev @ miss_guards sy_keys with
+      | [] -> cond
+      | guards -> Expr.conj ctx.ectx (cond :: guards)
+    in
     let synth = synthesize_match ctx keys in
     let restriction = entry_restriction ctx tbl keys synth.sy_vars in
     let hit_branches =
@@ -327,7 +429,7 @@ let apply ctx fr st (tbl : Ast.table) : applied list =
                   ap_action = aname;
                   ap_args = args;
                   ap_hit = true;
-                  ap_cond = Some cond;
+                  ap_cond = Some (dodge synth.sy_keys cond);
                   ap_state = { st0 with entries = entry :: st0.entries };
                   ap_label = Printf.sprintf "%s:hit:%s" tbl.tbl_name aname;
                 }
@@ -335,15 +437,26 @@ let apply ctx fr st (tbl : Ast.table) : applied list =
           tbl.tbl_actions
     in
     let st, dname, dargs = default_of ctx fr st0 tbl in
+    (* record the miss: entries synthesized by later applications must
+       not match this application's key *)
+    let miss_st =
+      {
+        st with
+        tbl_misses =
+          (tbl.tbl_name, List.map (fun (_, _, v) -> v) keys) :: st.tbl_misses;
+      }
+    in
     let miss =
       {
         ap_action = dname;
         ap_args = dargs;
         ap_hit = false;
-        ap_cond = None;  (* empty table: miss unconditionally *)
-        ap_state = st;
+        ap_cond =
+          (if prev = [] then None (* empty table: miss unconditionally *)
+           else Some (Expr.conj ctx.ectx (not_matching prev)));
+        ap_state = miss_st;
         ap_label = tbl.tbl_name ^ ":miss";
       }
     in
-    hit_branches @ [ miss ]
+    rehit_branches @ hit_branches @ [ miss ]
   end

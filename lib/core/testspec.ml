@@ -1,10 +1,18 @@
 (* Abstract test specification (§4, phase 3).
 
    A test is everything needed to exercise one program path on a real
-   target: the input packet and port, the control-plane configuration
-   (table entries, register initialization), and the expected outputs.
-   Test back ends ({!Backends}) concretize this representation into
-   STF, PTF, or protobuf text. *)
+   target: an ordered sequence of steps — packet injections with their
+   expected outputs, interleaved with control-plane updates (table
+   entry adds, register writes) — plus the initial control-plane
+   configuration (table entries, register initialization) applied
+   before the first step.  Extern state (registers, counters, meters)
+   persists between steps, so a warm-up packet can set up state that a
+   later packet's path depends on (§5's stateful-extern story).
+
+   The common case is a single injection; {!make} builds exactly that
+   and such tests print and execute identically to the historical
+   one-packet representation.  Test back ends ({!Backends})
+   concretize this representation into STF, PTF, or protobuf text. *)
 
 module Bits = Bitv.Bits
 
@@ -31,17 +39,27 @@ type packet = {
   dontcare : Bits.t;  (** per-bit mask: 1 = don't care (tainted output) *)
 }
 
+type step =
+  | SInject of { input : packet; outputs : packet list }
+      (** inject [input]; [outputs = []] means dropped *)
+  | SEntry of entry  (** add a table entry before the next injection *)
+  | SRegister of register_init  (** control-plane register write *)
+
 type t = {
-  input : packet;
-  outputs : packet list;  (** expected packets; [] means dropped *)
-  entries : entry list;
-  registers : register_init list;
+  steps : step list;  (** in execution order; at least one [SInject] *)
+  entries : entry list;  (** initial configuration, before any step *)
+  registers : register_init list;  (** initial register writes *)
   covered : int list;  (** ids of statements this test covers *)
   comment : string;  (** human-readable path description *)
 }
 
 let make ~input ~outputs ~entries ~registers ~covered ~comment =
-  { input; outputs; entries; registers; covered; comment }
+  { steps = [ SInject { input; outputs } ]; entries; registers; covered; comment }
+
+let make_seq ~steps ~entries ~registers ~covered ~comment =
+  if not (List.exists (function SInject _ -> true | _ -> false) steps) then
+    invalid_arg "Testspec.make_seq: a test needs at least one packet injection";
+  { steps; entries; registers; covered; comment }
 
 let packet ?(dontcare = Bits.zero 0) ~port data =
   let dontcare =
@@ -50,7 +68,23 @@ let packet ?(dontcare = Bits.zero 0) ~port data =
   in
   { port; data; dontcare }
 
-let is_drop t = t.outputs = []
+let injects t =
+  List.filter_map
+    (function SInject { input; outputs } -> Some (input, outputs) | _ -> None)
+    t.steps
+
+let input t =
+  match injects t with
+  | (i, _) :: _ -> i
+  | [] -> invalid_arg "Testspec.input: test has no packet injection"
+
+let outputs t =
+  match injects t with
+  | (_, o) :: _ -> o
+  | [] -> invalid_arg "Testspec.outputs: test has no packet injection"
+
+let is_sequence t = match t.steps with [ SInject _ ] -> false | _ -> true
+let is_drop t = List.for_all (fun (_, outs) -> outs = []) (injects t)
 
 let pp_key_match ppf = function
   | MExact v -> Format.fprintf ppf "%s" (Bits.to_hex v)
@@ -80,15 +114,34 @@ let pp_packet ppf p =
   if not (Bits.is_zero p.dontcare) then
     Format.fprintf ppf " mask %s" (Bits.to_hex (Bits.lognot p.dontcare))
 
+let pp_reg ppf (r : register_init) =
+  Format.fprintf ppf "%s[%d] = %s" r.r_name r.r_index (Bits.to_hex r.r_value)
+
+let pp_inject ~label ppf (input, outputs) =
+  Format.fprintf ppf "%sinput:  %a@," label pp_packet input;
+  match outputs with
+  | [] -> Format.fprintf ppf "%soutput: DROP@," label
+  | ps -> List.iter (fun p -> Format.fprintf ppf "%soutput: %a@," label pp_packet p) ps
+
 let pp ppf t =
-  Format.fprintf ppf "@[<v 2>test {@,input:  %a@," pp_packet t.input;
-  (match t.outputs with
-  | [] -> Format.fprintf ppf "output: DROP@,"
-  | ps -> List.iter (fun p -> Format.fprintf ppf "output: %a@," pp_packet p) ps);
+  Format.fprintf ppf "@[<v 2>test {@,";
+  (match t.steps with
+  | [ SInject { input; outputs } ] ->
+      (* the single-packet case keeps the historical byte-exact layout *)
+      pp_inject ~label:"" ppf (input, outputs)
+  | steps ->
+      let k = ref 0 in
+      List.iter
+        (fun step ->
+          match step with
+          | SInject { input; outputs } ->
+              incr k;
+              pp_inject ~label:(Printf.sprintf "#%d " !k) ppf (input, outputs)
+          | SEntry e -> Format.fprintf ppf "+entry: %a@," pp_entry e
+          | SRegister r -> Format.fprintf ppf "+reg:   %a@," pp_reg r)
+        steps);
   List.iter (fun e -> Format.fprintf ppf "entry:  %a@," pp_entry e) t.entries;
-  List.iter
-    (fun r -> Format.fprintf ppf "reg:    %s[%d] = %s@," r.r_name r.r_index (Bits.to_hex r.r_value))
-    t.registers;
+  List.iter (fun r -> Format.fprintf ppf "reg:    %a@," pp_reg r) t.registers;
   Format.fprintf ppf "path:   %s@]@,}" t.comment
 
 let to_string t = Format.asprintf "%a" pp t

@@ -1,11 +1,14 @@
 (** Abstract test specifications (§4, phase 3).
 
     A test is everything needed to exercise one program path on a real
-    target: the input packet and port, the control-plane configuration
-    (table entries, register initialization), and the expected
-    output(s).  Back ends ({!Backends.Stf}, {!Backends.Ptf},
-    {!Backends.Proto}) concretize this representation into framework
-    files; {!Sim.Harness} executes it on a software model. *)
+    target: an ordered sequence of steps — packet injections with
+    expected outputs, interleaved with control-plane updates — plus
+    the initial control-plane configuration (table entries, register
+    initialization).  Extern state (registers, counters, meters)
+    persists between steps (§5).  Back ends ({!Backends.Stf},
+    {!Backends.Ptf}, {!Backends.Proto}) concretize this representation
+    into framework files; {!Sim.Harness} executes it on a software
+    model against one persistent interpreter state. *)
 
 module Bits = Bitv.Bits
 
@@ -33,11 +36,17 @@ type register_init = { r_name : string; r_index : int; r_value : Bits.t }
     undefined (tainted output, §5.3), which executors must ignore. *)
 type packet = { port : Bits.t; data : Bits.t; dontcare : Bits.t }
 
+(** One step of a test sequence, in execution order. *)
+type step =
+  | SInject of { input : packet; outputs : packet list }
+      (** inject [input]; [outputs = []] means dropped *)
+  | SEntry of entry  (** add a table entry before the next injection *)
+  | SRegister of register_init  (** control-plane register write *)
+
 type t = {
-  input : packet;
-  outputs : packet list;  (** expected packets; [] means dropped *)
-  entries : entry list;
-  registers : register_init list;
+  steps : step list;  (** in execution order; at least one [SInject] *)
+  entries : entry list;  (** initial configuration, before any step *)
+  registers : register_init list;  (** initial register writes *)
   covered : int list;  (** ids of statements this test covers *)
   comment : string;  (** human-readable path description *)
 }
@@ -50,12 +59,40 @@ val make :
   covered:int list ->
   comment:string ->
   t
+(** A single-injection test — the historical shape; prints, executes
+    and benches identically to the pre-sequence representation. *)
+
+val make_seq :
+  steps:step list ->
+  entries:entry list ->
+  registers:register_init list ->
+  covered:int list ->
+  comment:string ->
+  t
+(** An ordered multi-step test.  Raises [Invalid_argument] when
+    [steps] contains no {!SInject}. *)
 
 val packet : ?dontcare:Bits.t -> port:Bits.t -> Bits.t -> packet
 (** [packet ~port data] builds a packet; a missing or size-mismatched
     [dontcare] defaults to all-zero (every bit checked). *)
 
+val injects : t -> (packet * packet list) list
+(** The packet injections of the sequence, in order. *)
+
+val input : t -> packet
+(** The first injected packet.  Raises [Invalid_argument] on a test
+    with no injection (which {!make}/{!make_seq} never build). *)
+
+val outputs : t -> packet list
+(** The expected outputs of the {e first} injection ([] = dropped) —
+    the whole story for single-packet tests; sequence-aware consumers
+    iterate {!injects} or [steps] instead. *)
+
+val is_sequence : t -> bool
+(** [true] iff the test has more than a single injection step. *)
+
 val is_drop : t -> bool
+(** Every injection of the sequence expects no output. *)
 
 val pp_key_match : Format.formatter -> key_match -> unit
 val pp_entry : Format.formatter -> entry -> unit

@@ -58,6 +58,7 @@ let feature_universe =
     "stmt.slice_assign";
     "stmt.drop";
     "extern.checksum";
+    "extern.register_rw";
   ]
 
 type rng = Random.State.t
@@ -387,7 +388,25 @@ let gen_v1model (st : rng) fs : string =
     else tables
   in
   List.iter (fun (decl, _) -> Buffer.add_string b ("  " ^ decl ^ "\n")) tables;
+  (* a stateful register with a read-after-write: under sequence mode
+     (seq_packets > 1) the second packet observes the first one's write *)
+  let use_reg = chance st 0.35 in
+  let reg_idx = range st 0 7 in
+  if use_reg then begin
+    mark fs "extern.register_rw";
+    Buffer.add_string b "  register<bit<32>>(8) regs;\n"
+  end;
   Buffer.add_string b "  apply {\n";
+  if use_reg then begin
+    mark fs "stmt.if";
+    Buffer.add_string b
+      (Printf.sprintf "    regs.read(meta.m2, %d);\n" reg_idx);
+    Buffer.add_string b
+      (Printf.sprintf "    regs.write(%d, meta.m2 + %d);\n" reg_idx (range st 1 5));
+    Buffer.add_string b
+      (Printf.sprintf "    if (meta.m2 == 0) {\n      sm.egress_spec = %d;\n    }\n"
+         (range st 1 9))
+  end;
   let stmts = gen_stmts st fs ~writable:base ~slots:base ~n:(range st 2 4) ~depth:2 in
   List.iter (fun s -> Buffer.add_string b ("    " ^ s ^ "\n")) stmts;
   List.iter (fun (_, app) -> Buffer.add_string b ("    " ^ app ^ "\n")) tables;

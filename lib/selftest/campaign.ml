@@ -43,6 +43,10 @@ type config = {
   reduce : bool;  (** shrink failing programs to minimal repros *)
   reduce_limit : int;  (** reduce at most this many failures *)
   out_dir : string option;  (** write repro .p4 files here *)
+  sequences : bool;
+      (** explore multi-packet test sequences: each case injects 2–3
+          packets (derived deterministically from its seed) against one
+          persistent model state *)
 }
 
 let default_config =
@@ -57,6 +61,7 @@ let default_config =
     reduce = true;
     reduce_limit = 3;
     out_dir = None;
+    sequences = false;
   }
 
 type failure = {
@@ -106,9 +111,9 @@ type pipeline_outcome =
 
 let target_of arch = Option.get (Targets.Registry.find arch)
 
-let run_pipeline ?(explore = Explore.default_config) ~fault ~arch ~seed ~max_tests src :
-    pipeline_outcome =
-  let opts = { Runtime.default_options with seed } in
+let run_pipeline ?(explore = Explore.default_config) ?(seq_packets = 1) ~fault ~arch
+    ~seed ~max_tests src : pipeline_outcome =
+  let opts = { Runtime.default_options with seed; seq_packets } in
   let config = { explore with Explore.max_tests = Some max_tests } in
   match Oracle.generate ~opts ~config (target_of arch) src with
   | exception e -> Diff ("oracle_error", Printexc.to_string e)
@@ -132,8 +137,9 @@ let run_pipeline ?(explore = Explore.default_config) ~fault ~arch ~seed ~max_tes
 let suite_fingerprint tests = String.concat "\n--\n" (List.map Testspec.to_string tests)
 
 (* the cadenced cross-cutting invariants; [None] = all hold *)
-let check_invariants ~arch ~seed ~max_tests ~(i : int) src : (string * string) option =
-  let opts = { Runtime.default_options with seed } in
+let check_invariants ~arch ~seed ~max_tests ~seq_packets ~(i : int) src :
+    (string * string) option =
+  let opts = { Runtime.default_options with seed; seq_packets } in
   let gen config = (Oracle.generate ~opts ~config (target_of arch) src).Oracle.result.Explore.tests in
   let base_cfg = { Explore.default_config with Explore.max_tests = Some max_tests } in
   let checks = ref [] in
@@ -166,7 +172,7 @@ let check_invariants ~arch ~seed ~max_tests ~(i : int) src : (string * string) o
           match
             run_pipeline
               ~explore:{ Explore.default_config with Explore.strategy = strat }
-              ~fault:Sim.Mutation.No_fault ~arch ~seed ~max_tests src
+              ~seq_packets ~fault:Sim.Mutation.No_fault ~arch ~seed ~max_tests src
           with
           | All_pass _ -> None
           | Diff (kind, detail) -> Some (kind ^ ": " ^ detail) )
@@ -213,11 +219,16 @@ let run_case cfg (reg : Obs.Registry.t) (i : int) : case_result =
     }
   in
   Obs.Counter.incr (Obs.Registry.counter reg "selftest.cases");
+  (* sequence mode: 2–3 packets per test, derived from the case seed so
+     the choice is identical for any [jobs] value *)
+  let seq_packets = if cfg.sequences then 2 + (seed mod 2) else 1 in
+  if cfg.sequences then
+    Obs.Counter.incr (Obs.Registry.counter reg "selftest.sequence_cases");
   let t = Obs.Registry.timer reg "selftest.case_time" in
   Obs.Timer.time t (fun () ->
       match
-        run_pipeline ~fault:cfg.fault ~arch:arch_name ~seed ~max_tests:cfg.max_tests
-          gen.Randprog.src
+        run_pipeline ~seq_packets ~fault:cfg.fault ~arch:arch_name ~seed
+          ~max_tests:cfg.max_tests gen.Randprog.src
       with
       | Diff (kind, detail) ->
           Obs.Counter.incr (Obs.Registry.counter reg "selftest.failures");
@@ -230,8 +241,8 @@ let run_case cfg (reg : Obs.Registry.t) (i : int) : case_result =
           if cfg.fault <> Sim.Mutation.No_fault then mk None n
           else
             match
-              check_invariants ~arch:arch_name ~seed ~max_tests:cfg.max_tests ~i
-                gen.Randprog.src
+              check_invariants ~arch:arch_name ~seed ~max_tests:cfg.max_tests
+                ~seq_packets ~i gen.Randprog.src
             with
             | Some (name, detail) ->
                 Obs.Counter.incr (Obs.Registry.counter reg "selftest.failures");
@@ -243,11 +254,13 @@ let run_case cfg (reg : Obs.Registry.t) (i : int) : case_result =
 (* Reduction post-pass *)
 
 let reduce_failure cfg (reg : Obs.Registry.t) (f : failure) : failure =
-  (* "still fails the same way": same kind, under the same seed/fault *)
+  (* "still fails the same way": same kind, under the same seed/fault
+     (and the same sequence length, re-derived from the case seed) *)
+  let seq_packets = if cfg.sequences then 2 + (f.f_seed mod 2) else 1 in
   let keep src =
     match
-      run_pipeline ~fault:cfg.fault ~arch:f.f_arch ~seed:f.f_seed ~max_tests:cfg.max_tests
-        src
+      run_pipeline ~seq_packets ~fault:cfg.fault ~arch:f.f_arch ~seed:f.f_seed
+        ~max_tests:cfg.max_tests src
     with
     | Diff (kind, _) -> kind = f.f_kind
     | All_pass _ -> false

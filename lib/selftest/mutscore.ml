@@ -30,24 +30,25 @@ let trigger_program (m : Sim.Mutation.t) : string * string =
   | "P4C-6" -> ("v1model", Progzoo.Corpus.union_prog)
   | "P4C-7" -> ("v1model", Progzoo.Corpus.switch_action_run)
   | "P4C-8" -> ("v1model", Progzoo.Corpus.dup_member)
+  | "SEQ-1" -> ("v1model", Progzoo.Corpus.register_program)
   | "TOF-1" -> ("tna", Progzoo.Corpus.tna_basic)
   | "TOF-5" -> ("tna", Progzoo.Corpus.tna_basic)
   | "TOF-12" -> ("v1model", Progzoo.Corpus.stale_read_prog)
   | _ -> ("tna", Progzoo.Corpus.tna_kitchen)
 
-(* suites are pure functions of (arch, source) here, so share them
-   across faults that use the same trigger *)
-let cache : (string * string, Testgen.Testspec.t list) Hashtbl.t = Hashtbl.create 8
+(* suites are pure functions of (arch, source, sequence length) here,
+   so share them across faults that use the same trigger *)
+let cache : (string * string * int, Testgen.Testspec.t list) Hashtbl.t = Hashtbl.create 8
 let target_of arch = Option.get (Targets.Registry.find arch)
 
-let tests_for arch src =
-  match Hashtbl.find_opt cache (arch, src) with
+let tests_for ?(seq_packets = 1) arch src =
+  match Hashtbl.find_opt cache (arch, src, seq_packets) with
   | Some t -> t
   | None ->
-      let opts = { Runtime.default_options with unroll_bound = 4; seed = 3 } in
+      let opts = { Runtime.default_options with unroll_bound = 4; seed = 3; seq_packets } in
       let run = Oracle.generate ~opts (target_of arch) src in
       let tests = run.Oracle.result.Explore.tests in
-      Hashtbl.replace cache (arch, src) tests;
+      Hashtbl.replace cache (arch, src, seq_packets) tests;
       tests
 
 (* bit-exact output comparison between two models on one test; only
@@ -55,11 +56,11 @@ let tests_for arch src =
    reads are zero, no RNG in the pipeline) *)
 let outputs_differ (pristine : Sim.Harness.prepared_sim) (faulted : Sim.Harness.prepared_sim)
     (t : Testgen.Testspec.t) : bool =
+  let input : Testgen.Testspec.packet = Testgen.Testspec.input t in
   let run sim =
     match
       Sim.Harness.run_packet sim ~entries:t.Testgen.Testspec.entries
-        ~port:(Bits.to_int t.Testgen.Testspec.input.Testgen.Testspec.port)
-        t.Testgen.Testspec.input.Testgen.Testspec.data
+        ~port:(Bits.to_int input.port) input.data
     with
     | exception _ -> None
     | outs -> Some outs
@@ -78,7 +79,10 @@ let outputs_differ (pristine : Sim.Harness.prepared_sim) (faulted : Sim.Harness.
 
 let run_mutation (m : Sim.Mutation.t) : detection =
   let arch, src = trigger_program m in
-  let tests = tests_for arch src in
+  (* SEQ-1 breaks *cross-packet* persistence: only a multi-packet
+     sequence suite can observe it *)
+  let seq_packets = if m.Sim.Mutation.m_label = "SEQ-1" then 2 else 1 in
+  let tests = tests_for ~seq_packets arch src in
   match Sim.Harness.prepare ~fault:m.Sim.Mutation.m_fault ~arch src with
   | exception Sim.Interp.Sim_crash _ -> Detected Sim.Mutation.Exception
   | sim -> (
@@ -86,9 +90,11 @@ let run_mutation (m : Sim.Mutation.t) : detection =
       if summary.Sim.Harness.crashed > 0 then Detected Sim.Mutation.Exception
       else if summary.Sim.Harness.wrong > 0 then Detected Sim.Mutation.Wrong_code
       else if arch = "v1model" then begin
-        (* differential second chance on the deterministic model *)
+        (* differential second chance on the deterministic model; the
+           single-packet replay cannot represent sequences, skip them *)
         let pristine = Sim.Harness.prepare ~arch src in
-        if List.exists (outputs_differ pristine sim) tests then
+        let singles = List.filter (fun t -> not (Testgen.Testspec.is_sequence t)) tests in
+        if List.exists (outputs_differ pristine sim) singles then
           Detected Sim.Mutation.Wrong_code
         else Undetected
       end

@@ -316,15 +316,37 @@ let run_tofino (cfg : cfg) st ~port (input : Bits.t) : (int * Bits.t) list optio
 (* ------------------------------------------------------------------ *)
 (* Test execution *)
 
-let run_packet (p : prepared_sim) ~(entries : Testgen.Testspec.entry list) ~(port : int)
-    (input : Bits.t) : (int * Bits.t) list option =
-  let st = fresh_st p.cfg in
-  st.entries <- entries;
+(* one packet injection against an already-initialised interpreter
+   state; sequences call this repeatedly on the same [st], so extern
+   state (registers) persists between the injections *)
+let run_one (p : prepared_sim) st ~(port : int) (input : Bits.t) :
+    (int * Bits.t) list option =
   match p.arch with
   | "v1model" -> run_v1model p.cfg st ~port input
   | "ebpf_model" -> run_ebpf p.cfg st ~port input
   | "tna" | "t2na" -> run_tofino p.cfg st ~port input
   | a -> failwith ("unknown arch " ^ a)
+
+let run_packet (p : prepared_sim) ~(entries : Testgen.Testspec.entry list) ~(port : int)
+    (input : Bits.t) : (int * Bits.t) list option =
+  let st = fresh_st p.cfg in
+  st.entries <- entries;
+  run_one p st ~port input
+
+(* a control-plane register write: update the cell if the declaring
+   block has already run, otherwise pre-seed an array the declaration
+   will keep (and grow to the declared size, preserving contents) *)
+let apply_reg_write st (r : Testgen.Testspec.register_init) =
+  match Hashtbl.find_opt st.registers r.r_name with
+  | Some arr ->
+      if r.r_index >= 0 && r.r_index < Array.length arr then
+        arr.(r.r_index) <- Bits.zext r.r_value (Bits.width arr.(0))
+  | None ->
+      if r.r_index >= 0 then begin
+        let arr = Array.make (r.r_index + 1) (Bits.zero (Bits.width r.r_value)) in
+        arr.(r.r_index) <- r.r_value;
+        Hashtbl.replace st.registers r.r_name arr
+      end
 
 let compare_packet (exp : Testgen.Testspec.packet) ((port, data) : int * Bits.t) :
     string option =
@@ -343,31 +365,73 @@ let compare_packet (exp : Testgen.Testspec.packet) ((port, data) : int * Bits.t)
            (Bits.to_hex exp.data) (Bits.to_hex data) (Bits.to_hex care))
   end
 
+let compare_outputs (exp : Testgen.Testspec.packet list)
+    (observed : (int * Bits.t) list option) : verdict =
+  match (exp, observed) with
+  | [], None -> Pass
+  | [], Some outs ->
+      Wrong_output
+        (Printf.sprintf "expected drop, got %d packet(s)" (List.length outs))
+  | exp, None ->
+      Wrong_output (Printf.sprintf "expected %d packet(s), got drop" (List.length exp))
+  | exp, Some outs ->
+      if List.length exp <> List.length outs then
+        Wrong_output
+          (Printf.sprintf "expected %d packet(s), got %d" (List.length exp)
+             (List.length outs))
+      else begin
+        match
+          List.find_map (fun (e, o) -> compare_packet e o) (List.combine exp outs)
+        with
+        | Some msg -> Wrong_output msg
+        | None -> Pass
+      end
+
+(* Execute a whole test — possibly a multi-packet sequence — against
+   ONE interpreter state: registers written by an earlier injection
+   are visible to the later ones (the state-continuity invariant the
+   oracle's sequence mode assumes).  Control-plane steps between
+   injections take effect before the next packet. *)
 let run_test (p : prepared_sim) (t : Testgen.Testspec.t) : verdict =
-  match run_packet p ~entries:t.entries ~port:(Bits.to_int t.input.port) t.input.data with
-  | exception Sim_crash msg -> Crash msg
-  | exception Reject e -> Crash ("unhandled parser reject: " ^ e)
-  | exception Failure msg -> Crash msg
-  | observed -> (
-      match (t.outputs, observed) with
-      | [], None -> Pass
-      | [], Some outs ->
-          Wrong_output
-            (Printf.sprintf "expected drop, got %d packet(s)" (List.length outs))
-      | exp, None ->
-          Wrong_output (Printf.sprintf "expected %d packet(s), got drop" (List.length exp))
-      | exp, Some outs ->
-          if List.length exp <> List.length outs then
-            Wrong_output
-              (Printf.sprintf "expected %d packet(s), got %d" (List.length exp)
-                 (List.length outs))
-          else begin
-            match
-              List.find_map (fun (e, o) -> compare_packet e o) (List.combine exp outs)
-            with
-            | Some msg -> Wrong_output msg
-            | None -> Pass
-          end)
+  let st = fresh_st p.cfg in
+  st.entries <- t.entries;
+  List.iter (apply_reg_write st) t.registers;
+  let npkts = ref 0 in
+  let inject (input : Testgen.Testspec.packet) outputs =
+    incr npkts;
+    (* fault injection: a buggy switch re-initialises register state
+       between the packets of a sequence *)
+    if !npkts > 1 && p.cfg.fault = Mutation.Register_reset_between_packets then
+      Hashtbl.reset st.registers;
+    match run_one p st ~port:(Bits.to_int input.port) input.data with
+    | exception Sim_crash msg -> Crash msg
+    | exception Reject e -> Crash ("unhandled parser reject: " ^ e)
+    | exception Failure msg -> Crash msg
+    | observed -> (
+        match compare_outputs outputs observed with
+        | Pass -> Pass
+        | v ->
+            if !npkts = 1 && not (Testgen.Testspec.is_sequence t) then v
+            else
+              (match v with
+              | Wrong_output msg ->
+                  Wrong_output (Printf.sprintf "packet #%d: %s" !npkts msg)
+              | v -> v))
+  in
+  let rec steps = function
+    | [] -> Pass
+    | s :: rest -> (
+        match s with
+        | Testgen.Testspec.SEntry e ->
+            st.entries <- st.entries @ [ e ];
+            steps rest
+        | Testgen.Testspec.SRegister r ->
+            apply_reg_write st r;
+            steps rest
+        | Testgen.Testspec.SInject { input; outputs } -> (
+            match inject input outputs with Pass -> steps rest | v -> v))
+  in
+  steps t.steps
 
 type summary = { passed : int; wrong : int; crashed : int; total : int }
 

@@ -1002,12 +1002,22 @@ and exec_extern cfg (fr : frame) st (f : Ast.expr) (args : Ast.expr list) : unit
       | Some i -> (
           let obj = String.sub name 0 i in
           let meth = String.sub name (i + 1) (String.length name - i - 1) in
+          (* fresh per-invocation scopes first, then the declaring
+             block's stable key — mirroring the symbolic side's
+             {!Testgen.Runtime.find_extern_path}, so register state
+             keyed by the block name survives across the packets of a
+             test sequence *)
           let reg_key =
+            let scopes =
+              fr.scopes
+              @ (match fr.ctrl with Some cd -> [ cd.Ast.c_name ] | None -> [])
+              @ (match fr.parser with Some pd -> [ pd.Ast.p_name ] | None -> [])
+            in
             List.find_map
               (fun scope ->
                 let k = scope ^ "." ^ obj in
                 if Hashtbl.mem st.registers k then Some k else None)
-              fr.scopes
+              scopes
           in
           match (meth, args, reg_key) with
           | "read", [ dst; idx ], Some key ->
@@ -1107,7 +1117,11 @@ let bind_out cfg st prefix (params : Ast.param list) (bindings : binding list) =
       | _ -> ())
     params bindings
 
-let declare_block_locals cfg st prefix (locals : Ast.local_decl list) fr =
+(* [stable] keys extern instances (registers) by the declaring block's
+   name instead of the fresh per-invocation [prefix]: re-entering the
+   block — recirculation, or a later packet of a test sequence — finds
+   the existing cells instead of a fresh zeroed array *)
+let declare_block_locals cfg st prefix ?(stable = prefix) (locals : Ast.local_decl list) fr =
   List.iter
     (fun l ->
       match l with
@@ -1122,11 +1136,20 @@ let declare_block_locals cfg st prefix (locals : Ast.local_decl list) fr =
           declare cfg st ~init:Bits.zero t (prefix ^ "." ^ n);
           let w = Typing.width_of cfg.tctx t in
           write_tree cfg st t (prefix ^ "." ^ n) (Bits.zext (eval ~hint:w cfg fr st e) w)
-      | Ast.LInstantiation (TSpec (("register" | "Register"), [ elem ]), iargs, n) ->
+      | Ast.LInstantiation (TSpec (("register" | "Register"), (elem :: _)), iargs, n) -> (
           let width = Typing.width_of cfg.tctx elem in
           let size = match iargs with Ast.EInt { iv; _ } :: _ -> min iv 1024 | _ -> 16 in
-          Hashtbl.replace st.registers (prefix ^ "." ^ n)
-            (Array.make (max size 1) (Bits.zero width))
+          let size = max size 1 in
+          let key = stable ^ "." ^ n in
+          match Hashtbl.find_opt st.registers key with
+          | None -> Hashtbl.replace st.registers key (Array.make size (Bits.zero width))
+          | Some old when Array.length old < size || Bits.width old.(0) <> width ->
+              (* a control-plane pre-seed ({!Harness.apply_reg_write}):
+                 adopt the declared geometry, preserving written cells *)
+              let arr = Array.make size (Bits.zero width) in
+              Array.iteri (fun i v -> if i < size then arr.(i) <- Bits.zext v width) old;
+              Hashtbl.replace st.registers key arr
+          | Some _ -> ())
       | Ast.LInstantiation ((TSpec ("value_set", [ _ ]) as t), _, n) ->
           st.vartypes <- SMap.add (prefix ^ "." ^ n) t st.vartypes
       | Ast.LInstantiation _ | Ast.LAction _ | Ast.LTable _ -> ())
@@ -1136,7 +1159,7 @@ let run_control cfg st (cd : Ast.control_decl) (bindings : binding list) =
   let prefix = fresh_prefix st cd.Ast.c_name in
   bind_in cfg st prefix cd.c_params bindings;
   let fr = { scopes = [ prefix ]; ctrl = Some cd; parser = None } in
-  declare_block_locals cfg st prefix cd.c_locals fr;
+  declare_block_locals cfg st prefix ~stable:cd.c_name cd.c_locals fr;
   (try exec_block cfg fr st cd.c_body with Exit_block -> ());
   bind_out cfg st prefix cd.c_params bindings
 
@@ -1144,7 +1167,7 @@ let run_parser cfg st (pd : Ast.parser_decl) (bindings : binding list) : (unit, 
   let prefix = fresh_prefix st pd.Ast.p_name in
   bind_in cfg st prefix pd.p_params bindings;
   let fr = { scopes = [ prefix ]; ctrl = None; parser = Some pd } in
-  declare_block_locals cfg st prefix pd.p_locals fr;
+  declare_block_locals cfg st prefix ~stable:pd.p_name pd.p_locals fr;
   st.visits <- SMap.empty;
   let r = try Ok (run_parser_state cfg fr st pd "start") with Reject e -> Error e in
   bind_out cfg st prefix pd.p_params bindings;

@@ -30,6 +30,9 @@ type fault =
   | Wrong_ternary_mask  (** ternary match ignores the mask *)
   | Skip_default_action  (** table miss executes nothing *)
   | Truncate_action_arg  (** action data truncated to 8 bits *)
+  | Register_reset_between_packets
+      (** register state re-initialised between the packets of a test
+          sequence: cross-packet extern persistence is broken *)
 
 type t = {
   m_label : string;
@@ -61,10 +64,12 @@ let fault_name = function
   | Wrong_ternary_mask -> "wrong_ternary_mask"
   | Skip_default_action -> "skip_default_action"
   | Truncate_action_arg -> "truncate_action_arg"
+  | Register_reset_between_packets -> "register_reset_between_packets"
 
-(* The seeded fault corpus: 9 BMv2-side and 16 Tofino-side faults,
-   matching the counts of Tbl. 2; the BMv2 nine carry the descriptions
-   of Tbl. 3. *)
+(* The seeded fault corpus: 10 BMv2-side and 16 Tofino-side faults —
+   the 9 + 16 of Tbl. 2 (the BMv2 nine carry the descriptions of
+   Tbl. 3) plus SEQ-1, a stateful-persistence fault only multi-packet
+   sequences (§5's extension story) can expose. *)
 let corpus : t list =
   let bmv2 label kind desc fault =
     { m_label = label; m_target = "BMv2"; m_kind = kind; m_desc = desc; m_fault = fault }
@@ -100,6 +105,9 @@ let corpus : t list =
       Swallow_apply;
     bmv2 "P4C-8" Exception "BMv2 can not process structure members with the same name."
       Crash_dup_member;
+    bmv2 "SEQ-1" Wrong_code
+      "The switch re-initialises register state between the packets of a test sequence."
+      Register_reset_between_packets;
     (* --- Tofino (confidential in the paper; synthetic corpus with the
        same 9 exception / 7 wrong-code split) --- *)
     tofino "TOF-1" Exception "Model crash on zero-length packet input." Crash_zero_len;

@@ -32,6 +32,9 @@ type fault =
   | Wrong_ternary_mask
   | Skip_default_action
   | Truncate_action_arg
+  | Register_reset_between_packets
+      (** register state re-initialised between the packets of a test
+          sequence ({!Harness.run_test} consults it at each injection) *)
 
 type t = {
   m_label : string;  (** e.g. "P4C-7" or "TOF-11" *)
@@ -47,7 +50,8 @@ val fault_name : fault -> string
 (** Stable snake_case spelling, e.g. ["invalid_read_garbage"]. *)
 
 val corpus : t list
-(** 9 BMv2-side faults (carrying the exact Tbl. 3 descriptions) and 16
+(** 10 BMv2-side faults — the Tbl. 3 nine (with their exact
+    descriptions) plus the sequence-persistence fault SEQ-1 — and 16
     Tofino-side faults, matching the counts of Tbl. 2. *)
 
 val by_target : string -> t list

@@ -225,12 +225,9 @@ let on_reject : reject_hook =
 (* ------------------------------------------------------------------ *)
 (* Externs *)
 
-let find_register_path st (fr : frame) obj =
-  List.find_map
-    (fun scope ->
-      let key = scope ^ "." ^ obj in
-      Option.map (fun _ -> key) (find_register st key))
-    fr.fr_scopes
+(* extern instances resolve through {!Runtime.find_register_path} and
+   friends, so state keyed by the declaring block's stable name
+   persists across sequence packet boundaries *)
 
 let extern : extern_hook =
  fun ctx fname args fr st ->
@@ -269,7 +266,10 @@ let extern : extern_hook =
                   let st, vv = eval_st st v in
                   match Expr.is_const vidx with
                   | Some b -> RUnit (write_register st key (Bits.to_int b) vv)
-                  | None -> RUnit st)
+                  | None ->
+                      (* symbolic index: any cell may change (§5.3) *)
+                      ignore vv;
+                      RUnit (taint_register st key))
               | None -> fail "tofino: unknown register %s" obj)
           (* Hash<W>.get(data) — concolic *)
           | "get", [ data ] ->
@@ -296,9 +296,31 @@ let extern : extern_hook =
           | "verify", _ -> RVal (st, Expr.fresh_taint ctx.ectx 1)
           (* counters / meters / lpf / wred: rapid prototyping via
              taint (§5.3) *)
-          | "count", _ -> RUnit st
-          | ("execute" | "execute_log"), _ ->
-              (* unconfigured meters return GREEN (0) *)
+          | "count", args -> (
+              match find_counter_path st fr obj with
+              | Some key -> (
+                  match args with
+                  | idx :: _ ->
+                      let st, vidx = eval_st ~hint:32 st idx in
+                      RUnit
+                        (bump_counter st key
+                           (Option.map Bits.to_int (Expr.is_const vidx)))
+                  | [] -> RUnit (bump_counter st key (Some 0)))
+              | None -> RUnit st)
+          | ("execute" | "execute_log"), args ->
+              (* unconfigured meters return GREEN (0); the cell still
+                 records a tainted color (§5.3) *)
+              let st =
+                match find_meter_path st fr obj with
+                | Some key -> (
+                    match args with
+                    | idx :: _ ->
+                        let st, vidx = eval_st ~hint:32 st idx in
+                        execute_meter_state st key
+                          (Option.map Bits.to_int (Expr.is_const vidx))
+                    | [] -> execute_meter_state st key (Some 0))
+                | None -> st
+              in
               RVal (st, Expr.zero ctx.ectx 8)
           | ("dequeue" | "enqueue"), _ -> RVal (st, Expr.fresh_taint ctx.ectx 8)
           (* RegisterAction-style apply *)

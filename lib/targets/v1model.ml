@@ -158,19 +158,10 @@ let algo_name (e : Ast.expr) =
   | Ast.EVar a -> a
   | _ -> "crc32"
 
-let find_register_path st (fr : frame) obj =
-  List.find_map
-    (fun scope ->
-      let key = scope ^ "." ^ obj in
-      Option.map (fun _ -> key) (find_register st key))
-    fr.fr_scopes
-
-let taint_register st key =
-  match find_register st key with
-  | Some arr ->
-      let arr' = Array.map (fun c -> Expr.fresh_taint (Expr.ctx_of c) (Expr.width c)) arr in
-      { st with registers = (key, arr') :: List.remove_assoc key st.registers }
-  | None -> st
+(* extern instances resolve through {!Runtime.find_register_path} and
+   friends: fresh per-invocation scopes first, then the declaring
+   block's stable key, so state persists across recirculation and
+   sequence packet boundaries *)
 
 let extern : extern_hook =
  fun ctx fname args fr st ->
@@ -287,11 +278,33 @@ let extern : extern_hook =
                   | Some b -> RUnit (write_register st key (Bits.to_int b) vv)
                   | None -> RUnit (taint_register st key))
               | None -> fail "v1model: unknown register %s" obj)
-          | "count", _ -> RUnit st
-          | "execute_meter", [ _idx; dst ] ->
+          | "count", args -> (
+              (* bump the counter cell (taint the array under a
+                 symbolic index); counter values never reach the
+                 packet, so outputs are unaffected *)
+              match find_counter_path st fr obj with
+              | Some key -> (
+                  match args with
+                  | idx :: _ ->
+                      let st, vidx = eval_st ~hint:32 st idx in
+                      RUnit
+                        (bump_counter st key
+                           (Option.map Bits.to_int (Expr.is_const vidx)))
+                  | [] -> RUnit (bump_counter st key (Some 0)))
+              | None -> RUnit st)
+          | "execute_meter", [ idx; dst ] ->
               (* an unconfigured meter always returns GREEN (0); the
                  RED verdict needs meter configuration the test
-                 frameworks lack (§7, up4.p4 coverage) *)
+                 frameworks lack (§7, up4.p4 coverage).  The cell still
+                 records a tainted color (§5.3). *)
+              let st, vidx = eval_st ~hint:32 st idx in
+              let st =
+                match find_meter_path st fr obj with
+                | Some key ->
+                    execute_meter_state st key
+                      (Option.map Bits.to_int (Expr.is_const vidx))
+                | None -> st
+              in
               let dlv = Eval.lvalue_of ctx fr st dst in
               let w = Typing.width_of ctx.tctx dlv.lv_typ in
               RUnit (Eval.write_lvalue ctx fr st dst (Expr.zero ctx.ectx w))
@@ -502,6 +515,10 @@ let init ctx st =
   let st = declare ctx ~init:(init_zero ctx) (Ast.TBit 1) recirc_p st in
   let st = declare ctx ~init:(init_zero ctx) (Ast.TBit 1) resubmit_p st in
   let st = declare ctx ~init:(init_zero ctx) (Ast.TBit 32) truncate_p st in
+  (* per-packet scratch that [declare] does not cover: a multicast
+     second port from an earlier packet of a sequence must not leak
+     into this packet's delivery *)
+  let st = { st with env = Env.remove "$pipe.$mcast_p2" st.env } in
   let st = set_sm "ingress_port" st.in_port st in
   (* the packet length is unknown until the path is complete: taint *)
   let st = set_sm "packet_length" (Expr.fresh_taint ctx.ectx 32) st in

@@ -44,6 +44,23 @@ let masked_test =
       ]
     ~entries:[] ~registers:[] ~covered:[] ~comment:"masked"
 
+let seq_test =
+  (* packet 1 -> port 7, a control-plane register write, packet 2 ->
+     port 8: the canonical stateful sequence shape *)
+  let pkt v = Testspec.packet ~port:(Bits.of_int ~width:9 1) (Bits.of_int ~width:16 v) in
+  let out p v =
+    { Testspec.port = Bits.of_int ~width:9 p; data = Bits.of_int ~width:16 v; dontcare = Bits.zero 16 }
+  in
+  Testspec.make_seq
+    ~steps:
+      [
+        Testspec.SInject { input = pkt 0xAAAA; outputs = [ out 7 0xAAAA ] };
+        Testspec.SRegister
+          { Testspec.r_name = "I.flows"; r_index = 3; r_value = Bits.of_int ~width:32 5 };
+        Testspec.SInject { input = pkt 0xBBBB; outputs = [ out 8 0xBBBB ] };
+      ]
+    ~entries:[] ~registers:[] ~covered:[] ~comment:"two-packet sequence"
+
 let contains s sub =
   let n = String.length sub in
   let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
@@ -93,6 +110,42 @@ let test_ptf () =
   let out_drop = Backends.Ptf.emit [ drop_test ] in
   Alcotest.(check bool) "drop verify" true (contains out_drop "verify_no_other_packets")
 
+let test_stf_sequence_rejected () =
+  (* STF replays exactly one packet: sequences are skipped, not
+     mangled into a single-packet script *)
+  let out = Backends.Stf.emit [ seq_test ] in
+  Alcotest.(check bool) "skipped" true (contains out "skipped");
+  Alcotest.(check bool) "no packet line" false (contains out "packet 1 ")
+
+let test_ptf_sequence () =
+  let out = Backends.Ptf.emit [ seq_test ] in
+  (* both injections, in order, with the register write between them *)
+  Alcotest.(check bool) "first send" true (contains out "send_packet(self, 1, pkt)");
+  Alcotest.(check bool) "first verify" true (contains out "verify_packet(self, exp0, 7)");
+  Alcotest.(check bool) "mid-sequence register write" true
+    (contains out "self.register_write(\"I.flows\", 3, 0x");
+  Alcotest.(check bool) "second send" true (contains out "send_packet(self, 1, pkt2)");
+  Alcotest.(check bool) "second verify" true (contains out "verify_packet(self, exp20, 8)");
+  (* single-packet emission is unchanged: no numbered variables *)
+  let single = Backends.Ptf.emit [ sample_test ] in
+  Alcotest.(check bool) "no pkt2 in single tests" false (contains single "pkt2")
+
+let test_proto_sequence () =
+  let out = Backends.Proto.emit [ seq_test ] in
+  let count sub =
+    let n = String.length sub and len = String.length out in
+    let rec go i acc =
+      if i + n > len then acc
+      else if String.sub out i n = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "two input packets" 2 (count "input_packet {");
+  Alcotest.(check int) "two expected packets" 2 (count "expected_packet {");
+  Alcotest.(check bool) "register write step" true (contains out "register_write {");
+  Alcotest.(check bool) "register name" true (contains out "register: \"I.flows\"")
+
 let test_proto () =
   let out = Backends.Proto.emit [ sample_test; drop_test ] in
   Alcotest.(check bool) "table entry" true (contains out "table: \"forward_table\"");
@@ -139,9 +192,18 @@ let () =
           Alcotest.test_case "format" `Quick test_stf;
           Alcotest.test_case "don't-care mask" `Quick test_stf_mask;
           Alcotest.test_case "range unsupported" `Quick test_stf_range_unsupported;
+          Alcotest.test_case "sequence rejected" `Quick test_stf_sequence_rejected;
         ] );
-      ("ptf", [ Alcotest.test_case "format" `Quick test_ptf ]);
-      ("protobuf", [ Alcotest.test_case "format" `Quick test_proto ]);
+      ( "ptf",
+        [
+          Alcotest.test_case "format" `Quick test_ptf;
+          Alcotest.test_case "sequence" `Quick test_ptf_sequence;
+        ] );
+      ( "protobuf",
+        [
+          Alcotest.test_case "format" `Quick test_proto;
+          Alcotest.test_case "sequence" `Quick test_proto_sequence;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "lookup" `Quick test_registry;

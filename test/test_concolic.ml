@@ -51,14 +51,14 @@ let test_hash_binding () =
   let checked = ref 0 in
   List.iter
     (fun (t : Testspec.t) ->
-      if Bits.width t.input.data = 112 then begin
-        let data = Bits.slice t.input.data ~hi:111 ~lo:16 in
+      if Bits.width (Testspec.input t).data = 112 then begin
+        let data = Bits.slice (Testspec.input t).data ~hi:111 ~lo:16 in
         let h =
           Bits.to_int (Bits.urem (Bits.zext (Targets.Checksums.crc16 data) 16)
                          (Bits.of_int ~width:16 256))
         in
         let expected_port = if h land 1 = 1 then 2 else 3 in
-        match t.outputs with
+        match (Testspec.outputs t) with
         | [ o ] ->
             incr checked;
             Alcotest.(check int) "port consistent with recomputed hash" expected_port
@@ -71,7 +71,7 @@ let test_hash_binding () =
   let ports =
     List.filter_map
       (fun (t : Testspec.t) ->
-        match t.outputs with [ o ] -> Some (Bits.to_int o.port) | _ -> None)
+        match (Testspec.outputs t) with [ o ] -> Some (Bits.to_int o.port) | _ -> None)
       tests
   in
   Alcotest.(check bool) "port 2 reached" true (List.mem 2 ports);
@@ -104,12 +104,12 @@ let test_verify_checksum_constant_reference_infeasible () =
   let oks =
     List.filter
       (fun (t : Testspec.t) ->
-        (not (Testspec.is_drop t)) && Bits.width t.input.data = 112)
+        (not (Testspec.is_drop t)) && Bits.width (Testspec.input t).data = 112)
       run.Oracle.result.Explore.tests
   in
   List.iter
     (fun (t : Testspec.t) ->
-      let data = Bits.slice t.input.data ~hi:111 ~lo:16 in
+      let data = Bits.slice (Testspec.input t).data ~hi:111 ~lo:16 in
       Alcotest.(check string) "data checksums to 0xFFFF" "FFFF"
         (Bits.to_hex (Targets.Checksums.csum16 data)))
     oks
@@ -126,7 +126,7 @@ let test_update_checksum_in_output () =
   Alcotest.(check bool) "forwarding tests exist" true (fwd <> []);
   List.iter
     (fun (t : Testspec.t) ->
-      let o = List.hd t.outputs in
+      let o = List.hd (Testspec.outputs t) in
       let w = Bits.width o.data in
       if w >= 112 + 160 then begin
         (* ipv4 header is the 160 bits after ethernet *)
@@ -155,14 +155,14 @@ let test_dependent_concolic_calls () =
   let fwd =
     List.filter
       (fun (t : Testspec.t) ->
-        (not (Testspec.is_drop t)) && Bits.width t.input.data = 112)
+        (not (Testspec.is_drop t)) && Bits.width (Testspec.input t).data = 112)
       run.Oracle.result.Explore.tests
   in
   Alcotest.(check bool) "tests exist" true (fwd <> []);
   List.iter
     (fun (t : Testspec.t) ->
-      let o = List.hd t.outputs in
-      let dst = Bits.slice t.input.data ~hi:111 ~lo:64 in
+      let o = List.hd (Testspec.outputs t) in
+      let dst = Bits.slice (Testspec.input t).data ~hi:111 ~lo:64 in
       let h1 = Bits.zext (Targets.Checksums.crc16 dst) 16 in
       let h2 = Bits.zext (Targets.Checksums.crc16 h1) 16 in
       Alcotest.(check string) "chained hashes" (Bits.to_hex h2)

@@ -68,7 +68,7 @@ let test_fixed_packet_size () =
   Alcotest.(check bool) "tests exist" true (tests <> []);
   List.iter
     (fun (t : Testspec.t) ->
-      Alcotest.(check bool) "no short packets" true (Bits.width t.input.data > 0))
+      Alcotest.(check bool) "no short packets" true (Bits.width (Testspec.input t).data > 0))
     tests
 
 let test_constraints_prune () =
@@ -144,7 +144,7 @@ let test_seed_changes_values_not_paths () =
   (* randomized free inputs (ports) differ across seeds somewhere *)
   let ports run =
     List.map
-      (fun (t : Testspec.t) -> Bits.to_hex t.input.port)
+      (fun (t : Testspec.t) -> Bits.to_hex (Testspec.input t).port)
       run.Oracle.result.Explore.tests
   in
   Alcotest.(check bool) "different random choices" true (ports r1 <> ports r2)
@@ -361,6 +361,61 @@ let test_replay_reaches_frontier_state () =
           (Option.get fp) (Explore.fingerprint st))
     deep
 
+(* ------------------------------------------------------------------ *)
+(* Multi-packet test sequences (stateful externs across packets, §5) *)
+
+let test_sequence_register_dependent () =
+  let opts = { Runtime.default_options with Runtime.seq_packets = 2 } in
+  let run = generate ~opts Progzoo.Corpus.register_program in
+  let tests = run.Oracle.result.Explore.tests in
+  let seqs = List.filter Testspec.is_sequence tests in
+  Alcotest.(check bool) "sequences generated" true (seqs <> []);
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "two injections" 2 (List.length (Testspec.injects t)))
+    seqs;
+  (* the register-dependent path: cell 3 holds 0 on the first packet
+     (-> port 7) and the written 1 on the second (-> port 8) — visible
+     only because register state survived the packet boundary *)
+  let out_ports t =
+    List.map
+      (fun (_, outs) ->
+        match outs with
+        | [ (o : Testspec.packet) ] -> Bits.to_int o.port
+        | _ -> -1)
+      (Testspec.injects t)
+  in
+  Alcotest.(check bool) "7-then-8 path found" true
+    (List.exists (fun t -> out_ports t = [ 7; 8 ]) seqs);
+  let d = run.Oracle.result.Explore.obs in
+  Alcotest.(check bool) "sequence_paths counted" true
+    (Obs.Snapshot.get_int d "explore.sequence_paths" > 0);
+  Alcotest.(check int) "sequence_tests counted" (List.length seqs)
+    (Obs.Snapshot.get_int d "explore.sequence_tests")
+
+let test_sequence_path_jobs_deterministic () =
+  (* the frontier split must not see the packet boundary: path_jobs=1
+     and path_jobs=4 emit bit-identical sequences *)
+  let opts = { Runtime.default_options with Runtime.seq_packets = 2 } in
+  let cfg pj =
+    { Explore.default_config with Explore.path_jobs = pj; split_tasks = 8 }
+  in
+  let r1 = generate ~opts ~config:(cfg 1) Progzoo.Corpus.register_program in
+  let r4 = generate ~opts ~config:(cfg 4) Progzoo.Corpus.register_program in
+  let tests r = List.map Testspec.to_string r.Oracle.result.Explore.tests in
+  Alcotest.(check bool) "some sequence present" true
+    (List.exists Testspec.is_sequence r1.Oracle.result.Explore.tests);
+  Alcotest.(check (list string)) "identical across path_jobs" (tests r1) (tests r4)
+
+let test_single_packet_default_unchanged () =
+  (* seq_packets defaults to 1: the same program yields only classic
+     single-injection tests *)
+  let run = generate Progzoo.Corpus.register_program in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "not a sequence" false (Testspec.is_sequence t))
+    run.Oracle.result.Explore.tests
+
 let () =
   Alcotest.run "explore"
     [
@@ -395,5 +450,14 @@ let () =
           Alcotest.test_case "budget caps exact" `Quick test_path_jobs_caps;
           Alcotest.test_case "prefix replay reaches frontier state" `Quick
             test_replay_reaches_frontier_state;
+        ] );
+      ( "sequences",
+        [
+          Alcotest.test_case "register-dependent 2-packet path" `Quick
+            test_sequence_register_dependent;
+          Alcotest.test_case "path-jobs determinism" `Quick
+            test_sequence_path_jobs_deterministic;
+          Alcotest.test_case "single-packet default unchanged" `Quick
+            test_single_packet_default_unchanged;
         ] );
     ]

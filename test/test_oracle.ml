@@ -128,11 +128,11 @@ let test_fig1a () =
   Alcotest.(check bool) "entry key folds to 0xBEEF" true has_beef_entry;
   (* a short-packet test exists: input smaller than the ethernet header *)
   let has_short =
-    List.exists (fun (t : Testspec.t) -> Bits.width t.input.data < 112) tests
+    List.exists (fun (t : Testspec.t) -> Bits.width (Testspec.input t).data < 112) tests
   in
   Alcotest.(check bool) "short-packet test" true has_short;
   (* every full-header test input must be exactly the ethernet header *)
-  let full = List.filter (fun (t : Testspec.t) -> Bits.width t.input.data = 112) tests in
+  let full = List.filter (fun (t : Testspec.t) -> Bits.width (Testspec.input t).data = 112) tests in
   Alcotest.(check bool) "some full-size tests" true (full <> [])
 
 let test_fig1b () =
@@ -149,10 +149,10 @@ let test_fig1b () =
     List.exists
       (fun (t : Testspec.t) ->
         (not (Testspec.is_drop t))
-        && Bits.width t.input.data = 112
+        && Bits.width (Testspec.input t).data = 112
         &&
-        let data = Bits.slice t.input.data ~hi:111 ~lo:16 in
-        let etype = Bits.slice t.input.data ~hi:15 ~lo:0 in
+        let data = Bits.slice (Testspec.input t).data ~hi:111 ~lo:16 in
+        let etype = Bits.slice (Testspec.input t).data ~hi:15 ~lo:0 in
         Bits.equal etype (Targets.Checksums.csum16 data))
       tests
   in
@@ -203,9 +203,9 @@ let test_ebpf () =
   List.iter
     (fun (t : Testspec.t) ->
       Alcotest.(check int) "pass etype" 0x0800
-        (Bits.to_int (Bits.slice t.input.data ~hi:15 ~lo:0));
-      let out = List.hd t.outputs in
-      Alcotest.(check bool) "filter echoes packet" true (Bits.equal out.data t.input.data))
+        (Bits.to_int (Bits.slice (Testspec.input t).data ~hi:15 ~lo:0));
+      let out = List.hd (Testspec.outputs t) in
+      Alcotest.(check bool) "filter echoes packet" true (Bits.equal out.data (Testspec.input t).data))
     passes;
   let cov = Oracle.coverage_report run in
   Alcotest.(check (list int)) "ebpf full coverage" [] cov.uncovered
@@ -289,8 +289,8 @@ let test_tna () =
   List.iter
     (fun (t : Testspec.t) ->
       (* 64-byte minimum frame (Tbl. 6) *)
-      Alcotest.(check bool) "64B minimum" true (Bits.width t.input.data >= 64 * 8);
-      let out = List.hd t.outputs in
+      Alcotest.(check bool) "64B minimum" true (Bits.width (Testspec.input t).data >= 64 * 8);
+      let out = List.hd (Testspec.outputs t) in
       (* the egress rewrote the source MAC *)
       let src = Bits.slice out.data ~hi:(Bits.width out.data - 49) ~lo:(Bits.width out.data - 96) in
       Alcotest.(check string) "egress rewrite" "C0FFEE000001" (Bits.to_hex src))

@@ -263,6 +263,33 @@ let test_seeded_fault_campaign () =
       Alcotest.(check bool) "repro still exposes the fault" true
         (keep ~arch:f.Campaign.f_arch ~kind:f.Campaign.f_kind r.Reduce.reduced)
 
+(* ------------------------------------------------------------------ *)
+(* Sequence campaign: 2–3-packet cases validate on the model, and the
+   summary folds bit-identically for jobs=1 and jobs=2 *)
+
+let test_sequence_campaign_deterministic () =
+  let cfg jobs =
+    {
+      Campaign.default_config with
+      Campaign.cases = 8;
+      jobs;
+      seed = 11;
+      archs = [ Randprog.V1model ];
+      max_tests = 8;
+      reduce = false;
+      sequences = true;
+    }
+  in
+  let s1 = Campaign.run (cfg 1) in
+  let s2 = Campaign.run (cfg 2) in
+  Alcotest.(check (list string)) "no failures"
+    []
+    (List.map (fun f -> f.Campaign.f_detail) s1.Campaign.s_failures);
+  Alcotest.(check string) "summary identical across jobs"
+    (Campaign.summary_line s1) (Campaign.summary_line s2);
+  Alcotest.(check bool) "sequence cases counted" true
+    (Obs.Snapshot.get_int s1.Campaign.s_obs "selftest.sequence_cases" = 8)
+
 let () =
   Alcotest.run "selftest"
     [
@@ -284,5 +311,7 @@ let () =
         [
           Alcotest.test_case "seeded fault detected and reduced" `Quick
             test_seeded_fault_campaign;
+          Alcotest.test_case "sequence cases deterministic across jobs" `Quick
+            test_sequence_campaign_deterministic;
         ] );
     ]

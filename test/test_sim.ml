@@ -170,6 +170,71 @@ let test_register_semantics () =
   | Some [ (port, _) ] -> Alcotest.(check int) "fresh register" 7 port
   | _ -> Alcotest.fail "expected forward"
 
+(* ------------------------------------------------------------------ *)
+(* multi-packet sequences: one persistent interpreter state *)
+
+let seq_suite () =
+  (* an oracle-generated 2-packet suite for the register state machine *)
+  let opts =
+    { Testgen.Runtime.default_options with Testgen.Runtime.seq_packets = 2 }
+  in
+  let target = Option.get (Targets.Registry.find "v1model") in
+  let run = Testgen.Oracle.generate ~opts target Progzoo.Corpus.register_program in
+  run.Testgen.Oracle.result.Testgen.Explore.tests
+
+let test_sequence_suite_passes () =
+  let tests = seq_suite () in
+  Alcotest.(check bool) "suite has a sequence" true
+    (List.exists Testspec.is_sequence tests);
+  let sim = Sim.Harness.prepare ~arch:"v1model" Progzoo.Corpus.register_program in
+  let summary, results = Sim.Harness.run_suite sim tests in
+  List.iter
+    (fun ((_ : Testspec.t), v) ->
+      match v with
+      | Sim.Harness.Pass -> ()
+      | Sim.Harness.Wrong_output m | Sim.Harness.Crash m -> Alcotest.fail m)
+    results;
+  Alcotest.(check int) "all pass" summary.Sim.Harness.total summary.Sim.Harness.passed
+
+let test_sequence_determinism () =
+  (* two fresh harnesses replay the same sequence suite to identical
+     verdicts: no state leaks between tests of a suite *)
+  let tests = seq_suite () in
+  let verdicts () =
+    let sim = Sim.Harness.prepare ~arch:"v1model" Progzoo.Corpus.register_program in
+    let _, results = Sim.Harness.run_suite sim tests in
+    List.map
+      (fun (_, v) ->
+        match v with
+        | Sim.Harness.Pass -> "pass"
+        | Sim.Harness.Wrong_output m -> "wrong:" ^ m
+        | Sim.Harness.Crash m -> "crash:" ^ m)
+      results
+  in
+  Alcotest.(check (list string)) "identical verdicts" (verdicts ()) (verdicts ())
+
+let test_sequence_fault_killed () =
+  (* the SEQ-1 fault resets registers between the packets of a
+     sequence; the 2-packet suite must observe it (packet 2 expects
+     port 8, the reset model forwards to 7 again) while a single-packet
+     suite cannot *)
+  let tests = seq_suite () in
+  let faulted =
+    Sim.Harness.prepare ~fault:Sim.Mutation.Register_reset_between_packets
+      ~arch:"v1model" Progzoo.Corpus.register_program
+  in
+  let summary, _ = Sim.Harness.run_suite faulted tests in
+  Alcotest.(check bool) "sequence suite kills SEQ-1" true
+    (summary.Sim.Harness.wrong > 0);
+  let singles =
+    let target = Option.get (Targets.Registry.find "v1model") in
+    let run = Testgen.Oracle.generate target Progzoo.Corpus.register_program in
+    run.Testgen.Oracle.result.Testgen.Explore.tests
+  in
+  let s1, _ = Sim.Harness.run_suite faulted singles in
+  Alcotest.(check int) "single-packet suite is blind to SEQ-1" 0
+    (s1.Sim.Harness.wrong + s1.Sim.Harness.crashed)
+
 let () =
   Alcotest.run "sim"
     [
@@ -190,4 +255,10 @@ let () =
           Alcotest.test_case "default drop" `Quick test_tofino_default_drop;
         ] );
       ("ebpf", [ Alcotest.test_case "filter" `Quick test_ebpf_filter ]);
+      ( "sequences",
+        [
+          Alcotest.test_case "oracle suite passes" `Quick test_sequence_suite_passes;
+          Alcotest.test_case "deterministic replay" `Quick test_sequence_determinism;
+          Alcotest.test_case "SEQ-1 fault killed" `Quick test_sequence_fault_killed;
+        ] );
     ]

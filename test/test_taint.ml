@@ -94,7 +94,7 @@ let test_tainted_key_default_only () =
   let tests = run.Oracle.result.Explore.tests in
   (* the short-packet path reads an invalid header: its tests must not
      install entries *)
-  let short = List.filter (fun (t : Testspec.t) -> Bits.width t.input.data < 112) tests in
+  let short = List.filter (fun (t : Testspec.t) -> Bits.width (Testspec.input t).data < 112) tests in
   Alcotest.(check bool) "short-packet tests exist" true (short <> []);
   List.iter
     (fun (t : Testspec.t) ->
@@ -121,7 +121,7 @@ let test_tainted_ternary_wildcard () =
   let tests = run.Oracle.result.Explore.tests in
   let short_hits =
     List.filter
-      (fun (t : Testspec.t) -> Bits.width t.input.data < 112 && t.entries <> [])
+      (fun (t : Testspec.t) -> Bits.width (Testspec.input t).data < 112 && t.entries <> [])
       tests
   in
   Alcotest.(check bool) "wildcard entry on tainted ternary key" true (short_hits <> []);
@@ -176,13 +176,13 @@ let test_tainted_payload_masks () =
   let fwd =
     List.filter
       (fun (t : Testspec.t) ->
-        (not (Testspec.is_drop t)) && Bits.width (List.hd t.outputs).data >= 16)
+        (not (Testspec.is_drop t)) && Bits.width (List.hd (Testspec.outputs t)).data >= 16)
       run.Oracle.result.Explore.tests
   in
   Alcotest.(check bool) "forwarded tests exist" true (fwd <> []);
   List.iter
     (fun (t : Testspec.t) ->
-      let o = List.hd t.outputs in
+      let o = List.hd (Testspec.outputs t) in
       (* the low 16 bits (etype) must be don't-care *)
       let low = Bits.slice o.dontcare ~hi:15 ~lo:0 in
       Alcotest.(check bool) "etype masked" true (Bits.is_ones low))
