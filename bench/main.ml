@@ -826,6 +826,171 @@ let gate_bench file =
   else Printf.printf "\nOK: parallel exploration is never slower than sequential\n"
 
 (* ------------------------------------------------------------------ *)
+(* serve: cold-vs-warm request latency through the daemon.  Every cold
+   sample hits an emptied cache (a flush precedes it) and pays
+   preparation; warm samples find the prepared oracle cached and skip
+   it.  The exploration budget is pinned small so the request latency
+   is dominated by what the cache can and cannot save — this measures
+   the serving path, not the path-explosion budget.  The run gates
+   itself: warm p50 strictly below cold p50 on every driver, and every
+   warm response reporting zero preparation time. *)
+
+let percentile sorted_asc p =
+  match sorted_asc with
+  | [] -> 0.0
+  | l ->
+      let n = List.length l in
+      let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      List.nth l (max 0 (min (n - 1) idx))
+
+(* programs sized so preparation is the dominant, measurable cost of a
+   cold request (a few ms) while the capped exploration stays cheap:
+   the quantity the cache saves has to clear scheduling noise *)
+let serve_drivers () =
+  [
+    ( "middleblock_128acl",
+      "v1model",
+      Progzoo.Generators.middleblock ~acl_stages:128 () );
+    ( "middleblock_400acl",
+      "v1model",
+      Progzoo.Generators.middleblock ~acl_stages:400 () );
+    ( "middleblock_800acl",
+      "v1model",
+      Progzoo.Generators.middleblock ~acl_stages:800 () );
+  ]
+
+let serve_bench out =
+  header (Printf.sprintf "Serve — cold vs warm request latency -> %s" out);
+  let sock = Filename.temp_file "p4tg-bench" ".sock" in
+  let ep = Serve.Wire.Unix_sock sock in
+  let server =
+    Serve.Server.start
+      {
+        Serve.Server.default_config with
+        Serve.Server.endpoint = ep;
+        cache_slots = 8;
+        workers = 2;
+      }
+  in
+  if not (Serve.Client.wait_ready ep) then begin
+    Printf.eprintf "error: serve daemon did not come up on %s\n" sock;
+    exit 2
+  end;
+  let rpc rq =
+    match Serve.Client.request ep rq with
+    | Ok evs -> evs
+    | Error msg ->
+        Printf.eprintf "error: serve request failed: %s\n" msg;
+        Serve.Server.stop server;
+        exit 2
+  in
+  let flush () =
+    ignore (rpc { Serve.Wire.default_request with Serve.Wire.rq_op = Serve.Wire.Flush })
+  in
+  let cold_samples = 11 in
+  let warm_samples = cold_samples in
+  let failed = ref [] in
+  let rows =
+    List.concat_map
+      (fun (name, arch, src) ->
+        let rq =
+          {
+            Serve.Wire.default_request with
+            Serve.Wire.rq_arch = arch;
+            rq_max_tests = Some 1;
+            rq_source = Some src;
+          }
+        in
+        let sample () =
+          let t0 = Obs.Clock.now () in
+          let evs = rpc rq in
+          let dt = Obs.Clock.now () -. t0 in
+          let summary = Option.value ~default:[] (Serve.Client.find_summary evs) in
+          let get k = Option.value ~default:"" (Serve.Client.summary_get summary k) in
+          (match Serve.Client.find_error evs with
+          | Some (kind, msg) ->
+              Printf.eprintf "error: %s: server said %s: %s\n" name kind msg;
+              Serve.Server.stop server;
+              exit 2
+          | None -> ());
+          (dt, float_of_string (get "prep_seconds"), get "tests", evs)
+        in
+        ignore (sample ());  (* absorb one-off warm-up costs *)
+        (* paired sampling: each flush -> cold -> warm triple shares its
+           ambient conditions (GC phase, scheduling), so drift hits both
+           series alike and the cold-warm gap survives it *)
+        let pairs =
+          List.init cold_samples (fun _ ->
+              flush ();
+              let c = sample () in
+              let w = sample () in
+              (c, w))
+        in
+        let cold = List.map fst pairs and warm = List.map snd pairs in
+        let lat s = List.sort compare (List.map (fun (d, _, _, _) -> d) s) in
+        let cold_lat = lat cold and warm_lat = lat warm in
+        let cold_p50 = percentile cold_lat 0.50
+        and cold_p95 = percentile cold_lat 0.95
+        and warm_p50 = percentile warm_lat 0.50
+        and warm_p95 = percentile warm_lat 0.95 in
+        let cold_prep =
+          percentile (List.sort compare (List.map (fun (_, p, _, _) -> p) cold)) 0.50
+        in
+        let warm_prep_max =
+          List.fold_left (fun acc (_, p, _, _) -> Float.max acc p) 0.0 warm
+        in
+        let tests = match cold with (_, _, t, _) :: _ -> t | [] -> "0" in
+        let verdict =
+          if warm_p50 < cold_p50 && warm_prep_max = 0.0 then "ok"
+          else begin
+            failed := name :: !failed;
+            "FAIL"
+          end
+        in
+        Printf.printf
+          "%-20s cold p50 %7.3fms p95 %7.3fms (prep %6.3fms)   warm p50 %7.3fms \
+           p95 %7.3fms   %s\n"
+          name (1e3 *. cold_p50) (1e3 *. cold_p95) (1e3 *. cold_prep)
+          (1e3 *. warm_p50) (1e3 *. warm_p95) verdict;
+        let obs_of evs =
+          List.fold_left
+            (fun acc ev -> match ev with Serve.Wire.Obs j -> j | _ -> acc)
+            "{}" evs
+        in
+        let row phase p50 p95 prep evs =
+          Printf.sprintf
+            "  {\"name\": \"%s@%s\", \"arch\": %S, \"tests\": %s, \"samples\": %d, \
+             \"total_time\": %.6f, \"lat_p95\": %.6f, \"prep_time\": %.6f, \
+             \"host_cores\": %d, \"recommended_domains\": %d,\n\
+            \   \"metrics\": %s}"
+            name phase arch tests
+            (if phase = "cold" then cold_samples else warm_samples)
+            p50 p95 prep (host_cores ())
+            (Domain.recommended_domain_count ())
+            (obs_of evs)
+        in
+        let last l = List.nth l (List.length l - 1) in
+        let (_, _, _, cold_evs) = last cold and (_, _, _, warm_evs) = last warm in
+        [
+          row "cold" cold_p50 cold_p95 cold_prep cold_evs;
+          row "warm" warm_p50 warm_p95 warm_prep_max warm_evs;
+        ])
+      (serve_drivers ())
+  in
+  Serve.Server.stop server;
+  write_bench_doc out rows;
+  if !failed <> [] then begin
+    Printf.printf
+      "\nFAIL: warm requests not measurably cheaper than cold on: %s\n"
+      (String.concat ", " (List.rev !failed));
+    exit 1
+  end
+  else
+    Printf.printf
+      "\nOK: warm requests skip preparation on every driver (warm p50 < cold \
+       p50, warm prep = 0)\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig1 ();
@@ -885,10 +1050,16 @@ let () =
         if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr6.json"
       in
       gate_bench file
+  | Some "serve" ->
+      let out =
+        if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr8.json"
+      in
+      serve_bench out
   | Some other ->
       Printf.eprintf
         "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
          batch [jobs], json [out.json] [path-jobs] [drivers...], compare baseline.json \
-         [current.json], scaling [driver] [out.json], gate [scaling.json])\n"
+         [current.json], scaling [driver] [out.json], gate [scaling.json], \
+         serve [out.json])\n"
         other;
       exit 1

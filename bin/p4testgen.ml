@@ -138,7 +138,8 @@ let file =
 let target =
   Arg.(
     value & opt string "v1model"
-    & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Target architecture (v1model, tna, t2na, ebpf_model)")
+    & info [ "t"; "target"; "arch" ] ~docv:"TARGET"
+        ~doc:"Target architecture (v1model, tna, t2na, ebpf_model)")
 
 let backend =
   Arg.(
@@ -569,6 +570,205 @@ let selftest_t =
     $ verbose)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client / fingerprint: the oracle as a long-running daemon *)
+
+let endpoint_arg =
+  Arg.(
+    value & opt string "p4testgen.sock"
+    & info [ "listen"; "connect" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Socket endpoint: $(b,unix:PATH) (or a bare path) for a Unix domain \
+           socket, $(b,tcp:HOST:PORT) for TCP")
+
+let run_serve endpoint cache_slots workers queue_cap deadline_ms verbose =
+  setup_logs verbose;
+  match Serve.Wire.endpoint_of_string endpoint with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok ep ->
+      let cfg =
+        {
+          Serve.Server.endpoint = ep;
+          cache_slots;
+          workers;
+          queue_cap;
+          default_deadline_ms = deadline_ms;
+        }
+      in
+      Printf.printf "p4testgen serving on %s (cache %d slots, %d workers)\n%!"
+        (Serve.Wire.string_of_endpoint ep)
+        cache_slots workers;
+      Serve.Server.run cfg;
+      print_endline "p4testgen serve: shut down";
+      0
+
+let serve_t =
+  let cache_slots =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.cache_slots
+      & info [ "cache-slots" ] ~docv:"N"
+          ~doc:"Prepared oracles kept warm (LRU eviction past $(docv))")
+  in
+  let workers =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Executor domains (drawn from the shared exploration pool; the \
+             grant may be smaller on loaded hosts)")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission bound: connections queued past $(docv) are rejected \
+             with a $(b,busy) frame instead of waiting")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request budget, measured from admission; a request \
+             over budget returns the tests found so far with \
+             $(b,timed_out true)")
+  in
+  Term.(
+    const run_serve $ endpoint_arg $ cache_slots $ workers $ queue_cap
+    $ deadline_ms $ verbose)
+
+let strategy_name = function
+  | Testgen.Explore.Dfs -> "dfs"
+  | Testgen.Explore.Rnd -> "rnd"
+  | Testgen.Explore.Cov -> "cov"
+
+let run_client endpoint file target backend strategy seed max_tests max_paths
+    seq_packets path_jobs deadline_ms key ping flush shutdown out_file
+    print_tests metrics verbose =
+  setup_logs verbose;
+  match Serve.Wire.endpoint_of_string endpoint with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok ep -> (
+      let source =
+        Option.map (fun f -> In_channel.with_open_text f In_channel.input_all) file
+      in
+      let op =
+        if ping then Serve.Wire.Ping
+        else if flush then Serve.Wire.Flush
+        else if shutdown then Serve.Wire.Shutdown
+        else Serve.Wire.Generate
+      in
+      if op = Serve.Wire.Generate && source = None && key = None then begin
+        Printf.eprintf
+          "error: client needs a PROGRAM.p4 argument or --key FINGERPRINT \
+           (or one of --ping/--flush/--shutdown)\n";
+        1
+      end
+      else
+        let rq =
+          {
+            Serve.Wire.rq_op = op;
+            rq_arch = target;
+            rq_backend = backend;
+            rq_strategy = strategy_name strategy;
+            rq_seed = seed;
+            rq_max_tests = max_tests;
+            rq_max_paths = max_paths;
+            rq_seq_packets = seq_packets;
+            rq_path_jobs = path_jobs;
+            rq_deadline_ms = deadline_ms;
+            rq_key = key;
+            rq_source = source;
+          }
+        in
+        let rc = ref 0 in
+        let on_event = function
+          | Serve.Wire.Test (n, body) ->
+              if print_tests then Printf.printf "-- test %d --\n%s\n%!" n body
+          | Serve.Wire.File (be, body) -> (
+              match out_file with
+              | Some f ->
+                  Out_channel.with_open_text f (fun oc ->
+                      Out_channel.output_string oc body);
+                  Printf.printf "wrote %s\n" f
+              | None ->
+                  Printf.printf "-- %s file (%d bytes; use -o to save) --\n" be
+                    (String.length body))
+          | Serve.Wire.Summary kvs ->
+              List.iter (fun (k, v) -> Printf.printf "%s %s\n" k v) kvs
+          | Serve.Wire.Obs json -> if metrics then Printf.printf "obs %s\n" json
+          | Serve.Wire.Error (kind, msg) ->
+              Printf.eprintf "error (%s): %s\n" kind msg;
+              rc := 1
+          | Serve.Wire.Okay body -> Printf.printf "ok %s\n" body
+          | Serve.Wire.End -> ()
+        in
+        match Serve.Client.request ~on_event ep rq with
+        | Ok _ -> !rc
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1)
+
+let client_t =
+  let client_file =
+    Arg.(
+      value & pos 0 (some non_dir_file) None
+      & info [] ~docv:"PROGRAM.p4" ~doc:"P4 program to send (optional with --key)")
+  in
+  let client_backend =
+    Arg.(
+      value & opt (some string) None
+      & info [ "b"; "backend" ] ~docv:"BACKEND"
+          ~doc:"Also stream the rendered test file (stf, ptf, protobuf)")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request budget")
+  in
+  let key =
+    Arg.(
+      value & opt (some string) None
+      & info [ "key" ] ~docv:"FINGERPRINT"
+          ~doc:
+            "Request by cache key alone (no source shipped); the server \
+             answers $(b,unknown-fingerprint) when the oracle is not cached")
+  in
+  let path_jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "path-jobs" ] ~docv:"N" ~doc:"Per-request worker domains")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Health-check the daemon") in
+  let flush =
+    Arg.(value & flag & info [ "flush" ] ~doc:"Empty the server's oracle cache")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Stop the daemon gracefully")
+  in
+  Term.(
+    const run_client $ endpoint_arg $ client_file $ target $ client_backend
+    $ strategy $ seed $ max_tests $ max_paths $ seq_packets $ path_jobs
+    $ deadline_ms $ key $ ping $ flush $ shutdown $ out_file $ print_tests
+    $ metrics $ verbose)
+
+let run_fingerprint file target =
+  let source = In_channel.with_open_text file In_channel.input_all in
+  match Testgen.Oracle.fingerprint ~arch:target source with
+  | Ok key ->
+      print_endline key;
+      0
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file (Testgen.Oracle.prepare_error_message e);
+      1
+
+let fingerprint_t = Term.(const run_fingerprint $ file $ target)
+
+(* ------------------------------------------------------------------ *)
 
 let man =
   [
@@ -619,11 +819,48 @@ let selftest_cmd =
   in
   Cmd.v (Cmd.info "selftest" ~doc ~man) selftest_t
 
+let serve_cmd =
+  let doc = "run the oracle as a long-running daemon with a prepared-oracle cache" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Listens on a Unix or TCP socket for framed requests (4-byte \
+         big-endian length prefix; see the README's Serving section).  \
+         Prepared oracles — parsed, type-checked, mid-end-passed programs — \
+         are cached under a fingerprint of the source token stream, so \
+         repeat requests for the same program skip preparation entirely and \
+         go straight to path exploration.  Tests stream back as individual \
+         frames while paths close, followed by a summary and a metric \
+         snapshot.";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man) serve_t
+
+let client_cmd =
+  let doc = "send one request to a p4testgen serve daemon" in
+  Cmd.v (Cmd.info "client" ~doc ~man) client_t
+
+let fingerprint_cmd =
+  let doc = "print the serve cache key of a program" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The fingerprint digests the source's token stream (whitespace and \
+         comments never change it), the architecture name and a format \
+         version — exactly the key the serve daemon caches prepared oracles \
+         under, so a client can probe or address the cache without shipping \
+         the source.";
+    ]
+  in
+  Cmd.v (Cmd.info "fingerprint" ~doc ~man) fingerprint_t
+
 let cmd =
   let doc = "generate input-output packet tests for P4 programs" in
   Cmd.group ~default:generate_t
     (Cmd.info "p4testgen" ~version:"1.0.0" ~doc ~man)
-    [ generate_cmd; batch_cmd; selftest_cmd ]
+    [ generate_cmd; batch_cmd; selftest_cmd; serve_cmd; client_cmd; fingerprint_cmd ]
 
 let () =
   (* back-compat: `p4testgen prog.p4 ...` (no subcommand) still runs
@@ -635,7 +872,9 @@ let () =
       Array.length argv > 1
       &&
       match argv.(1) with
-      | "batch" | "generate" | "selftest" | "--help" | "--version" -> false
+      | "batch" | "generate" | "selftest" | "serve" | "client" | "fingerprint"
+      | "--help" | "--version" ->
+          false
       | _ -> true
     then
       Array.concat [ [| argv.(0); "generate" |]; Array.sub argv 1 (Array.length argv - 1) ]

@@ -79,6 +79,22 @@ type config = {
       (** estimated term weight above which a task is started by
           replaying its branch prefix into a fresh instance instead of
           importing a snapshot (0 forces replay for every task) *)
+  on_test : (Testspec.t -> unit) option;
+      (** incremental test callback: invoked once per *accepted* test,
+          in final emission order, as paths close — before the run
+          finishes.  Sequential driver: fired directly from the DFS.
+          Frontier driver: fired as the deterministic merge prefix
+          advances over completed subtree tasks, so the stream order
+          equals [result.tests] for every [path_jobs] (the callback
+          runs under the merge lock there: a slow consumer throttles
+          the workers — that is the backpressure story).  Exceptions
+          from the callback abort the run. *)
+  deadline : float option;
+      (** absolute {!Obs.Clock.now} time after which exploration stops
+          gracefully (checked at path granularity, like the budget
+          caps): tests emitted so far are kept.  A run cut by its
+          deadline is time-dependent, so determinism guarantees only
+          hold for runs that finish before it. *)
 }
 
 let default_config =
@@ -94,6 +110,8 @@ let default_config =
     path_jobs = 0;
     split_tasks = 32;
     snapshot_max_bytes = 32_000_000;
+    on_test = None;
+    deadline = None;
   }
 
 (* A read-out of the run's metrics.  The source of truth is the
@@ -466,6 +484,9 @@ let check_budget eng =
     && eng.e_ctx.nstmts > 0
     && IntSet.cardinal eng.e_covered >= eng.e_ctx.nstmts
   then raise Stop;
+  (match eng.e_cfg.deadline with
+  | Some d when Obs.Clock.now () > d -> raise Stop
+  | _ -> ());
   eng.e_extra_check ()
 
 let finish eng st =
@@ -493,7 +514,13 @@ let finish eng st =
              if eng.e_cfg.strategy <> Cov || is_new then begin
                if eng.e_count_tests then Obs.Counter.incr eng.e_cells.c_tests;
                eng.e_emitted <- eng.e_emitted + 1;
-               eng.e_tests <- t :: eng.e_tests
+               eng.e_tests <- t :: eng.e_tests;
+               (* stream accepted tests as paths close — only when this
+                  engine's tests are final (the sequential driver).  A
+                  frontier worker's tests pass through the deterministic
+                  merge first; the merge streams them instead. *)
+               if eng.e_count_tests then
+                 match eng.e_cfg.on_test with Some f -> f t | None -> ()
              end);
       Obs.Timer.add eng.e_cells.tm_emit (Obs.Clock.now () -. t0);
       Obs.Timer.add eng.e_cells.tm_emit_solve
@@ -893,10 +920,17 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
   let mu = Mutex.create () in
   let pcomplete = ref 0 in
   let acc_tests = ref 0 and acc_paths = ref 0 and acc_cov = ref IntSet.empty in
+  (* tasks whose kept tests were already delivered to [on_test] by the
+     prefix scan; the final merge re-derives the same kept lists (same
+     accounting, same order) and only streams tasks past this mark *)
+  let streamed = ref 0 in
   (* prefix scan under [mu]: advance over completed slots in splitter
      order, mirroring the merge's accounting exactly; when the budget
-     fills, publish the cut so in-flight workers abort early.  This is
-     pure optimisation — the final merge recomputes from the slots. *)
+     fills, publish the cut so in-flight workers abort early.  With an
+     [on_test] callback installed this is also where tests stream: the
+     contiguous Done prefix is final — scheduling can only extend it,
+     never change it.  Otherwise it is pure optimisation — the final
+     merge recomputes from the slots. *)
   let advance () =
     let continue_ = ref true in
     while !continue_ && !pcomplete < n && Atomic.get cut_at > !pcomplete do
@@ -919,6 +953,11 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
             let kept, cov =
               merge_accept config ~cov:!acc_cov ~ntests:!acc_tests r
             in
+            (match config.on_test with
+            | Some f ->
+                List.iter f kept;
+                streamed := !pcomplete + 1
+            | None -> ());
             acc_tests := !acc_tests + List.length kept;
             acc_paths := !acc_paths + r.tr_paths;
             acc_cov := cov;
@@ -1131,6 +1170,7 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
   let merged_tests = ref [] in
   let merged_cov = ref IntSet.empty in
   let ntests = ref 0 and npaths = ref 0 in
+  let midx = ref 0 in
   (try
      Array.iter
        (fun slot ->
@@ -1143,6 +1183,14 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
              let kept, cov =
                merge_accept config ~cov:!merged_cov ~ntests:!ntests r
              in
+             (* stream tasks the prefix scan did not reach; its kept
+                lists for the ones it did are identical to [kept] here
+                (same accounting, same order), so together the stream
+                is exactly [result.tests] *)
+             (match config.on_test with
+             | Some f when !midx >= !streamed -> List.iter f kept
+             | _ -> ());
+             incr midx;
              (* the *boundary* task — the one on which [max_tests]
                 fills — is explored to a scheduling-dependent extent
                 (a worker stops at the exact remaining budget only

@@ -16,6 +16,94 @@ type prepared = {
   prep_time : float;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Structured preparation errors.
+
+   The raising [prepare] below is the historical entry point (the CLI
+   keys its exit behavior on the exception constructors); a long-lived
+   caller — the serve daemon — needs the same failures as data so one
+   bad program fails one request instead of the process. *)
+
+type prepare_error =
+  | Parse_error of { msg : string; line : int; col : int }
+      (** lexer or parser rejection, with the source position *)
+  | Type_error of string  (** the program is not well-typed *)
+  | Arch_error of string
+      (** the program does not fit the target architecture
+          (mid-end/instantiation failures, {!Runtime.Exec_error}) *)
+
+let prepare_error_message = function
+  | Parse_error { msg; line; col } ->
+      Printf.sprintf "%d:%d: parse error: %s" line col msg
+  | Type_error msg -> "type error: " ^ msg
+  | Arch_error msg -> msg
+
+let prepare_error_kind = function
+  | Parse_error _ -> "parse"
+  | Type_error _ -> "typecheck"
+  | Arch_error _ -> "exec"
+
+(* the raising [prepare] reconstructs the original exception, so
+   pre-existing handlers (CLI, tests) observe exactly what they always
+   did *)
+let raise_prepare_error = function
+  | Parse_error { msg; line; col } ->
+      raise (P4.Parser.Error (msg, { P4.Ast.line; col }))
+  | Type_error msg -> raise (P4.Typing.Type_error msg)
+  | Arch_error msg -> raise (Runtime.Exec_error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Program fingerprints: the cache key of the prepared-oracle cache.
+
+   The key digests the *token stream* of the source (so whitespace and
+   comments cannot cause a miss), the architecture name (the prelude is
+   part of what [prepare] compiles), and a format version.  The mid-end
+   passes are options-independent today — [Runtime.options] only
+   steers exploration — so no option joins the hash; if a pass ever
+   starts reading an option, that field must be appended here and the
+   version bumped, or stale prepared values would be served. *)
+
+let fingerprint_version = "p4tg-fp1"
+
+let fingerprint ~arch (source : string) : (string, prepare_error) result =
+  let buf = Buffer.create (String.length source) in
+  Buffer.add_string buf fingerprint_version;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf arch;
+  Buffer.add_char buf '\000';
+  let add_token (t : P4.Lexer.token) =
+    (match t with
+    | P4.Lexer.IDENT s ->
+        Buffer.add_string buf "i:";
+        Buffer.add_string buf s
+    | P4.Lexer.NUMBER { iv; width; signed; base = _ } ->
+        (* base is notation, not meaning: 0x10 and 16 are the same
+           token; width and signedness are semantic *)
+        Buffer.add_string buf
+          (Printf.sprintf "n:%d:%s:%b" iv
+             (match width with Some w -> string_of_int w | None -> "-")
+             signed)
+    | P4.Lexer.STRING s ->
+        Buffer.add_string buf "s:";
+        Buffer.add_string buf s
+    | t -> Buffer.add_string buf (P4.Lexer.show_token t));
+    Buffer.add_char buf '\000'
+  in
+  match
+    let lx = P4.Lexer.create source in
+    let rec go () =
+      match P4.Lexer.next lx with
+      | P4.Lexer.EOF, _ -> ()
+      | t, _ ->
+          add_token t;
+          go ()
+    in
+    go ()
+  with
+  | () -> Ok (Digest.to_hex (Digest.string (Buffer.contents buf)))
+  | exception P4.Lexer.Error (msg, pos) ->
+      Error (Parse_error { msg; line = pos.P4.Ast.line; col = pos.P4.Ast.col })
+
 let prepare ?(opts = Runtime.default_options) ?obs (target : (module Target_intf.S))
     (source : string) : prepared =
   let module T = (val target) in
@@ -54,6 +142,20 @@ let prepare ?(opts = Runtime.default_options) ?obs (target : (module Target_intf
   Obs.Timer.add (Obs.Registry.timer obs "oracle.prep_time") prep_time;
   { ctx; prog; target; prep_time }
 
+(* phase 1 as a result: every way the front end can reject a program,
+   captured as data.  [prepare] keeps raising (reconstructed verbatim
+   by [raise_prepare_error]), so existing exception handlers see no
+   change. *)
+let prepare_result ?opts ?obs target source : (prepared, prepare_error) result =
+  match prepare ?opts ?obs target source with
+  | p -> Ok p
+  | exception P4.Lexer.Error (msg, pos) ->
+      Error (Parse_error { msg; line = pos.P4.Ast.line; col = pos.P4.Ast.col })
+  | exception P4.Parser.Error (msg, pos) ->
+      Error (Parse_error { msg; line = pos.P4.Ast.line; col = pos.P4.Ast.col })
+  | exception P4.Typing.Type_error msg -> Error (Type_error msg)
+  | exception Runtime.Exec_error msg -> Error (Arch_error msg)
+
 let initial_state (p : prepared) : Runtime.state =
   let module T = (val p.target) in
   let st = Runtime.initial_state p.ctx ~port_width:T.port_width in
@@ -72,12 +174,12 @@ let registry (r : run) = r.prepared.ctx.Runtime.obs
    splitter's state; this replica is its replay *fallback* for tasks
    whose snapshot would exceed [config.snapshot_max_bytes] — and the
    soundness basis of prefix replay in general (checkpoint/shard). *)
-let fresh_instance (p : prepared) (reg : Obs.Registry.t) :
+let instance ~opts (p : prepared) (reg : Obs.Registry.t) :
     Runtime.ctx * Runtime.state =
   let module T = (val p.target) in
   let ctx =
-    Runtime.make_ctx ~opts:p.ctx.Runtime.opts ~obs:reg p.prog
-      ~nstmts:p.ctx.Runtime.nstmts p.ctx.Runtime.tctx
+    Runtime.make_ctx ~opts ~obs:reg p.prog ~nstmts:p.ctx.Runtime.nstmts
+      p.ctx.Runtime.tctx
   in
   ctx.Runtime.extern_hook <- T.extern;
   ctx.Runtime.reject_hook <- T.on_reject;
@@ -86,12 +188,43 @@ let fresh_instance (p : prepared) (reg : Obs.Registry.t) :
   let st = Runtime.initial_state ctx ~port_width:T.port_width in
   (ctx, T.init ctx st)
 
+let fresh_instance (p : prepared) (reg : Obs.Registry.t) :
+    Runtime.ctx * Runtime.state =
+  instance ~opts:p.ctx.Runtime.opts p reg
+
+(* [instantiate]: a request-scoped replica over the *cached* front-end
+   work.  Unlike [fresh_instance] it takes its own options (a cached
+   prepared value serves requests with any seed/strategy/budget — the
+   mid-end artifacts do not depend on them, see [fingerprint]) and its
+   own registry, so a daemon can account each request separately. *)
+let instantiate ?(opts = Runtime.default_options) ?obs (p : prepared) :
+    Runtime.ctx * Runtime.state =
+  let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
+  instance ~opts p reg
+
 let generate ?(opts = Runtime.default_options) ?(config = Explore.default_config)
     (target : (module Target_intf.S)) (source : string) : run =
   let p = prepare ~opts target source in
   let st = initial_state p in
   let result = Explore.run ~config ~fresh:(fresh_instance p) p.ctx st in
   { result; prepared = p }
+
+(* End-to-end generation over an already-prepared program: phase 1 is
+   skipped entirely (the warm path of the prepared-oracle cache).
+   Because [Runtime.make_ctx] and the target's [init] are
+   deterministic, the replica context is structurally identical to the
+   one [generate] would have built from the same source and options —
+   the test set is bit-identical to a single-shot [generate] with the
+   same seed.  The returned run's [prep_time] is 0: this run paid no
+   phase-1 cost. *)
+let explore_prepared ?(opts = Runtime.default_options)
+    ?(config = Explore.default_config) ?obs (p : prepared) : run =
+  let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
+  let ctx, st = instance ~opts p reg in
+  let result =
+    Explore.run ~config ~fresh:(fun r -> instance ~opts p r) ctx st
+  in
+  { result; prepared = { p with ctx; prep_time = 0.0 } }
 
 (* ------------------------------------------------------------------ *)
 (* Batch driver: many oracle jobs across OCaml domains.

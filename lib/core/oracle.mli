@@ -18,6 +18,56 @@ type prepared = {
   prep_time : float;  (** seconds spent in phase 1 (Fig. 7's "IR prep") *)
 }
 
+(** {1 Structured preparation errors} *)
+
+type prepare_error =
+  | Parse_error of { msg : string; line : int; col : int }
+      (** lexer or parser rejection, with the source position *)
+  | Type_error of string  (** the program is not well-typed *)
+  | Arch_error of string
+      (** the program does not fit the target architecture
+          ({!Runtime.Exec_error} during phase 1) *)
+
+val prepare_error_message : prepare_error -> string
+(** Human-readable one-liner ("LINE:COL: parse error: ..."). *)
+
+val prepare_error_kind : prepare_error -> string
+(** Stable machine tag: ["parse"], ["typecheck"] or ["exec"] — the
+    serve protocol's error kinds. *)
+
+val raise_prepare_error : prepare_error -> 'a
+(** Re-raises the exception the error was captured from
+    ({!P4.Parser.Error}, {!P4.Typing.Type_error} or
+    {!Runtime.Exec_error}), byte-for-byte as [prepare] would have
+    raised it. *)
+
+val prepare_result :
+  ?opts:Runtime.options ->
+  ?obs:Obs.Registry.t ->
+  (module Target_intf.S) ->
+  string ->
+  (prepared, prepare_error) result
+(** {!prepare} with every front-end failure captured as data instead
+    of an exception — the entry point for long-lived callers (the
+    serve daemon) where one bad program must fail one request, not the
+    process. *)
+
+(** {1 Program fingerprints}
+
+    The cache key of the prepared-oracle cache ({!Serve} in
+    [lib/serve]): a digest of the source's {e token stream} (so
+    whitespace and comments never cause a cache miss), the
+    architecture name, and a format version.  The mid-end is
+    options-independent ([Runtime.options] only steers exploration),
+    so no option joins the hash; a pass that starts reading an option
+    must add that field here and bump {!fingerprint_version}. *)
+
+val fingerprint_version : string
+
+val fingerprint : arch:string -> string -> (string, prepare_error) result
+(** [fingerprint ~arch source] is the hex cache key, or [Parse_error]
+    when the source does not even lex. *)
+
 val prepare :
   ?opts:Runtime.options ->
   ?obs:Obs.Registry.t ->
@@ -61,6 +111,18 @@ val fresh_instance :
     this replica only as the replay fallback for tasks above
     [config.Explore.snapshot_max_bytes]. *)
 
+val instantiate :
+  ?opts:Runtime.options ->
+  ?obs:Obs.Registry.t ->
+  prepared ->
+  Runtime.ctx * Runtime.state
+(** A request-scoped replica over the cached front-end work: like
+    {!fresh_instance}, but with caller-chosen options and registry.  A
+    cached [prepared] value serves requests with any seed, strategy or
+    budget — the mid-end artifacts do not depend on them (see
+    {!fingerprint}).  Safe to call concurrently from several domains
+    on the same [prepared]: only immutable preparation data is read. *)
+
 val generate :
   ?opts:Runtime.options ->
   ?config:Explore.config ->
@@ -72,6 +134,19 @@ val generate :
     worker domains ({!Explore.run}'s frontier driver, seeded with
     {!fresh_instance}); the result is bit-identical for every
     [path_jobs] value [>= 1]. *)
+
+val explore_prepared :
+  ?opts:Runtime.options ->
+  ?config:Explore.config ->
+  ?obs:Obs.Registry.t ->
+  prepared ->
+  run
+(** {!generate} minus phase 1 — the warm path of the prepared-oracle
+    cache.  Explores a fresh {!instantiate}d replica, so the test set
+    is bit-identical to a single-shot {!generate} of the same source
+    with the same options, and several requests can explore the same
+    [prepared] concurrently.  The returned run's [prep_time] is [0.]:
+    this run paid no preparation. *)
 
 (** {1 Batch driver}
 

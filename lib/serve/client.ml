@@ -1,0 +1,74 @@
+(* Thin client for the serve daemon: one connection, one request, one
+   streamed response.  Used by the [p4testgen client] subcommand, the
+   serve bench and the serve tests; external clients only need the
+   framing in [Wire]. *)
+
+let connect (ep : Wire.endpoint) : Unix.file_descr =
+  let domain =
+    match ep with Wire.Unix_sock _ -> Unix.PF_UNIX | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Wire.sockaddr_of_endpoint ep)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+(* Send [rq] and read the response stream until [End] (or EOF).
+   [on_event] fires on every frame as it arrives — streaming consumers
+   (progress display, the bench's first-test latency) hook in here; the
+   full event list is also returned for convenience. *)
+let request ?(on_event = fun (_ : Wire.event) -> ()) (ep : Wire.endpoint)
+    (rq : Wire.request) : (Wire.event list, string) result =
+  match connect ep with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("connect: " ^ Unix.error_message e)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try
+            Wire.write_frame fd (Wire.encode_request rq);
+            let rec loop acc =
+              match Wire.read_frame fd with
+              | None -> Ok (List.rev acc)  (* server closed without [End] *)
+              | Some payload -> (
+                  match Wire.decode_event payload with
+                  | Error msg -> Error ("bad response frame: " ^ msg)
+                  | Ok ev -> (
+                      on_event ev;
+                      match ev with
+                      | Wire.End -> Ok (List.rev (ev :: acc))
+                      | _ -> loop (ev :: acc)))
+            in
+            loop []
+          with
+          | Wire.Protocol_error msg -> Error msg
+          | Unix.Unix_error (e, fn, _) -> Error (fn ^ ": " ^ Unix.error_message e))
+
+(* The first error frame of a response, if any. *)
+let find_error events =
+  List.find_map
+    (function Wire.Error (kind, msg) -> Some (kind, msg) | _ -> None)
+    events
+
+let find_summary events =
+  List.find_map (function Wire.Summary kvs -> Some kvs | _ -> None) events
+
+let summary_get kvs key = List.assoc_opt key kvs
+
+(* Poll the daemon with pings until it answers — startup
+   synchronisation for scripts and tests. *)
+let wait_ready ?(attempts = 100) ?(delay = 0.05) (ep : Wire.endpoint) : bool =
+  let rec go n =
+    if n <= 0 then false
+    else
+      match request ep { Wire.default_request with Wire.rq_op = Wire.Ping } with
+      | Ok evs
+        when List.exists (function Wire.Okay _ -> true | _ -> false) evs ->
+          true
+      | _ ->
+          Unix.sleepf delay;
+          go (n - 1)
+  in
+  go attempts

@@ -1,0 +1,60 @@
+(* Exact LRU over a hashtable with monotone use-stamps.
+
+   Capacities here are small (a handful of prepared oracles, each
+   worth hundreds of kilobytes of AST and typing tables), so eviction
+   scans for the minimum stamp instead of maintaining an intrusive
+   list — O(n) on a dozen entries is noise next to one [Oracle.prepare]
+   it saves. *)
+
+type 'a entry = { mutable stamp : int; value : 'a }
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;  (* next use-stamp; strictly increasing *)
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Lru.create: cap must be >= 1";
+  { cap; tbl = Hashtbl.create (2 * cap); clock = 0 }
+
+let tick t =
+  let s = t.clock in
+  t.clock <- s + 1;
+  s
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some e ->
+      e.stamp <- tick t;
+      Some e.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let lru_binding t =
+  Hashtbl.fold
+    (fun k e best ->
+      match best with
+      | Some (_, b) when b.stamp <= e.stamp -> best
+      | _ -> Some (k, e))
+    t.tbl None
+
+let put t k v =
+  Hashtbl.replace t.tbl k { stamp = tick t; value = v };
+  if Hashtbl.length t.tbl <= t.cap then None
+  else
+    match lru_binding t with
+    | Some (victim, e) ->
+        Hashtbl.remove t.tbl victim;
+        Some (victim, e.value)
+    | None -> None
+
+let remove t k = Hashtbl.remove t.tbl k
+let clear t = Hashtbl.reset t.tbl
+let length t = Hashtbl.length t.tbl
+let capacity t = t.cap
+
+let keys t =
+  let all = Hashtbl.fold (fun k e acc -> (e.stamp, k) :: acc) t.tbl [] in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare b a) all)

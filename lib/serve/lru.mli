@@ -1,0 +1,33 @@
+(** A small string-keyed LRU cache — the prepared-oracle cache of the
+    serve daemon keys {!Testgen.Oracle.prepared} values by program
+    fingerprint with one of these.
+
+    Not synchronized: the owner wraps operations in its own lock (the
+    daemon holds its cache mutex around every call).  Recency is
+    tracked with monotone use-stamps, so eviction order is exact LRU:
+    [find] and [put] both count as a use. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** A cache holding at most [cap] entries ([cap >= 1], or
+    [Invalid_argument]). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit marks the entry most-recently used. *)
+
+val put : 'a t -> string -> 'a -> (string * 'a) option
+(** Insert (or overwrite) the entry and mark it most-recently used.
+    Returns the evicted least-recently-used binding when the insert
+    pushed the cache over capacity. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency. *)
+
+val remove : 'a t -> string -> unit
+val clear : 'a t -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val keys : 'a t -> string list
+(** Most-recently-used first — the reverse of eviction order. *)

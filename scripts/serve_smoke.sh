@@ -1,0 +1,108 @@
+#!/bin/sh
+# Serve smoke test: start the daemon, send a cold then a warm request
+# for the same program, and check the warm one is a pure cache hit
+# (serve.cache_hits bumped, zero prepare time).  Exercises the full
+# socket path the way CI exercises generate: end to end, no mocks.
+set -eu
+
+# run the built binary directly: `dune exec` holds the build lock for
+# the lifetime of the daemon, which would deadlock every client below
+if [ -z "${P4TESTGEN:-}" ]; then
+  dune build bin/p4testgen.exe
+  P4TESTGEN="./_build/default/bin/p4testgen.exe"
+fi
+WORK="$(mktemp -d)"
+SOCK="$WORK/serve.sock"
+PROG="$WORK/fig1a.p4"
+trap 'status=$?; kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"; exit $status' EXIT INT TERM
+
+cat > "$PROG" <<'EOF'
+header ethernet_t {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> etype;
+}
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<9> output_port; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control MyVerify(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyIngress(inout headers_t h, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+  action noop() { }
+  action set_out(bit<9> port) {
+    meta.output_port = port;
+    sm.egress_spec = port;
+  }
+  table forward_table {
+    key = { h.eth.etype : exact @name("etype"); }
+    actions = { noop; set_out; }
+    default_action = noop();
+  }
+  apply {
+    h.eth.etype = 0xBEEF;
+    forward_table.apply();
+  }
+}
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) { apply { } }
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.eth); }
+}
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(), MyCompute(), MyDeparser()) main;
+EOF
+
+echo "== starting daemon on $SOCK"
+$P4TESTGEN serve --listen "unix:$SOCK" --workers 1 &
+SERVE_PID=$!
+
+# wait for the socket to answer a ping
+ready=0
+for _ in $(seq 1 100); do
+  if $P4TESTGEN client --connect "unix:$SOCK" --ping >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.05
+done
+[ "$ready" = 1 ] || { echo "FAIL: daemon never became ready"; exit 1; }
+
+echo "== cold request"
+$P4TESTGEN client --connect "unix:$SOCK" --metrics --print-tests "$PROG" \
+  | tee "$WORK/cold.out"
+grep -q '^cache_hit false$' "$WORK/cold.out" \
+  || { echo "FAIL: cold request must be a cache miss"; exit 1; }
+if grep -q '^prep_seconds 0\.000000$' "$WORK/cold.out"; then
+  echo "FAIL: cold request must spend prepare time"
+  exit 1
+fi
+
+echo "== warm request"
+$P4TESTGEN client --connect "unix:$SOCK" --metrics --print-tests "$PROG" \
+  | tee "$WORK/warm.out"
+grep -q '^cache_hit true$' "$WORK/warm.out" \
+  || { echo "FAIL: warm request must be a cache hit"; exit 1; }
+grep -q '^prep_seconds 0\.000000$' "$WORK/warm.out" \
+  || { echo "FAIL: warm request must skip preparation"; exit 1; }
+grep -q '"serve.cache_hits":1' "$WORK/warm.out" \
+  || { echo "FAIL: warm obs snapshot must show serve.cache_hits = 1"; exit 1; }
+
+# cold and warm must generate the same tests
+awk '/^-- test/{on=1} /^tests /{on=0} on' "$WORK/cold.out" > "$WORK/cold.tests"
+awk '/^-- test/{on=1} /^tests /{on=0} on' "$WORK/warm.out" > "$WORK/warm.tests"
+cmp -s "$WORK/cold.tests" "$WORK/warm.tests" \
+  || { echo "FAIL: warm tests differ from cold tests"; exit 1; }
+
+echo "== shutdown"
+$P4TESTGEN client --connect "unix:$SOCK" --shutdown
+wait "$SERVE_PID"
+[ ! -S "$SOCK" ] || { echo "FAIL: socket not unlinked on shutdown"; exit 1; }
+
+echo "serve smoke: OK"
