@@ -14,9 +14,18 @@
                                            (default bench.json; a bare integer N
                                            sets --path-jobs, other args filter
                                            the driver list)
-     dune exec bench/main.exe -- compare B [F]  diff two json files; exit 1 on a
-                                           >10% wall-clock regression vs baseline B
-                                           (warns when the two hosts differ)
+     dune exec bench/main.exe -- compare B [F] [--noise-ms N]  diff two json
+                                           files; exit 1 on a >10% wall-clock
+                                           regression past the noise floor
+                                           (default 50ms) or any solver.checks
+                                           increase vs baseline B (warns when
+                                           the two hosts differ)
+     dune exec bench/main.exe -- qcache [F]  query-cache gate: every driver with
+                                           the cache off vs on must emit
+                                           bit-identical suites (also pj1 vs
+                                           pj4) and spend >=30% fewer solver
+                                           checks; cache-on rows -> F
+                                           (default BENCH_pr9.json)
      dune exec bench/main.exe -- scaling [D] [F]  wall-clock + speedup per
                                            path-jobs in {1,2,4,8} on driver D
                                            (default middleblock_2acl -> BENCH_pr6.json)
@@ -430,7 +439,8 @@ let json_row name arch src opts config =
       (host_cores ())
       (Domain.recommended_domain_count ())
       (Obs.Snapshot.to_json (Obs.Registry.snapshot (Oracle.registry run))),
-    r.Explore.total_time )
+    r.Explore.total_time,
+    run )
 
 let write_bench_doc out rows =
   Out_channel.with_open_text out (fun oc ->
@@ -458,7 +468,8 @@ let json ?(only = []) ?(path_jobs = 0) out =
         List.filter (fun (d, _, _, _, _) -> List.mem d names) drivers
   in
   let row (name, arch, src, opts, config) =
-    fst (json_row name arch src opts { config with Explore.path_jobs })
+    let r, _, _ = json_row name arch src opts { config with Explore.path_jobs } in
+    r
   in
   write_bench_doc out (List.map row drivers)
 
@@ -477,7 +488,7 @@ let scaling driver out =
       let measured =
         List.map
           (fun pj ->
-            let row, total =
+            let row, total, _ =
               json_row
                 (Printf.sprintf "%s@pj%d" name pj)
                 arch src opts
@@ -496,6 +507,76 @@ let scaling driver out =
         "(host reports %d usable core(s); speedup saturates at the hardware)\n"
         (Domain.recommended_domain_count ());
       write_bench_doc out (List.map (fun (_, row, _) -> row) measured)
+
+(* ------------------------------------------------------------------ *)
+(* qcache: the query-cache acceptance gate.  Runs every std driver
+   with the cache off and on, asserts the emitted suites are
+   bit-identical (and identical again at path-jobs 1 vs 4 with the
+   cache on), requires an aggregate solver.checks drop of at least
+   30%, prints per-driver hit rates, and writes the cache-on rows as
+   a bench JSON document for [compare] to gate in CI. *)
+
+let qcache out =
+  header (Printf.sprintf "Query-cache gate — off vs on, bit-identity, checks -> %s" out);
+  let drivers = std_drivers () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let tests run =
+    List.map Testgen.Testspec.to_string run.Oracle.result.Explore.tests
+  in
+  let metric run k =
+    Obs.Snapshot.get_int (Obs.Registry.snapshot (Oracle.registry run)) k
+  in
+  let total_off = ref 0 and total_on = ref 0 in
+  let rows =
+    List.map
+      (fun (name, arch, src, opts, config) ->
+        let off =
+          generate ~opts ~config:{ config with Explore.query_cache = false } arch src
+        in
+        let row, _, on = json_row name arch src opts config in
+        let pj eng_pj =
+          generate ~opts
+            ~config:{ config with Explore.path_jobs = eng_pj; split_tasks = 6 }
+            arch src
+        in
+        let on1 = pj 1 and on4 = pj 4 in
+        if tests off <> tests on then
+          fail "%s: cache-on suite differs from cache-off" name;
+        if tests on1 <> tests on4 then
+          fail "%s: path-jobs 1 and 4 suites differ with the cache on" name;
+        let coff = metric off "solver.checks" and con = metric on "solver.checks" in
+        total_off := !total_off + coff;
+        total_on := !total_on + con;
+        let avoided = metric on "qcache.solver_checks_avoided" in
+        let slices = metric on "qcache.slices" in
+        Printf.printf
+          "  %-18s checks %5d -> %5d   hits: model %d, unsat %d, subsumed %d \
+           (avoided %d / %d sliced)\n"
+          name coff con
+          (metric on "qcache.model_hits")
+          (metric on "qcache.unsat_hits")
+          (metric on "qcache.subsumed")
+          avoided slices;
+        row)
+      drivers
+  in
+  hr ();
+  let drop =
+    if !total_off > 0 then
+      100.0 *. float_of_int (!total_off - !total_on) /. float_of_int !total_off
+    else 0.0
+  in
+  Printf.printf "solver.checks total: %d (cache off) -> %d (cache on), drop %.1f%%\n"
+    !total_off !total_on drop;
+  if drop < 30.0 then
+    fail "aggregate solver.checks drop %.1f%% is below the 30%% gate" drop;
+  write_bench_doc out rows;
+  match List.rev !failures with
+  | [] -> Printf.printf "OK: suites bit-identical, checks drop >= 30%%\n"
+  | fs ->
+      List.iter (fun m -> Printf.printf "FAIL: %s\n" m) fs;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* compare: diff two bench JSON documents (as written by [json]) and
@@ -645,6 +726,7 @@ type bench_row = {
   br_total : float; (* total_time, seconds *)
   br_solve : float; (* solve_time, seconds *)
   br_conflicts : float; (* sat.conflicts counter *)
+  br_checks : float; (* solver.checks counter (0 = not recorded) *)
   br_cores : int; (* host_cores of the recording machine (0 = unknown) *)
   br_domains : int; (* recommended_domain_count there (0 = unknown) *)
 }
@@ -667,10 +749,9 @@ let load_bench file : bench_row list =
           | None -> None
           | Some name ->
               let f k = Option.value ~default:0.0 Json_read.(num (member k row)) in
-              let conflicts =
+              let metric k =
                 match Json_read.member "metrics" row with
-                | Some m ->
-                    Option.value ~default:0.0 Json_read.(num (member "sat.conflicts" m))
+                | Some m -> Option.value ~default:0.0 Json_read.(num (member k m))
                 | None -> 0.0
               in
               Some
@@ -678,7 +759,8 @@ let load_bench file : bench_row list =
                   br_name = name;
                   br_total = f "total_time";
                   br_solve = f "solve_time";
-                  br_conflicts = conflicts;
+                  br_conflicts = metric "sat.conflicts";
+                  br_checks = metric "solver.checks";
                   br_cores = int_of_float (f "host_cores");
                   br_domains = int_of_float (f "recommended_domains");
                 })
@@ -702,15 +784,16 @@ let warn_host_mismatch baseline base current cur =
         baseline bc bd current cc cd
   | _ -> ()
 
-let compare_benches baseline current =
+let compare_benches ?(noise_ms = 50.0) baseline current =
   header (Printf.sprintf "Compare — %s (baseline) vs %s" baseline current);
   let base = load_bench baseline and cur = load_bench current in
   warn_host_mismatch baseline base current cur;
   let pct old now = if old > 0.0 then 100.0 *. (now -. old) /. old else 0.0 in
   let regression_limit = 10.0 in
   (* percentages on sub-millisecond drivers are timer noise; only gate a
-     driver when it also lost a perceptible amount of absolute time *)
-  let noise_floor = 0.05 in
+     driver when it also lost a perceptible amount of absolute time
+     ([--noise-ms], default 50ms) *)
+  let noise_floor = noise_ms /. 1000.0 in
   let regressed = ref [] in
   Printf.printf "%-20s %10s %10s %8s   %10s %10s %8s\n" "driver" "base s" "cur s" "Δtime"
     "base cfl" "cur cfl" "Δcfl";
@@ -730,10 +813,21 @@ let compare_benches baseline current =
       let dt = pct b.br_total c.br_total in
       let dc = pct b.br_conflicts c.br_conflicts in
       let bad = dt > regression_limit && c.br_total -. b.br_total > noise_floor in
+      (* solver.checks is deterministic per driver (no timer noise), so
+         any increase over the recorded baseline means the query cache
+         or the exploration lost ground — gate with a 2% slack only for
+         rows recorded before the counter existed (0 = not recorded) *)
+      let bad_checks =
+        b.br_checks > 0.0 && c.br_checks > b.br_checks *. 1.02
+      in
       if bad then regressed := b.br_name :: !regressed;
-      Printf.printf "%-20s %10.3f %10.3f %+7.1f%%   %10.0f %10.0f %+7.1f%%%s\n" b.br_name
-        b.br_total c.br_total dt b.br_conflicts c.br_conflicts dc
-        (if bad then "  REGRESSION" else ""))
+      if bad_checks then regressed := (b.br_name ^ " (solver.checks)") :: !regressed;
+      Printf.printf "%-20s %10.3f %10.3f %+7.1f%%   %10.0f %10.0f %+7.1f%%%s%s\n"
+        b.br_name b.br_total c.br_total dt b.br_conflicts c.br_conflicts dc
+        (if bad then "  REGRESSION" else "")
+        (if bad_checks then
+           Printf.sprintf "  CHECKS %.0f->%.0f" b.br_checks c.br_checks
+         else ""))
     matched;
   List.iter
     (fun c ->
@@ -753,11 +847,14 @@ let compare_benches baseline current =
   if total_regressed && not (List.mem "TOTAL" !regressed) then
     regressed := "TOTAL" :: !regressed;
   if !regressed <> [] then begin
-    Printf.printf "\nFAIL: wall-clock regression > %.0f%% in: %s\n" regression_limit
+    Printf.printf "\nFAIL: regression (wall-clock > %.0f%% or solver.checks up) in: %s\n"
+      regression_limit
       (String.concat ", " (List.rev !regressed));
     exit 1
   end
-  else Printf.printf "\nOK: no driver regressed more than %.0f%%\n" regression_limit
+  else
+    Printf.printf "\nOK: no driver regressed (wall-clock limit %.0f%%, noise floor %.0fms)\n"
+      regression_limit noise_ms
 
 (* ------------------------------------------------------------------ *)
 (* gate: the parallel-speedup CI check over one scaling document
@@ -1032,13 +1129,34 @@ let () =
       let only = List.filter (fun a -> not (is_int a)) rest in
       json ~only ~path_jobs out
   | Some "compare" ->
-      if Array.length Sys.argv < 3 then begin
-        Printf.eprintf "usage: compare baseline.json [current.json]\n";
-        exit 2
-      end;
-      let baseline = Sys.argv.(2) in
-      let current = if Array.length Sys.argv > 3 then Sys.argv.(3) else "bench.json" in
-      compare_benches baseline current
+      (* positional: baseline [current]; flag: --noise-ms N anywhere *)
+      let rest =
+        Array.to_list (Array.sub Sys.argv 2 (max 0 (Array.length Sys.argv - 2)))
+      in
+      let rec split_flags pos noise = function
+        | "--noise-ms" :: v :: tl -> (
+            match float_of_string_opt v with
+            | Some n when n >= 0.0 -> split_flags pos n tl
+            | _ ->
+                Printf.eprintf "error: --noise-ms expects a non-negative number\n";
+                exit 2)
+        | a :: tl -> split_flags (a :: pos) noise tl
+        | [] -> (List.rev pos, noise)
+      in
+      let pos, noise_ms = split_flags [] 50.0 rest in
+      (match pos with
+      | baseline :: rest ->
+          let current = match rest with c :: _ -> c | [] -> "bench.json" in
+          compare_benches ~noise_ms baseline current
+      | [] ->
+          Printf.eprintf
+            "usage: compare baseline.json [current.json] [--noise-ms N]\n";
+          exit 2)
+  | Some "qcache" ->
+      let out =
+        if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr9.json"
+      in
+      qcache out
   | Some "scaling" ->
       let driver =
         if Array.length Sys.argv > 2 then Sys.argv.(2) else "middleblock_2acl"
@@ -1059,7 +1177,7 @@ let () =
       Printf.eprintf
         "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
          batch [jobs], json [out.json] [path-jobs] [drivers...], compare baseline.json \
-         [current.json], scaling [driver] [out.json], gate [scaling.json], \
-         serve [out.json])\n"
+         [current.json] [--noise-ms N], scaling [driver] [out.json], gate [scaling.json], \
+         serve [out.json], qcache [out.json])\n"
         other;
       exit 1

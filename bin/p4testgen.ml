@@ -259,7 +259,24 @@ let solver_knobs =
             "Rebuild the incremental solver once it holds more than $(docv) SAT \
              variables (dead circuits from popped scopes dominate past this point)")
   in
-  let apply nps ntp nrdb nmin nrw rth config =
+  let no_query_cache =
+    Arg.(
+      value & flag
+      & info [ "no-query-cache" ]
+          ~doc:
+            "Disable the branch-feasibility query cache (independence slicing, \
+             model reuse, UNSAT-slice memoisation).  Emitted tests are \
+             bit-identical either way; only the number of solver calls changes")
+  in
+  let qcache_slots =
+    Arg.(
+      value & opt (some int) None
+      & info [ "qcache-slots" ] ~docv:"N"
+          ~doc:
+            "Capacity of each query-cache digest-set ring (default 512); \
+             bounds the memory the cache may hold")
+  in
+  let apply nps ntp nrdb nmin nrw rth nqc qslots config =
     let sat_options =
       {
         Smt.Sat.default_options with
@@ -275,11 +292,14 @@ let solver_knobs =
       word_rewrite = not nrw;
       rebuild_size_threshold =
         Option.value rth ~default:config.Testgen.Explore.rebuild_size_threshold;
+      query_cache = not nqc;
+      qcache_slots =
+        Option.value qslots ~default:config.Testgen.Explore.qcache_slots;
     }
   in
   Term.(
     const apply $ no_phase_saving $ no_target_phase $ no_reduce_db $ no_minimise
-    $ no_rewrite $ rebuild_threshold)
+    $ no_rewrite $ rebuild_threshold $ no_query_cache $ qcache_slots)
 
 (* intra-program parallelism knobs, same transformer pattern *)
 let parallel_knobs =

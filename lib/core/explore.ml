@@ -79,6 +79,21 @@ type config = {
       (** estimated term weight above which a task is started by
           replaying its branch prefix into a fresh instance instead of
           importing a snapshot (0 forces replay for every task) *)
+  query_cache : bool;
+      (** consult the {!Smt.Qcache} independence-slicing cache before
+          paying for a branch-feasibility solver check.  Cache
+          verdicts agree with the solver, so the explored tree and
+          the emitted tests are identical either way — only the cost
+          changes.  Test-emission models always come from real solver
+          calls on the emission solver, whose history is independent
+          of this flag. *)
+  qcache_slots : int;
+      (** bound on each of the query cache's SAT/UNSAT digest-set
+          rings *)
+  qcache_store : Smt.Qcache.store option;
+      (** cross-run digest-set store (the serve daemon passes the
+          prepared oracle's store so cache facts survive between
+          requests for the same fingerprint) *)
   on_test : (Testspec.t -> unit) option;
       (** incremental test callback: invoked once per *accepted* test,
           in final emission order, as paths close — before the run
@@ -110,6 +125,9 @@ let default_config =
     path_jobs = 0;
     split_tasks = 32;
     snapshot_max_bytes = 32_000_000;
+    query_cache = true;
+    qcache_slots = 512;
+    qcache_store = None;
     on_test = None;
     deadline = None;
   }
@@ -405,6 +423,18 @@ type engine = {
   e_cfg : config;
   e_cells : cells;
   e_solver : Solver.t ref;
+      (* the *emission* solver: it carries only conditions of paths
+         actually descended into (base + feasible spine conds) and
+         answers every test-construction query.  Its assertion and
+         check history is a pure function of the explored tree — in
+         particular independent of the query cache — which is what
+         keeps emitted tests bit-identical with the cache on or off. *)
+  e_probe : Solver.t ref;
+      (* the *probe* solver: carries the full candidate path
+         (including the condition under test) and answers the branch
+         feasibility checks the query cache cannot *)
+  e_qc : Smt.Qcache.t option;
+      (* branch-feasibility query cache; [None] = --no-query-cache *)
   e_spine : Expr.t list ref;
       (* the DFS spine's active assertions, innermost first, mirroring
          the solver's scope stack; lets us rebuild a fresh solver when
@@ -430,19 +460,37 @@ let new_solver (ctx : ctx) (cfg : config) base =
   List.iter (Solver.assert_ s) base;
   s
 
-(* [solver], when given, must already carry [base] (the warm-handoff
-   path asserts imported conditions into a cloned solver before
-   building the engine); rebuilds re-assert [base] into a cold solver
-   either way *)
-let make_engine ?(base = []) ?solver ?(count_tests = true)
+(* [solver]/[probe], when given, must already carry [base] (the
+   warm-handoff path asserts imported conditions into cloned solvers
+   before building the engine); rebuilds re-assert [base] into a cold
+   solver either way.  [qc], when given, is a task clone with empty
+   active state — [base] is asserted into it here either way. *)
+let make_engine ?(base = []) ?solver ?probe ?qc ?(count_tests = true)
     ?(extra_check = fun () -> ()) (ctx : ctx) (cfg : config) =
   let cells = make_cells ctx.obs in
+  let e_qc =
+    if not cfg.query_cache then None
+    else begin
+      let q =
+        match qc with
+        | Some q -> q
+        | None ->
+            Smt.Qcache.create ~obs:ctx.obs ~slots:cfg.qcache_slots
+              ?store:cfg.qcache_store ()
+      in
+      List.iter (Smt.Qcache.assert_base q) base;
+      Some q
+    end
+  in
   {
     e_ctx = ctx;
     e_cfg = cfg;
     e_cells = cells;
     e_solver =
       ref (match solver with Some s -> s | None -> new_solver ctx cfg base);
+    e_probe =
+      ref (match probe with Some s -> s | None -> new_solver ctx cfg base);
+    e_qc;
     e_spine = ref [];
     e_base = base;
     e_tests = [];
@@ -453,22 +501,29 @@ let make_engine ?(base = []) ?solver ?(count_tests = true)
     e_extra_check = extra_check;
   }
 
+(* both solvers are eligible at the same spine depths (each one's
+   scope stack mirrors the spine whenever this runs), but each
+   rebuilds on its own size: the probe blasts every candidate branch
+   and outgrows the emission solver *)
 let maybe_rebuild eng =
-  if
-    Solver.size !(eng.e_solver) > eng.e_cfg.rebuild_size_threshold
-    && List.length !(eng.e_spine) <= eng.e_cfg.rebuild_max_spine
-  then begin
-    (* retire the old solver: push its residual counter activity into
-       the registry before it becomes unreachable *)
-    Solver.flush_stats !(eng.e_solver);
-    Obs.Counter.incr eng.e_cells.c_rebuilds;
-    let s = new_solver eng.e_ctx eng.e_cfg eng.e_base in
-    List.iter
-      (fun c ->
-        Solver.push s;
-        Solver.assert_ s c)
-      (List.rev !(eng.e_spine));
-    eng.e_solver := s
+  if List.length !(eng.e_spine) <= eng.e_cfg.rebuild_max_spine then begin
+    let rebuild_one sref =
+      if Solver.size !sref > eng.e_cfg.rebuild_size_threshold then begin
+        (* retire the old solver: push its residual counter activity
+           into the registry before it becomes unreachable *)
+        Solver.flush_stats !sref;
+        Obs.Counter.incr eng.e_cells.c_rebuilds;
+        let s = new_solver eng.e_ctx eng.e_cfg eng.e_base in
+        List.iter
+          (fun c ->
+            Solver.push s;
+            Solver.assert_ s c)
+          (List.rev !(eng.e_spine));
+        sref := s
+      end
+    in
+    rebuild_one eng.e_solver;
+    rebuild_one eng.e_probe
   end
 
 let check_budget eng =
@@ -509,6 +564,12 @@ let finish eng st =
          match build_test eng.e_ctx !(eng.e_solver) st with
          | None -> Obs.Counter.incr eng.e_cells.c_disc_concolic
          | Some t ->
+             (* the emission model satisfies the whole path — a
+                high-coverage witness for future slice queries *)
+             (match eng.e_qc with
+             | Some q ->
+                 Smt.Qcache.note_model q (Solver.capture_model !(eng.e_solver))
+             | None -> ());
              let is_new = not (IntSet.subset st.covered eng.e_covered) in
              eng.e_covered <- IntSet.union st.covered eng.e_covered;
              if eng.e_cfg.strategy <> Cov || is_new then begin
@@ -593,31 +654,69 @@ let rec dfs eng ~split depth pref st =
           | Some c when Expr.is_false c ->
               Obs.Counter.incr eng.e_cells.c_infeasible
           | Some c ->
-              Solver.push !(eng.e_solver);
-              (* model reuse: if the last model already satisfies the
-                 branch condition it witnesses the child's feasibility;
-                 no solver call needed *)
-              let holds = Solver.holds !(eng.e_solver) c in
-              Solver.assert_ !(eng.e_solver) c;
+              (* the probe carries the full candidate path (the query
+                 cache consults slices of the path *without* [c], so it
+                 runs before the cache's own push) *)
+              Solver.push !(eng.e_probe);
+              Solver.assert_ !(eng.e_probe) c;
               eng.e_spine := c :: !(eng.e_spine);
               let feasible =
-                holds
-                || begin
-                     Obs.Counter.incr eng.e_cells.c_branch_checks;
-                     Solver.check !(eng.e_solver) = Solver.Sat
-                   end
+                match eng.e_qc with
+                | Some q -> (
+                    match Smt.Qcache.check q c with
+                    | Smt.Qcache.Sat_hit -> true
+                    | Smt.Qcache.Unsat_hit -> false
+                    | Smt.Qcache.Unknown ->
+                        Obs.Counter.incr eng.e_cells.c_branch_checks;
+                        if Solver.check !(eng.e_probe) = Solver.Sat then begin
+                          Smt.Qcache.note_sat q
+                            (Solver.capture_model !(eng.e_probe));
+                          true
+                        end
+                        else begin
+                          Smt.Qcache.note_unsat q;
+                          false
+                        end)
+                | None ->
+                    (* model reuse without the cache: if the probe's
+                       last model already satisfies the branch
+                       condition it witnesses the child's feasibility
+                       (every condition entered since that model was
+                       produced passed this same test, so the model
+                       still satisfies the whole path) *)
+                    Solver.holds !(eng.e_probe) c
+                    || begin
+                         Obs.Counter.incr eng.e_cells.c_branch_checks;
+                         Solver.check !(eng.e_probe) = Solver.Sat
+                       end
               in
               (try
-                 if feasible then enter i (add_cond c b.br_state)
+                 if feasible then begin
+                   (* only feasible conditions reach the emission
+                      solver, so its history never depends on how a
+                      feasibility verdict was obtained *)
+                   Solver.push !(eng.e_solver);
+                   Solver.assert_ !(eng.e_solver) c;
+                   (match eng.e_qc with
+                   | Some q -> Smt.Qcache.push q c
+                   | None -> ());
+                   Fun.protect
+                     ~finally:(fun () ->
+                       (match eng.e_qc with
+                       | Some q -> Smt.Qcache.pop q
+                       | None -> ());
+                       Solver.pop !(eng.e_solver))
+                     (fun () -> enter i (add_cond c b.br_state))
+                 end
                  else Obs.Counter.incr eng.e_cells.c_infeasible
                with e ->
                  (* keep spine and scope stack consistent on any exit
                     (Stop, frontier abort): pop both, not just the
                     solver scope *)
-                 Solver.pop !(eng.e_solver);
+                 Solver.pop !(eng.e_probe);
                  eng.e_spine := List.tl !(eng.e_spine);
                  raise e);
-              Solver.pop !(eng.e_solver);
+              Solver.pop !(eng.e_probe);
               eng.e_spine := List.tl !(eng.e_spine);
               maybe_rebuild eng)
         (order eng branches)
@@ -692,6 +791,8 @@ let run_seq (config : config) (ctx : ctx) (st0 : state) : result =
   let sp_explore = Obs.Span.enter reg "explore" in
   (try dfs eng ~split:None 0 [] st0 with Stop -> ());
   Solver.flush_stats !(eng.e_solver);
+  Solver.flush_stats !(eng.e_probe);
+  (match eng.e_qc with Some q -> Smt.Qcache.publish q | None -> ());
   let n_seq =
     List.fold_left
       (fun k t -> if Testspec.is_sequence t then k + 1 else k)
@@ -826,6 +927,9 @@ let split_frontier (config : config) (ctx : ctx) (st0 : state) :
       (fun c ->
         Solver.push !(seng.e_solver);
         Solver.assert_ !(seng.e_solver) c;
+        Solver.push !(seng.e_probe);
+        Solver.assert_ !(seng.e_probe) c;
+        (match seng.e_qc with Some q -> Smt.Qcache.push q c | None -> ());
         seng.e_spine := c :: !(seng.e_spine);
         incr pushed)
       (conds_since n0 t.sk_state);
@@ -834,6 +938,8 @@ let split_frontier (config : config) (ctx : ctx) (st0 : state) :
       ~finally:(fun () ->
         for _ = 1 to !pushed do
           Solver.pop !(seng.e_solver);
+          Solver.pop !(seng.e_probe);
+          (match seng.e_qc with Some q -> Smt.Qcache.pop q | None -> ());
           seng.e_spine := List.tl !(seng.e_spine)
         done)
       (fun () ->
@@ -898,7 +1004,10 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
     Obs.Span.with_ reg "split" (fun () -> split_frontier config ctx st0)
   in
   Solver.flush_stats !(seng.e_solver);
+  Solver.flush_stats !(seng.e_probe);
   let parent_solver = !(seng.e_solver) in
+  let parent_probe = !(seng.e_probe) in
+  let parent_qc = seng.e_qc in
   let n0 = List.length st0.path_cond in
   let tasks = Array.of_list task_list in
   let n = Array.length tasks in
@@ -1054,8 +1163,10 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
                      let base = List.map imp (conds_since n0 task.sk_state) in
                      let solver = Solver.clone ~obs:treg ~ectx parent_solver in
                      List.iter (Solver.assert_ solver) base;
+                     let probe = Solver.clone ~obs:treg ~ectx parent_probe in
+                     List.iter (Solver.assert_ probe) base;
                      Obs.Timer.add tm_restore (Obs.Clock.now () -. t0);
-                     (tctx, `Warm (solver, base), st))
+                     (tctx, `Warm (solver, probe, base), st))
                end
                else begin
                  Obs.Counter.incr
@@ -1099,25 +1210,41 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
                    if p = i && e.e_emitted >= m - at then raise Stop
                | _ -> ()
              in
+             (* per-task query cache, cloned from the splitter's: every
+                task of a run sees the same seed facts no matter which
+                worker runs it, and the clone shares no mutable state,
+                so verdicts stay a pure function of the task *)
+             let qc =
+               match parent_qc with
+               | Some q -> Some (Smt.Qcache.clone ~obs:treg q)
+               | None -> None
+             in
              let eng =
                match base with
-               | `Warm (solver, base) ->
-                   make_engine ~base ~solver ~count_tests:false ~extra_check
-                     tctx config
+               | `Warm (solver, probe, base) ->
+                   make_engine ~base ~solver ~probe ?qc ~count_tests:false
+                     ~extra_check tctx config
                | `Cold base ->
-                   make_engine ~base ~count_tests:false ~extra_check tctx
+                   make_engine ~base ?qc ~count_tests:false ~extra_check tctx
                      config
              in
              eng_cell := Some eng;
              (* seed the model cache: the splitter proved the prefix
                 feasible, so this check cannot return Unsat, and it
-                gives [Solver.holds] a model that satisfies the base —
-                a warm clone's inherited model need not *)
+                gives the probe a model that satisfies the base — a
+                warm clone's inherited model need not *)
              (match base with
-             | `Warm (_, []) | `Cold [] -> ()
-             | _ -> ignore (Solver.check !(eng.e_solver)));
+             | `Warm (_, _, []) | `Cold [] -> ()
+             | _ ->
+                 ignore (Solver.check !(eng.e_probe));
+                 (match eng.e_qc with
+                 | Some q ->
+                     Smt.Qcache.note_model q (Solver.capture_model !(eng.e_probe))
+                 | None -> ()));
              (try dfs eng ~split:None 0 [] st with Stop -> ());
              Solver.flush_stats !(eng.e_solver);
+             Solver.flush_stats !(eng.e_probe);
+             (match eng.e_qc with Some q -> Smt.Qcache.publish q | None -> ());
              {
                tr_tests = List.rev eng.e_tests;
                tr_paths =
@@ -1160,6 +1287,7 @@ let run_frontier ~fresh (config : config) (ctx : ctx) (st0 : state) : result =
   worker 0 ();
   List.iter Domain.join domains;
   Pool.release extra;
+  (match parent_qc with Some q -> Smt.Qcache.publish q | None -> ());
 
   (* phase 3 — deterministic merge: walk tasks in splitter order,
      re-running the exact accounting of [advance] while collecting
@@ -1287,6 +1415,7 @@ let frontier ?(config = default_config) (ctx : ctx) (st0 : state) :
     (int list * string option) list =
   let eng, tasks = split_frontier config ctx st0 in
   Solver.flush_stats !(eng.e_solver);
+  Solver.flush_stats !(eng.e_probe);
   List.map
     (fun t ->
       (t.sk_prefix, if t.sk_leaf then None else Some (fingerprint t.sk_state)))

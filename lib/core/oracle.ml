@@ -14,6 +14,7 @@ type prepared = {
   prog : P4.Ast.program;
   target : (module Target_intf.S);
   prep_time : float;
+  qstore : Smt.Qcache.store;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -63,7 +64,11 @@ let raise_prepare_error = function
    starts reading an option, that field must be appended here and the
    version bumped, or stale prepared values would be served. *)
 
-let fingerprint_version = "p4tg-fp1"
+(* fp2: the prepared value now carries a query-cache store
+   ([qstore]) whose digest sets are derived from the compiled term
+   graph — prepared payloads from fp1 builds are not equivalent, so
+   the version bumps (see DESIGN.md, "Fingerprint versioning") *)
+let fingerprint_version = "p4tg-fp2"
 
 let fingerprint ~arch (source : string) : (string, prepare_error) result =
   let buf = Buffer.create (String.length source) in
@@ -140,7 +145,7 @@ let prepare ?(opts = Runtime.default_options) ?obs (target : (module Target_intf
   Obs.Span.exit obs sp;
   let prep_time = Obs.Clock.now () -. t0 in
   Obs.Timer.add (Obs.Registry.timer obs "oracle.prep_time") prep_time;
-  { ctx; prog; target; prep_time }
+  { ctx; prog; target; prep_time; qstore = Smt.Qcache.create_store () }
 
 (* phase 1 as a result: every way the front end can reject a program,
    captured as data.  [prepare] keeps raising (reconstructed verbatim
@@ -202,11 +207,21 @@ let instantiate ?(opts = Runtime.default_options) ?obs (p : prepared) :
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   instance ~opts p reg
 
+(* route the prepared value's query-cache store into the exploration
+   config unless the caller wired one explicitly: repeated runs over
+   one prepared program then share SAT/UNSAT slice facts *)
+let with_qstore (p : prepared) (config : Explore.config) =
+  match config.Explore.qcache_store with
+  | Some _ -> config
+  | None -> { config with Explore.qcache_store = Some p.qstore }
+
 let generate ?(opts = Runtime.default_options) ?(config = Explore.default_config)
     (target : (module Target_intf.S)) (source : string) : run =
   let p = prepare ~opts target source in
   let st = initial_state p in
-  let result = Explore.run ~config ~fresh:(fresh_instance p) p.ctx st in
+  let result =
+    Explore.run ~config:(with_qstore p config) ~fresh:(fresh_instance p) p.ctx st
+  in
   { result; prepared = p }
 
 (* End-to-end generation over an already-prepared program: phase 1 is
@@ -222,7 +237,9 @@ let explore_prepared ?(opts = Runtime.default_options)
   let reg = match obs with Some r -> r | None -> Obs.Registry.create () in
   let ctx, st = instance ~opts p reg in
   let result =
-    Explore.run ~config ~fresh:(fun r -> instance ~opts p r) ctx st
+    Explore.run ~config:(with_qstore p config)
+      ~fresh:(fun r -> instance ~opts p r)
+      ctx st
   in
   { result; prepared = { p with ctx; prep_time = 0.0 } }
 

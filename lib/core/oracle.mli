@@ -16,6 +16,13 @@ type prepared = {
   prog : P4.Ast.program;
   target : (module Target_intf.S);
   prep_time : float;  (** seconds spent in phase 1 (Fig. 7's "IR prep") *)
+  qstore : Smt.Qcache.store;
+      (** query-cache store shared by every run over this prepared
+          program: SAT/UNSAT slice facts published by one run are
+          seeded into the next ({!generate}/{!explore_prepared} wire
+          it into the exploration config unless the caller set one).
+          Part of the prepared payload, hence fingerprint version
+          "p4tg-fp2". *)
 }
 
 (** {1 Structured preparation errors} *)

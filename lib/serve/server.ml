@@ -118,6 +118,10 @@ let handle_generate t fd ~admitted (rq : Wire.request) =
               fail fd (O.prepare_error_kind e) (O.prepare_error_message e)
           | Ok key -> (
               let rreg = Obs.Registry.create () in
+              (* baseline of the daemon-wide serve.* registry: the
+                 response reports this request's delta, not counters
+                 accumulated since the daemon started *)
+              let s0 = snapshot t in
               let cached = with_lock t (fun () -> Lru.find t.cache key) in
               let prepared =
                 match cached with
@@ -238,7 +242,7 @@ let handle_generate t fd ~admitted (rq : Wire.request) =
                            (Obs.Snapshot.to_json
                               (Obs.Snapshot.merge
                                  (Obs.Registry.snapshot rreg)
-                                 (snapshot t))));
+                                 (Obs.Snapshot.diff (snapshot t) s0))));
                       send fd Wire.End))))
 
 let close_listener t =

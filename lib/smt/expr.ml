@@ -43,6 +43,8 @@ and ctx = {
   taint_memo : (int, Bits.t) Hashtbl.t;  (** term tag -> taint mask *)
   simp_memo : (int, t) Hashtbl.t;  (** term tag -> simplified form *)
   known_memo : (int, Bits.t * Bits.t) Hashtbl.t;  (** term tag -> known bits *)
+  support_memo : (int, int array) Hashtbl.t;  (** term tag -> symbol support *)
+  digest_memo : (int, string) Hashtbl.t;  (** term tag -> structural digest *)
   mutable rewrite_hits : int;  (** terms changed by {!simplify} *)
 }
 
@@ -60,6 +62,8 @@ let create_ctx () =
     taint_memo = Hashtbl.create 1024;
     simp_memo = Hashtbl.create 4096;
     known_memo = Hashtbl.create 4096;
+    support_memo = Hashtbl.create 4096;
+    digest_memo = Hashtbl.create 1024;
     rewrite_hits = 0;
   }
 
@@ -221,6 +225,8 @@ let clone_ctx parent =
     taint_memo = Hashtbl.create 1024;
     simp_memo = Hashtbl.create 4096;
     known_memo = Hashtbl.create 4096;
+    support_memo = Hashtbl.create 4096;
+    digest_memo = Hashtbl.create 1024;
     rewrite_hits = 0;
   }
 
@@ -575,6 +581,104 @@ let vars e =
   in
   go e;
   List.sort (fun a b -> compare a.vid b.vid) !acc
+
+(* Symbol support for the independence slicer (Qcache): variables map
+   to even ids (2*vid), taint atoms to odd ids (2*id+1), so a single
+   int namespace covers both kinds of free symbol without collision.
+   Supports are sorted deduplicated arrays, merged bottom-up and
+   memoised per hash-consed tag in the term's context; tags are
+   preserved by [clone_ctx]/[importer], and clones get fresh memo
+   tables, so the memo never leaks across contexts. *)
+
+let sym_of_var v = 2 * v.vid
+let sym_of_taint id = (2 * id) + 1
+let sym_is_taint s = s land 1 = 1
+let sym_id s = s asr 1
+
+let merge_syms (a : int array) (b : int array) : int array =
+  if Array.length a = 0 then b
+  else if Array.length b = 0 then a
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then (out.(!k) <- x; incr i)
+      else if y < x then (out.(!k) <- y; incr j)
+      else (out.(!k) <- x; incr i; incr j);
+      incr k
+    done;
+    while !i < la do out.(!k) <- a.(!i); incr i; incr k done;
+    while !j < lb do out.(!k) <- b.(!j); incr j; incr k done;
+    if !k = la + lb then out else Array.sub out 0 !k
+  end
+
+let support e =
+  let rec go e =
+    match Hashtbl.find_opt e.ctx.support_memo e.tag with
+    | Some s -> s
+    | None ->
+        let s =
+          match e.node with
+          | Const _ -> [||]
+          | Var v -> [| sym_of_var v |]
+          | Taint id -> [| sym_of_taint id |]
+          | Not a | Slice (a, _, _) -> go a
+          | And (a, b) | Or (a, b) | Xor (a, b) | Add (a, b) | Sub (a, b)
+          | Mul (a, b) | Udiv (a, b) | Urem (a, b) | Concat (a, b) | Eq (a, b)
+          | Ult (a, b) | Slt (a, b) | Shl (a, b) | Lshr (a, b) | Ashr (a, b) ->
+              merge_syms (go a) (go b)
+          | Ite (a, b, c) -> merge_syms (go a) (merge_syms (go b) (go c))
+        in
+        Hashtbl.add e.ctx.support_memo e.tag s;
+        s
+  in
+  go e
+
+(* Structural digest: a context-independent fingerprint of the term
+   DAG, memoised per tag.  Variables hash by name and width (names are
+   stable across [clone_ctx] and across separate compilations of the
+   same program), so equal digests identify structurally identical
+   constraints even when they live in different contexts — the
+   property the cross-request UNSAT cache relies on. *)
+let digest e =
+  let rec go e =
+    match Hashtbl.find_opt e.ctx.digest_memo e.tag with
+    | Some d -> d
+    | None ->
+        let buf = Buffer.create 64 in
+        let kind k = Buffer.add_char buf (Char.chr (k + 33)) in
+        let num n = Buffer.add_string buf (string_of_int n); Buffer.add_char buf ';' in
+        (match e.node with
+        | Const b -> kind 0; num (Bits.width b); Buffer.add_string buf (Bits.to_hex b)
+        | Var v -> kind 1; num v.vwidth; Buffer.add_string buf v.vname
+        | Taint id -> kind 2; num e.width; num id
+        | Not a -> kind 3; Buffer.add_string buf (go a)
+        | And (a, b) -> kind 4; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Or (a, b) -> kind 5; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Xor (a, b) -> kind 6; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Add (a, b) -> kind 7; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Sub (a, b) -> kind 8; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Mul (a, b) -> kind 9; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Udiv (a, b) -> kind 10; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Urem (a, b) -> kind 11; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Concat (a, b) -> kind 12; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Slice (a, hi, lo) -> kind 13; num hi; num lo; Buffer.add_string buf (go a)
+        | Eq (a, b) -> kind 14; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Ult (a, b) -> kind 15; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Slt (a, b) -> kind 16; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Ite (a, b, c) ->
+            kind 17; Buffer.add_string buf (go a); Buffer.add_string buf (go b);
+            Buffer.add_string buf (go c)
+        | Shl (a, b) -> kind 18; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Lshr (a, b) -> kind 19; Buffer.add_string buf (go a); Buffer.add_string buf (go b)
+        | Ashr (a, b) -> kind 20; Buffer.add_string buf (go a); Buffer.add_string buf (go b));
+        let d = Digest.string (Buffer.contents buf) in
+        Hashtbl.add e.ctx.digest_memo e.tag d;
+        d
+  in
+  go e
 
 let size e =
   let seen = Hashtbl.create 64 in

@@ -157,6 +157,24 @@ val taint_mask : t -> Bitv.Bits.t
 val vars : t -> var list
 (** All variables occurring in the term, each once, in [vid] order. *)
 
+val support : t -> int array
+(** Free-symbol support as a sorted array of symbol ids — variables
+    at [2*vid], taint atoms at [2*id+1] — memoised per hash-consed
+    tag.  Two terms interact (for independence slicing) iff their
+    supports intersect. *)
+
+val sym_of_var : var -> int
+val sym_of_taint : int -> int
+val sym_is_taint : int -> bool
+val sym_id : int -> int
+(** Conversions for the symbol-id namespace used by {!support}. *)
+
+val digest : t -> string
+(** Context-independent structural digest (16 raw bytes), memoised
+    per tag.  Variables are identified by name and width, so equal
+    digests mean structurally identical terms even across contexts —
+    the key property behind the cross-request UNSAT-slice cache. *)
+
 val eval : ?taint:(int -> int -> Bitv.Bits.t) -> (var -> Bitv.Bits.t) -> t -> Bitv.Bits.t
 (** Concrete evaluation.  [taint id width] supplies values for taint
     nodes (defaults to zero). *)

@@ -274,5 +274,61 @@ let size s = Sat.nvars s.sat
 let holds s e =
   Array.length s.model_snap > 0 && Bits.is_ones (model_eval s e)
 
+(* ------------------------------------------------------------------ *)
+(* Captured models.
+
+   A [model] freezes the last satisfying assignment: a copy of the
+   snapshot array plus the blast that maps terms to SAT literals at
+   capture time.  Bits the snapshot leaves unassigned — and any
+   variable blasted only after the capture (its literals index past
+   the frozen snapshot) — read as zero, which is a sound extension:
+   an unconstrained bit can take any value, and the zero default makes
+   the assignment a fixed total function for all time.  Evaluation
+   only performs read-only blast lookups ([var_bits]/[taint_bits]),
+   never blasting, so captured models are safe to consult from worker
+   domains while the originating solver's structures are frozen. *)
+
+type model = { m_snap : int array; m_blast : Blast.t }
+
+let capture_model s =
+  if Array.length s.model_snap = 0 then None
+  else Some { m_snap = Array.copy s.model_snap; m_blast = s.blast }
+
+let model_snap_lit m l =
+  let v = l lsr 1 in
+  let a = if v < Array.length m.m_snap then m.m_snap.(v) else 0 in
+  (if l land 1 = 0 then a else match a with 0 -> 0 | x -> 3 - x) = 1
+
+let model_lits m ls =
+  let w = Array.length ls in
+  let v = ref (Bits.zero w) in
+  for i = 0 to w - 1 do
+    if model_snap_lit m ls.(i) then
+      v := Bits.logor !v (Bits.shift_left (Bits.of_int ~width:w 1) i)
+  done;
+  !v
+
+(* The width guards matter for models consulted across term contexts
+   (a cold-replay task evaluating a splitter-captured model): a name
+   or id can denote a different-width symbol there, and the assignment
+   must stay total — mismatches read as zero like unblasted symbols. *)
+let frozen_eval m e =
+  Expr.eval
+    ~taint:(fun id w ->
+      match Blast.taint_bits m.m_blast id with
+      | Some ls when Array.length ls = w -> model_lits m ls
+      | Some _ | None -> Bits.zero w)
+    (fun v ->
+      match Blast.var_bits m.m_blast v with
+      | Some ls when Array.length ls = v.Expr.vwidth -> model_lits m ls
+      | Some _ | None -> Bits.zero v.Expr.vwidth)
+    e
+
+let model_holds m e = Bits.is_ones (frozen_eval m e)
+
+(* snapshot words plus a fixed overhead for the record/blast pointer;
+   used only for the qcache.bytes gauge, precision is not needed *)
+let model_bytes m = (Array.length m.m_snap * 8) + 64
+
 let num_checks s = s.checks
 let solve_time s = s.time

@@ -94,6 +94,28 @@ val holds : t -> Expr.t -> bool
     mention).  When it does, the model also witnesses satisfiability of
     the current assertions plus [e], so no solver call is needed. *)
 
+(** {1 Captured models}
+
+    A captured model freezes the last satisfying assignment as a
+    fixed total function over terms: assigned bits keep their value,
+    unassigned or later-blasted bits read as zero (a sound extension
+    for unconstrained bits).  Evaluation performs only read-only blast
+    lookups, so captured models may be consulted from worker domains
+    while the originating solver is frozen.  The query cache uses them
+    as portable satisfiability witnesses. *)
+
+type model
+
+val capture_model : t -> model option
+(** The last [Sat] assignment, or [None] if no check has succeeded. *)
+
+val model_holds : model -> Expr.t -> bool
+(** [model_holds m e]: the width-1 term [e] evaluates to true under
+    the frozen assignment.  Time-stable: repeated calls always agree. *)
+
+val model_bytes : model -> int
+(** Approximate heap footprint, for cache accounting. *)
+
 val num_checks : t -> int
 val solve_time : t -> float
 (** Cumulative wall-clock seconds spent inside {!check} /
