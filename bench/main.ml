@@ -26,6 +26,12 @@
                                            pj4) and spend >=30% fewer solver
                                            checks; cache-on rows -> F
                                            (default BENCH_pr9.json)
+     dune exec bench/main.exe -- corpus [F] [N]  coverage-guided-corpus gate:
+                                           the selftest campaign at N cases
+                                           (default 60) in corpus mode must
+                                           beat pure random on coverage per
+                                           1000 cases; row -> F
+                                           (default BENCH_pr10.json)
      dune exec bench/main.exe -- scaling [D] [F]  wall-clock + speedup per
                                            path-jobs in {1,2,4,8} on driver D
                                            (default middleblock_2acl -> BENCH_pr6.json)
@@ -1088,6 +1094,91 @@ let serve_bench out =
        p50, warm prep = 0)\n"
 
 (* ------------------------------------------------------------------ *)
+(* corpus: the coverage-guided-corpus acceptance gate.  Runs the
+   self-validation campaign twice at the same master seed and per-case
+   oracle budget — once in corpus mode (corpus persisted to a scratch
+   directory) and once pure-random — and requires corpus mode to reach
+   strictly higher oracle-code coverage per 1000 cases.  Emits one
+   bench JSON row with both coverage figures and the corpus hit rate
+   (fraction of evaluated cases derived by mutation). *)
+
+let corpus_bench ?(cases = 60) out =
+  header
+    (Printf.sprintf "Corpus gate — corpus vs pure-random at %d cases -> %s" cases out);
+  let module Campaign = Selftest.Campaign in
+  let module Corpus = Selftest.Corpus in
+  let base =
+    {
+      Campaign.default_config with
+      Campaign.cases;
+      seed = 7;
+      jobs = 1;
+      reduce = false;
+    }
+  in
+  let scratch =
+    let f = Filename.temp_file "p4tg-bench-corpus" "" in
+    Sys.remove f;
+    Sys.mkdir f 0o755;
+    f
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf scratch)
+    (fun () ->
+      let corpus = Campaign.run { base with Campaign.corpus_dir = Some scratch } in
+      let random = Campaign.run base in
+      let cc = Campaign.cov_per_1000 corpus and cr = Campaign.cov_per_1000 random in
+      let hit_rate =
+        if corpus.Campaign.s_ran = 0 then 0.0
+        else float_of_int corpus.Campaign.s_mutated /. float_of_int corpus.Campaign.s_ran
+      in
+      let csize, admits, evictions =
+        match corpus.Campaign.s_corpus with
+        | Some c -> (Corpus.size c, c.Corpus.admits, c.Corpus.evictions)
+        | None -> (0, 0, 0)
+      in
+      Printf.printf "corpus mode:  %s (%.2fs)\n" (Campaign.summary_line corpus)
+        corpus.Campaign.s_wall;
+      Printf.printf "pure random:  %s (%.2fs)\n" (Campaign.summary_line random)
+        random.Campaign.s_wall;
+      hr ();
+      Printf.printf
+        "cov/1000: corpus %.1f vs random %.1f   corpus hit rate %.2f (%d mutated / %d \
+         ran)\n"
+        cc cr hit_rate corpus.Campaign.s_mutated corpus.Campaign.s_ran;
+      let row =
+        Printf.sprintf
+          "  {\"name\": \"corpus_campaign\", \"arch\": \"mixed\", \"cases\": %d, \
+           \"tests\": %d, \"cov1000_corpus\": %.1f, \"cov1000_random\": %.1f, \
+           \"corpus_hit_rate\": %.4f, \"corpus_size\": %d, \"admits\": %d, \
+           \"evictions\": %d, \"total_time\": %.6f, \"host_cores\": %d, \
+           \"recommended_domains\": %d,\n\
+          \   \"metrics\": %s}"
+          cases corpus.Campaign.s_tests cc cr hit_rate csize admits evictions
+          corpus.Campaign.s_wall (host_cores ())
+          (Domain.recommended_domain_count ())
+          (Obs.Snapshot.to_json corpus.Campaign.s_obs)
+      in
+      write_bench_doc out [ row ];
+      if corpus.Campaign.s_failures <> [] || random.Campaign.s_failures <> [] then begin
+        Printf.printf "FAIL: campaign reported differential failures\n";
+        exit 1
+      end;
+      if cc > cr then
+        Printf.printf "OK: corpus mode beats pure random (%.1f > %.1f cov/1000)\n" cc cr
+      else begin
+        Printf.printf
+          "FAIL: corpus mode does not beat pure random (%.1f vs %.1f cov/1000)\n" cc cr;
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig1 ();
@@ -1168,6 +1259,14 @@ let () =
         if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr6.json"
       in
       gate_bench file
+  | Some "corpus" ->
+      let out =
+        if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr10.json"
+      in
+      let cases =
+        if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 60
+      in
+      corpus_bench ~cases out
   | Some "serve" ->
       let out =
         if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pr8.json"
@@ -1178,6 +1277,6 @@ let () =
         "unknown experiment %s (fig1, tables, fig7, table2, table3, table4a, table4b, bechamel, \
          batch [jobs], json [out.json] [path-jobs] [drivers...], compare baseline.json \
          [current.json] [--noise-ms N], scaling [driver] [out.json], gate [scaling.json], \
-         serve [out.json], qcache [out.json])\n"
+         serve [out.json], qcache [out.json], corpus [out.json] [cases])\n"
         other;
       exit 1

@@ -88,10 +88,13 @@ let rec lvalue_of ctx fr st (e : Ast.expr) : lvalue =
               lv_slice = None;
             }
       | _ -> fail "index into non-stack %s" base.lv_path)
-  | ESlice (b, hi, lo) ->
+  | ESlice (b, hi, lo) -> (
       let base = lvalue_of ctx fr st b in
-      if base.lv_slice <> None then fail "nested slices are not supported";
-      { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (hi, lo) }
+      match base.lv_slice with
+      | None -> { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (hi, lo) }
+      | Some (_, blo) ->
+          (* x[h1:l1][h2:l2] reads bits [l1+h2 : l1+l2] of x *)
+          { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (blo + hi, blo + lo) })
   | e -> fail "not an l-value: %s" (Pretty.expr_to_string e)
 
 (* validity guard of the innermost enclosing header of a path, if any *)

@@ -89,7 +89,25 @@ let rec fold_expr env (e : expr) : expr =
       | None -> ETernary (c, fold_expr env t, fold_expr env f))
   | EMember (a, f) -> EMember (fold_expr env a, f)
   | EIndex (a, i) -> EIndex (fold_expr env a, fold_expr env i)
-  | ESlice (a, hi, lo) -> ESlice (fold_expr env a, hi, lo)
+  | ESlice (a, hi, lo) -> (
+      let a = fold_expr env a in
+      match a with
+      (* x[h1:l1][h2:l2] reads bits [l1+h2 : l1+l2] of x *)
+      | ESlice (b, _, blo) -> ESlice (b, blo + hi, blo + lo)
+      | EInt { iv; _ } when iv >= 0 && hi < 62 ->
+          let w = hi - lo + 1 in
+          let v = (iv asr lo) land ((1 lsl w) - 1) in
+          EInt { value = Some (Bitv.Bits.of_int ~width:w v); iv = v; width = Some w; signed = false }
+      | EVar _ | EMember _ | EIndex _ -> ESlice (a, hi, lo)
+      | _ ->
+          (* slice of a compound expression: lower to shift plus
+             truncating cast, which evaluates without an l-value *)
+          let w = hi - lo + 1 in
+          let sh =
+            if lo = 0 then a
+            else EBinop (Shr, a, EInt { value = None; iv = lo; width = None; signed = false })
+          in
+          ECast (TBit w, sh))
   | ECast (t, a) -> ECast (t, fold_expr env a)
   | ECall (f, args) -> ECall (fold_expr env f, List.map (fold_expr env) args)
   | EList es -> EList (List.map (fold_expr env) es)
@@ -431,6 +449,113 @@ let number_statements (prog : program) : program * int =
       prog
   in
   (prog, !counter)
+
+(* ------------------------------------------------------------------ *)
+(* Statement shapes
+
+   A canonical, identifier-oblivious description of every numbered
+   statement, keyed by the id [number_statements] assigned.  Two
+   statements in *different* programs share a shape exactly when they
+   are the same construct in the same structural position — constants,
+   declaration names, and table/action/state identifiers are erased
+   (member field names are kept: they come from a small shared header
+   vocabulary and distinguish genuinely different behaviors).  The
+   self-validation corpus keys its cross-program coverage sets on
+   these shapes: a freshly renamed splice therefore contributes no
+   novelty by name alone, only by reaching constructs or construct
+   combinations no earlier case reached. *)
+
+let rec expr_shape (e : expr) : string =
+  match e with
+  | EBool _ -> "b"
+  | EInt { width = Some w; _ } -> Printf.sprintf "k%d" w
+  | EInt _ -> "k"
+  | EString _ -> "s"
+  | EVar _ -> "_"
+  | EMember (e, f) -> expr_shape e ^ "." ^ f
+  | EIndex (e, i) -> expr_shape e ^ "[" ^ expr_shape i ^ "]"
+  | ESlice (e, hi, lo) -> Printf.sprintf "%s[%d:%d]" (expr_shape e) hi lo
+  | EUnop (op, a) ->
+      let o = match op with Neg -> "-" | BitNot -> "~" | LNot -> "!" in
+      o ^ expr_shape a
+  | EBinop (op, a, b) ->
+      let o =
+        match op with
+        | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+        | AddSat -> "|+|" | SubSat -> "|-|" | Shl -> "<<" | Shr -> ">>"
+        | BAnd -> "&" | BOr -> "|" | BXor -> "^" | LAnd -> "&&" | LOr -> "||"
+        | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">"
+        | Ge -> ">=" | Concat -> "++"
+      in
+      "(" ^ expr_shape a ^ o ^ expr_shape b ^ ")"
+  | ETernary (c, t, f) ->
+      "(" ^ expr_shape c ^ "?" ^ expr_shape t ^ ":" ^ expr_shape f ^ ")"
+  | ECast (t, a) -> Format.asprintf "(%a)%s" Pretty.pp_typ t (expr_shape a)
+  | ECall (f, args) ->
+      expr_shape f ^ "(" ^ String.concat "," (List.map expr_shape args) ^ ")"
+  | ETypeArg t -> Format.asprintf "<%a>" Pretty.pp_typ t
+  | EList es -> "{" ^ String.concat "," (List.map expr_shape es) ^ "}"
+  | EDontCare -> "_dc"
+  | EDefault -> "_def"
+  | EMask (a, m) -> expr_shape a ^ "&&&" ^ expr_shape m
+  | ERange (a, b) -> expr_shape a ^ ".." ^ expr_shape b
+
+(** [statement_shapes prog] maps every coverable statement id of a
+    numbered program (see {!number_statements}) to its canonical
+    shape. *)
+let statement_shapes (prog : program) : (int * string) list =
+  let out = ref [] in
+  let emit (p : pos) shape =
+    if p.line > 0 then out := (p.line, shape) :: !out
+  in
+  let rec walk ctx s =
+    match s with
+    | SAssign (p, l, r) ->
+        emit p (ctx ^ ":assign " ^ expr_shape l ^ ":=" ^ expr_shape r)
+    | SCall (p, f, args) ->
+        emit p
+          (ctx ^ ":call " ^ expr_shape f ^ "("
+          ^ String.concat "," (List.map expr_shape args)
+          ^ ")")
+    | SExit p -> emit p (ctx ^ ":exit")
+    | SReturn (p, e) ->
+        emit p
+          (ctx ^ ":return"
+          ^ match e with Some e -> " " ^ expr_shape e | None -> "")
+    | SIf (_, c, t, e) ->
+        let cond = expr_shape c in
+        List.iter (walk (ctx ^ "/if(" ^ cond ^ ").t")) t;
+        List.iter (walk (ctx ^ "/if(" ^ cond ^ ").e")) e
+    | SSwitch (_, _, cases) ->
+        List.iteri
+          (fun i c ->
+            match c.sw_body with
+            | Some b -> List.iter (walk (Printf.sprintf "%s/switch.%d" ctx i)) b
+            | None -> ())
+          cases
+    | SBlock b -> List.iter (walk ctx) b
+    | SVarDecl _ | SConstDecl _ | SEmpty -> ()
+  in
+  let walk_action ctx a = List.iter (walk (ctx ^ "/action")) a.act_body in
+  let walk_local ctx = function
+    | LAction a -> walk_action ctx a
+    | LVar _ | LConst _ | LTable _ | LInstantiation _ -> ()
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | DParser (pd, _) ->
+          List.iter (walk_local "parser") pd.p_locals;
+          List.iter
+            (fun st -> List.iter (walk "parser/state") st.st_stmts)
+            pd.p_states
+      | DControl (cd, _) ->
+          List.iter (walk_local "control") cd.c_locals;
+          List.iter (walk "control") cd.c_body
+      | DAction a -> walk_action "top" a
+      | _ -> ())
+    prog;
+  List.rev !out
 
 (** The standard pipeline applied before symbolic execution. *)
 let prepare (prog : program) : program * Typing.ctx * int =

@@ -351,23 +351,41 @@ type outcome = {
 
 (** [reduce ~keep src] shrinks [src] while [keep] holds.  If [src]
     does not parse, or its pretty-printed round trip no longer fails,
-    the original text is returned untouched ([steps = 0]). *)
-let reduce ?(max_rounds = 12) ~(keep : predicate) (src : string) : outcome =
+    the original text is returned untouched ([steps = 0]).
+
+    [deadline] (absolute, on the {!Obs.Clock}) bounds the shrink: each
+    [keep] probe is a full differential run, so an unbounded reduction
+    of a late campaign failure could blow the campaign's [--max-seconds]
+    box many times over.  Past the deadline no further candidates are
+    probed and the best program found so far is returned — still a
+    valid repro, just less minimal. *)
+let reduce ?deadline ?(max_rounds = 12) ~(keep : predicate) (src : string) : outcome =
+  let expired () =
+    match deadline with Some d -> Obs.Clock.now () > d | None -> false
+  in
   match P4.Parser.parse_program src with
   | exception _ -> { reduced = src; steps = 0; rounds = 0 }
   | prog ->
-      if not (keep (pp prog)) then { reduced = src; steps = 0; rounds = 0 }
+      if expired () || not (keep (pp prog)) then
+        { reduced = src; steps = 0; rounds = 0 }
       else begin
         let steps = ref 0 in
+        let rec try_candidates = function
+          | [] -> None
+          | c :: rest ->
+              if expired () then None
+              else if keep (pp c) then Some c
+              else try_candidates rest
+        in
         let rec run_pass pass prog =
-          match List.find_opt (fun c -> keep (pp c)) (pass prog) with
+          match try_candidates (pass prog) with
           | Some c ->
               incr steps;
               run_pass pass c
           | None -> prog
         in
         let rec fix prog round =
-          if round >= max_rounds then (prog, round)
+          if round >= max_rounds || expired () then (prog, round)
           else begin
             let before = !steps in
             let prog =

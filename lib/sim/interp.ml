@@ -293,9 +293,13 @@ let rec lvalue cfg (fr : frame) st (e : Ast.expr) : lv =
             lv_slice = None;
           }
       | _ -> simfail "bad index")
-  | ESlice (b, hi, lo) ->
+  | ESlice (b, hi, lo) -> (
       let base = lvalue cfg fr st b in
-      { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (hi, lo) }
+      match base.lv_slice with
+      | None -> { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (hi, lo) }
+      | Some (_, blo) ->
+          (* x[h1:l1][h2:l2] reads bits [l1+h2 : l1+l2] of x *)
+          { base with lv_typ = TBit (hi - lo + 1); lv_slice = Some (blo + hi, blo + lo) })
   | e -> simfail "not an l-value: %s" (Pretty.expr_to_string e)
 
 let rec enclosing_validity cfg fr st (e : Ast.expr) : bool option =
